@@ -1,0 +1,463 @@
+// Benchmarks regenerating every table/figure of the paper's evaluation
+// (§VI, Figs. 3-11), plus ablation and micro benchmarks for the design
+// choices DESIGN.md calls out.
+//
+// Each figure benchmark runs the corresponding experiment harness end to
+// end (full simulated cluster replays for Figs. 7-11) and reports the
+// headline quantities as benchmark metrics, so
+//
+//	go test -bench=Fig -benchmem
+//
+// regenerates the whole evaluation. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package sgxorch_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	sgxorch "github.com/sgxorch/sgxorch"
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/borg"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/deviceplugin"
+	"github.com/sgxorch/sgxorch/internal/experiments"
+	"github.com/sgxorch/sgxorch/internal/influxql"
+	"github.com/sgxorch/sgxorch/internal/isgx"
+	"github.com/sgxorch/sgxorch/internal/monitor"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/sgx"
+	"github.com/sgxorch/sgxorch/internal/stats"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+const benchSeed = 1
+
+// BenchmarkFig3_MemoryUsageCDF regenerates Fig. 3 (CDF of maximal memory
+// usage in the Borg trace).
+func BenchmarkFig3_MemoryUsageCDF(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Fig3MemoryCDF(benchSeed, 20000)
+	}
+	c := stats.NewCDF(borg.NewGenerator(borg.DefaultConfig(benchSeed)).FullDay(20000).MemFractions())
+	b.ReportMetric(100*c.At(0.1), "pct_below_0.1")
+	b.ReportMetric(float64(len(fig.Series[0].Points)), "curve_points")
+}
+
+// BenchmarkFig4_DurationCDF regenerates Fig. 4 (CDF of job duration,
+// bounded at 300 s).
+func BenchmarkFig4_DurationCDF(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Fig4DurationCDF(benchSeed, 20000)
+	}
+	last := fig.Series[0].Points[len(fig.Series[0].Points)-1]
+	b.ReportMetric(last.X, "max_duration_s")
+}
+
+// BenchmarkFig5_Concurrency regenerates Fig. 5 (concurrently running jobs
+// over the first 24 h).
+func BenchmarkFig5_Concurrency(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Fig5Concurrency(benchSeed, 10*time.Minute)
+	}
+	lo, hi := fig.Series[0].Points[0].Y, fig.Series[0].Points[0].Y
+	for _, p := range fig.Series[0].Points {
+		if p.Y < lo {
+			lo = p.Y
+		}
+		if p.Y > hi {
+			hi = p.Y
+		}
+	}
+	b.ReportMetric(lo/1000, "min_kjobs")
+	b.ReportMetric(hi/1000, "max_kjobs")
+}
+
+// BenchmarkFig6_StartupTime regenerates Fig. 6 (SGX process startup time
+// vs requested EPC; paper: ~600 ms total at 128 MiB).
+func BenchmarkFig6_StartupTime(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Fig6Startup(benchSeed, 60)
+	}
+	psw, alloc := fig.Series[0], fig.Series[1]
+	n := len(psw.Points)
+	b.ReportMetric(psw.Points[n-1].Y+alloc.Points[n-1].Y, "total_at_128MiB_ms")
+	b.ReportMetric(psw.Points[0].Y, "psw_ms")
+}
+
+// BenchmarkFig7_EPCSizes regenerates Fig. 7 (pending-queue time series for
+// simulated EPC sizes 32-256 MiB; paper drain times 4h47m / 2h47m / 1h22m
+// / 1h00m).
+func BenchmarkFig7_EPCSizes(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig7PendingQueue(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		last := 0.0
+		for _, p := range s.Points {
+			if p.Y > 1 {
+				last = p.X
+			}
+		}
+		b.ReportMetric(last, "drain_min_"+s.Name[:len(s.Name)-4])
+	}
+}
+
+// BenchmarkFig8_WaitingTimeCDF regenerates Fig. 8 (waiting-time CDFs for
+// SGX ratios 0-100%).
+func BenchmarkFig8_WaitingTimeCDF(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig8WaitCDF(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		if s.Name == "Only SGX jobs" || s.Name == "No SGX jobs" {
+			b.ReportMetric(s.Points[len(s.Points)-1].X, "max_wait_s_"+s.Name[:2])
+		}
+	}
+}
+
+// BenchmarkFig9_WaitByRequest regenerates Fig. 9 (mean waiting time by
+// requested memory, spread vs binpack, 50% SGX split).
+func BenchmarkFig9_WaitByRequest(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig9WaitByRequest(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	meanY := func(name string) float64 {
+		for _, s := range fig.Series {
+			if s.Name == name {
+				sum := 0.0
+				for _, p := range s.Points {
+					sum += p.Y
+				}
+				if len(s.Points) == 0 {
+					return 0
+				}
+				return sum / float64(len(s.Points))
+			}
+		}
+		return 0
+	}
+	b.ReportMetric(meanY("binpack SGX"), "binpack_sgx_wait_s")
+	b.ReportMetric(meanY("spread SGX"), "spread_sgx_wait_s")
+}
+
+// BenchmarkFig10_Turnaround regenerates Fig. 10 (total turnaround sums;
+// paper: binpack 210 h SGX / 111 h standard, spread 275 h / 129 h, trace
+// 94 h — we target the ratios).
+func BenchmarkFig10_Turnaround(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig10Turnaround(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	get := func(name string) float64 {
+		for _, s := range fig.Series {
+			if s.Name == name {
+				return s.Points[0].Y
+			}
+		}
+		return 0
+	}
+	trace := get("Trace")
+	b.ReportMetric(get("binpack SGX")/trace, "binpack_sgx_x_trace")
+	b.ReportMetric(get("spread SGX")/trace, "spread_sgx_x_trace")
+	b.ReportMetric(get("binpack SGX")/get("binpack Standard"), "sgx_over_std")
+}
+
+// BenchmarkFig11_LimitsEnforcement regenerates Fig. 11 (waiting times with
+// malicious containers, limits enforced vs disabled).
+func BenchmarkFig11_LimitsEnforcement(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig11Malicious(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	at600 := func(name string) float64 {
+		for _, s := range fig.Series {
+			if s.Name != name {
+				continue
+			}
+			best := 0.0
+			for _, p := range s.Points {
+				if p.X <= 600 {
+					best = p.Y
+				}
+			}
+			return best
+		}
+		return 0
+	}
+	b.ReportMetric(at600("Limits enabled-50% EPC occupied"), "cdf600_enforced_pct")
+	b.ReportMetric(at600("Limits disabled-50% EPC occupied"), "cdf600_attacked_pct")
+}
+
+// BenchmarkAblation_UsageAwareVsRequestOnly quantifies what the paper's
+// usage-aware scheduling buys over request-only accounting (DESIGN.md §5).
+// The all-standard replay runs on a single 64 GiB node so that memory is
+// contended: honest jobs advertise up to 1.6× their real usage (§VI-B),
+// and only the usage-aware scheduler reclaims that headroom.
+func BenchmarkAblation_UsageAwareVsRequestOnly(b *testing.B) {
+	run := func(useMetrics bool) float64 {
+		tb, err := experiments.NewTestbed(experiments.TestbedConfig{
+			StdNodeCount: 1,
+			SGXNodeCount: 1, // minimum shape; unused by the 0% SGX replay
+			UseMetrics:   useMetrics,
+			Enforcement:  true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace := borg.NewGenerator(borg.DefaultConfig(benchSeed)).EvalSlice()
+		res, err := tb.Replay(experiments.ReplayConfig{
+			Trace:    trace,
+			SGXRatio: 0,
+			Seed:     benchSeed,
+			Horizon:  24 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats.Mean(res.WaitingSeconds(nil))
+	}
+	var aware, requestOnly float64
+	for i := 0; i < b.N; i++ {
+		aware = run(true)
+		requestOnly = run(false)
+	}
+	b.ReportMetric(aware, "usage_aware_wait_s")
+	b.ReportMetric(requestOnly, "request_only_wait_s")
+}
+
+// BenchmarkAblation_SGXLastOrdering compares the paper's binpack (SGX
+// nodes last for standard jobs) against the SGX-oblivious least-requested
+// baseline on a mixed workload: without the ordering, standard jobs
+// squat on SGX nodes and SGX jobs queue.
+func BenchmarkAblation_SGXLastOrdering(b *testing.B) {
+	sgxTrue := true
+	run := func(policy sgxorch.Policy) float64 {
+		res, err := sgxorch.ReplayBorgTrace(sgxorch.ReplayOptions{
+			Seed:     benchSeed,
+			SGXRatio: 0.5,
+			Policy:   policy,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats.Mean(res.WaitingSeconds(&sgxTrue))
+	}
+	var binpack, baseline float64
+	for i := 0; i < b.N; i++ {
+		binpack = run(sgxorch.PolicyBinpack)
+		baseline = run(sgxorch.PolicyLeastRequested)
+	}
+	b.ReportMetric(binpack, "sgx_wait_binpack_s")
+	b.ReportMetric(baseline, "sgx_wait_baseline_s")
+}
+
+// BenchmarkSchedulerPass measures one §IV scheduling pass over a loaded
+// queue (microbenchmark of the scheduler's hot path).
+func BenchmarkSchedulerPass(b *testing.B) {
+	tb, err := experiments.NewTestbed(experiments.TestbedConfig{
+		UseMetrics: true, Enforcement: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	trace := borg.NewGenerator(borg.DefaultConfig(benchSeed)).EvalSlice()
+	// Submit everything at once so the queue is as deep as possible.
+	for i, job := range trace.Jobs {
+		pod := benchPod(job, i%2 == 0)
+		if err := tb.Srv.CreatePod(pod); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Scheduler.ScheduleOnce()
+	}
+}
+
+// benchPod builds a replay-style pod (the experiment harness keeps its
+// own builder unexported).
+func benchPod(job borg.Job, sgxJob bool) *api.Pod {
+	requests := resource.List{resource.Memory: borg.StandardMemBytes(job.AssignedMemFrac)}
+	kind := api.WorkloadStressVM
+	alloc := borg.StandardMemBytes(job.MaxMemFrac)
+	if sgxJob {
+		requests = resource.List{
+			resource.Memory:   16 * resource.MiB,
+			resource.EPCPages: resource.PagesForBytes(borg.SGXMemBytes(job.AssignedMemFrac)),
+		}
+		kind = api.WorkloadStressEPC
+		alloc = borg.SGXMemBytes(job.MaxMemFrac)
+	}
+	return &api.Pod{
+		Name: "bench-job-" + strconv.FormatInt(job.ID, 10),
+		Spec: api.PodSpec{
+			SchedulerName: experiments.SchedulerName,
+			Containers: []api.Container{{
+				Name:      "main",
+				Resources: api.Requirements{Requests: requests},
+				Workload:  api.WorkloadSpec{Kind: kind, Duration: job.Duration, AllocBytes: alloc},
+			}},
+		},
+	}
+}
+
+// BenchmarkInfluxQLListing1 measures the paper's Listing 1 query over a
+// populated metrics database.
+func BenchmarkInfluxQLListing1(b *testing.B) {
+	clk := clock.NewSim()
+	db := tsdb.New(clk)
+	for node := 0; node < 4; node++ {
+		for pod := 0; pod < 50; pod++ {
+			for s := 0; s < 3; s++ {
+				db.WriteNow(monitor.MeasurementEPC, tsdb.Tags{
+					monitor.TagPod:  "pod-" + string(rune('a'+pod%26)) + string(rune('0'+pod/26)),
+					monitor.TagNode: "node-" + string(rune('1'+node)),
+				}, float64(pod*4096))
+			}
+		}
+	}
+	const listing1 = `SELECT SUM(epc) AS epc FROM (SELECT MAX(value) AS epc FROM "sgx/epc" WHERE value <> 0 AND time >= now() - 25s GROUP BY pod_name, nodename) GROUP BY nodename`
+	q, err := influxql.Parse(listing1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := influxql.Run(db, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnclaveLifecycle measures the driver's enclave build/teardown
+// path with limit enforcement (§V-D/§V-E).
+func BenchmarkEnclaveLifecycle(b *testing.B) {
+	driver := isgx.New(sgx.NewPackage(sgx.DefaultGeometry()))
+	if err := driver.IoctlSetLimit("/kubepods/bench", 4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := driver.OpenEnclave(1, "/kubepods/bench", 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Destroy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDevicePluginAllocate measures per-pod EPC page-item allocation
+// (§V-A's per-page resource accounting).
+func BenchmarkDevicePluginAllocate(b *testing.B) {
+	plugin := deviceplugin.New(isgx.New(sgx.NewPackage(sgx.DefaultGeometry())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plugin.Allocate("/kubepods/bench", 1000); err != nil {
+			b.Fatal(err)
+		}
+		plugin.Deallocate("/kubepods/bench")
+	}
+}
+
+// BenchmarkBorgEvalSlice measures trace generation (§VI-B input).
+func BenchmarkBorgEvalSlice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := borg.NewGenerator(borg.DefaultConfig(int64(i))).EvalSlice()
+		if tr.Len() != borg.EvalJobCount {
+			b.Fatal("bad trace")
+		}
+	}
+	b.ReportMetric(float64(resource.PagesForBytes(borg.SGXMemBytes(borg.EvalMaxMemFraction))), "max_job_pages")
+}
+
+// BenchmarkExtension_SGX2DynamicEPC runs the §VI-G extension experiment:
+// SGX 2 dynamic EPC allocation vs SGX 1 static commitment on the all-SGX
+// replay (see internal/experiments.SGX2Ablation).
+func BenchmarkExtension_SGX2DynamicEPC(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.SGX2Ablation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "SGX1 static":
+			b.ReportMetric(s.Points[0].Y, "static_wait_s")
+		case "SGX2 dynamic":
+			b.ReportMetric(s.Points[0].Y, "dynamic_wait_s")
+		}
+	}
+}
+
+// BenchmarkAblation_MetricWindow sweeps Listing 1's sliding window (25 s
+// in the paper) against the 10 s probe period.
+func BenchmarkAblation_MetricWindow(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.WindowAblation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		if s.Name != "mean wait" {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == 25 {
+				b.ReportMetric(p.Y, "wait_at_25s_window_s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_SchedulerInterval sweeps the §IV scheduling period.
+func BenchmarkAblation_SchedulerInterval(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.IntervalAblation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	pts := fig.Series[0].Points
+	b.ReportMetric(pts[0].Y, "wait_1s_interval_s")
+	b.ReportMetric(pts[len(pts)-1].Y, "wait_30s_interval_s")
+}

@@ -1,0 +1,431 @@
+package sgxorch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/core"
+	"github.com/sgxorch/sgxorch/internal/isgx"
+	"github.com/sgxorch/sgxorch/internal/kubelet"
+	"github.com/sgxorch/sgxorch/internal/machine"
+	"github.com/sgxorch/sgxorch/internal/monitor"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/sgx"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// Byte-size helpers re-exported for cluster and job specifications.
+const (
+	KiB = resource.KiB
+	MiB = resource.MiB
+	GiB = resource.GiB
+)
+
+// DefaultEPCSize is the PRM size of current SGX hardware (128 MiB, §II).
+const DefaultEPCSize = 128 * MiB
+
+// Policy selects the scheduler's placement strategy (§IV).
+type Policy string
+
+// Available policies.
+const (
+	// PolicyBinpack fills nodes one after another in a stable order,
+	// keeping SGX nodes as the last resort for standard jobs.
+	PolicyBinpack Policy = "binpack"
+	// PolicySpread evens load out by minimising the standard deviation
+	// of node loads.
+	PolicySpread Policy = "spread"
+	// PolicyLeastRequested mirrors Kubernetes' default scheduler:
+	// request-only accounting, no SGX awareness. Useful as a baseline.
+	PolicyLeastRequested Policy = "least-requested"
+)
+
+func (p Policy) corePolicy() (core.Policy, error) {
+	switch p {
+	case PolicyBinpack, "":
+		return core.Binpack{}, nil
+	case PolicySpread:
+		return core.Spread{}, nil
+	case PolicyLeastRequested:
+		return core.LeastRequested{}, nil
+	default:
+		return nil, fmt.Errorf("sgxorch: unknown policy %q", p)
+	}
+}
+
+// NodeSpec describes one cluster machine.
+type NodeSpec struct {
+	Name      string
+	RAMBytes  int64
+	CPUMillis int64
+	// SGX equips the machine with an SGX package and driver; EPCSize
+	// defaults to DefaultEPCSize.
+	SGX     bool
+	EPCSize int64
+	// SGX2 additionally enables dynamic EPC memory management (EDMM,
+	// §VI-G), required by DynamicEPC jobs. Implies SGX.
+	SGX2 bool
+	// Master marks the node unschedulable (control plane only).
+	Master bool
+}
+
+// ClusterConfig assembles a cluster.
+type ClusterConfig struct {
+	// Nodes lists the machines. When empty, the paper's §VI-A testbed is
+	// used: one master and two 64 GiB standard nodes, plus two 8 GiB SGX
+	// nodes with 128 MiB EPC.
+	Nodes []NodeSpec
+	// Policy selects the placement strategy (binpack by default).
+	Policy Policy
+	// UseMetrics enables usage-aware scheduling over the monitoring
+	// pipeline (the paper's scheduler). Defaults to true; set
+	// DisableMetrics to turn it off.
+	DisableMetrics bool
+	// DisableEnforcement turns off driver-level EPC limit enforcement
+	// (§V-D), as in Fig. 11's "limits disabled" runs.
+	DisableEnforcement bool
+	// SchedulerInterval is the scheduling period (5 s default).
+	SchedulerInterval time.Duration
+	// ScrapeInterval is the monitoring period (10 s default).
+	ScrapeInterval time.Duration
+}
+
+// PaperTestbedNodes returns the §VI-A cluster shape.
+func PaperTestbedNodes() []NodeSpec {
+	return []NodeSpec{
+		{Name: "master", RAMBytes: 64 * GiB, CPUMillis: 8000, Master: true},
+		{Name: "std-1", RAMBytes: 64 * GiB, CPUMillis: 8000},
+		{Name: "std-2", RAMBytes: 64 * GiB, CPUMillis: 8000},
+		{Name: "sgx-1", RAMBytes: 8 * GiB, CPUMillis: 8000, SGX: true},
+		{Name: "sgx-2", RAMBytes: 8 * GiB, CPUMillis: 8000, SGX: true},
+	}
+}
+
+// Cluster is a running simulated cluster: API server, kubelets, device
+// plugins, monitoring and one SGX-aware scheduler.
+type Cluster struct {
+	clk   *clock.Sim
+	srv   *apiserver.Server
+	db    *tsdb.DB
+	sched *core.Scheduler
+
+	kubelets []*kubelet.Kubelet
+	heapster *monitor.Heapster
+	probes   *monitor.DaemonSet
+	closed   bool
+}
+
+// schedulerName is the identity jobs submitted through Cluster use.
+const schedulerName = "sgxorch"
+
+// NewCluster assembles and starts a cluster. Time is simulated: use
+// AdvanceTime or WaitAll to make progress.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	policy, err := cfg.Policy.corePolicy()
+	if err != nil {
+		return nil, err
+	}
+	nodes := cfg.Nodes
+	if len(nodes) == 0 {
+		nodes = PaperTestbedNodes()
+	}
+	if cfg.SchedulerInterval <= 0 {
+		cfg.SchedulerInterval = 5 * time.Second
+	}
+	if cfg.ScrapeInterval <= 0 {
+		cfg.ScrapeInterval = 10 * time.Second
+	}
+
+	clk := clock.NewSim()
+	c := &Cluster{
+		clk: clk,
+		srv: apiserver.New(clk),
+		db:  tsdb.New(clk),
+	}
+
+	seen := make(map[string]bool, len(nodes))
+	for _, spec := range nodes {
+		if spec.Name == "" {
+			return nil, errors.New("sgxorch: node name required")
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("sgxorch: duplicate node %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		var opts []machine.Option
+		if spec.SGX || spec.SGX2 {
+			size := spec.EPCSize
+			if size <= 0 {
+				size = DefaultEPCSize
+			}
+			var driverOpts []isgx.Option
+			if cfg.DisableEnforcement {
+				driverOpts = append(driverOpts, isgx.WithoutEnforcement())
+			}
+			sgxOpt := machine.WithSGX
+			if spec.SGX2 {
+				sgxOpt = machine.WithSGX2
+			}
+			opts = append(opts, sgxOpt(sgx.GeometryForSize(size), driverOpts...))
+		}
+		m := machine.New(spec.Name, spec.RAMBytes, spec.CPUMillis, opts...)
+		var klOpts []kubelet.Option
+		if spec.Master {
+			klOpts = append(klOpts, kubelet.WithUnschedulable())
+		}
+		kl := kubelet.New(clk, c.srv, m, klOpts...)
+		if err := kl.Start(); err != nil {
+			return nil, fmt.Errorf("sgxorch: starting node %s: %w", spec.Name, err)
+		}
+		c.kubelets = append(c.kubelets, kl)
+	}
+
+	c.heapster = monitor.NewHeapster(clk, c.db, cfg.ScrapeInterval)
+	for _, kl := range c.kubelets {
+		c.heapster.AddSource(kl)
+	}
+	c.heapster.Start()
+	c.probes = monitor.DeployProbes(clk, c.db, c.kubelets, cfg.ScrapeInterval)
+
+	sched, err := core.New(clk, c.srv, c.db, core.Config{
+		Name:       schedulerName,
+		Policy:     policy,
+		Interval:   cfg.SchedulerInterval,
+		UseMetrics: !cfg.DisableMetrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.sched = sched
+	sched.Start()
+	return c, nil
+}
+
+// Close stops every component. The cluster is unusable afterwards.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.sched.Stop()
+	c.heapster.Stop()
+	c.probes.Stop()
+	for _, kl := range c.kubelets {
+		kl.Stop()
+	}
+}
+
+// Now returns the cluster's current simulated time.
+func (c *Cluster) Now() time.Time { return c.clk.Now() }
+
+// AdvanceTime advances the simulation by d, running every scheduled event
+// (scheduler passes, monitoring scrapes, workload completions) in order.
+func (c *Cluster) AdvanceTime(d time.Duration) { c.clk.Advance(d) }
+
+// WaitAll advances simulated time until every submitted job is terminal,
+// or until max elapses. It reports whether all jobs finished.
+func (c *Cluster) WaitAll(max time.Duration) bool {
+	return c.clk.Run(c.srv.AllTerminal, c.clk.Now().Add(max))
+}
+
+// JobSpec describes one job submission.
+type JobSpec struct {
+	Name string
+	// Duration is the useful runtime of the workload.
+	Duration time.Duration
+	// MemoryRequestBytes is the advertised standard memory.
+	MemoryRequestBytes int64
+	// EPCRequestBytes is the advertised enclave memory; a non-zero value
+	// makes this an SGX job (it will only run on SGX nodes).
+	EPCRequestBytes int64
+	// MemoryUsageBytes / EPCUsageBytes are what the workload actually
+	// allocates; they default to the corresponding request. Usage above
+	// the EPC request is killed when limit enforcement is on (§V-D).
+	MemoryUsageBytes int64
+	EPCUsageBytes    int64
+	// DynamicEPC runs the SGX 2 workload (§VI-G): the job holds
+	// EPCRequestBytes as baseline and bursts to EPCUsageBytes mid-run
+	// via dynamic EPC allocation. Requires an SGX2 node.
+	DynamicEPC bool
+	// EPCLimitBytes is the pod's driver-enforced EPC cap. It defaults to
+	// EPCRequestBytes for static jobs (usage beyond the advertisement is
+	// killed, §V-D) and to EPCUsageBytes (the burst peak) for DynamicEPC
+	// jobs.
+	EPCLimitBytes int64
+}
+
+// SubmitJob queues a job with the cluster's scheduler.
+func (c *Cluster) SubmitJob(spec JobSpec) error {
+	if spec.Name == "" {
+		return errors.New("sgxorch: job name required")
+	}
+	if spec.Duration < 0 {
+		return fmt.Errorf("sgxorch: negative duration %v", spec.Duration)
+	}
+	requests := resource.List{}
+	if spec.MemoryRequestBytes > 0 {
+		requests[resource.Memory] = spec.MemoryRequestBytes
+	}
+	var workload api.WorkloadSpec
+	limits := resource.List{}
+	if spec.EPCRequestBytes > 0 {
+		usage := spec.EPCUsageBytes
+		if usage == 0 {
+			usage = spec.EPCRequestBytes
+		}
+		kind := api.WorkloadStressEPC
+		var base int64
+		limitBytes := spec.EPCLimitBytes
+		if spec.DynamicEPC {
+			kind = api.WorkloadStressEPCDynamic
+			base = spec.EPCRequestBytes
+			if limitBytes == 0 {
+				limitBytes = usage
+			}
+		}
+		if limitBytes == 0 {
+			limitBytes = spec.EPCRequestBytes
+		}
+		requests[resource.EPCPages] = resource.PagesForBytes(spec.EPCRequestBytes)
+		limits[resource.EPCPages] = resource.PagesForBytes(limitBytes)
+		workload = api.WorkloadSpec{
+			Kind:       kind,
+			Duration:   spec.Duration,
+			AllocBytes: usage,
+			BaseBytes:  base,
+		}
+	} else {
+		usage := spec.MemoryUsageBytes
+		if usage == 0 {
+			usage = spec.MemoryRequestBytes
+		}
+		workload = api.WorkloadSpec{
+			Kind:       api.WorkloadStressVM,
+			Duration:   spec.Duration,
+			AllocBytes: usage,
+		}
+	}
+	pod := &api.Pod{
+		Name: spec.Name,
+		Spec: api.PodSpec{
+			SchedulerName: schedulerName,
+			Containers: []api.Container{{
+				Name:      "workload",
+				Resources: api.Requirements{Requests: requests, Limits: limits},
+				Workload:  workload,
+			}},
+		},
+	}
+	return c.srv.CreatePod(pod)
+}
+
+// JobStatus reports one job's observable state.
+type JobStatus struct {
+	Name string
+	// Phase is Pending, Running, Succeeded or Failed.
+	Phase string
+	// Node is where the job was placed (empty while pending).
+	Node string
+	// Reason explains failures (e.g. EPC limit denial).
+	Reason string
+	// Waiting is submission → start (§VI-E); valid when Started.
+	Waiting time.Duration
+	Started bool
+	// Turnaround is submission → termination; valid when Finished.
+	Turnaround time.Duration
+	Finished   bool
+}
+
+// JobStatus returns the state of a submitted job.
+func (c *Cluster) JobStatus(name string) (JobStatus, error) {
+	pod, err := c.srv.GetPod(name)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	st := JobStatus{
+		Name:   pod.Name,
+		Phase:  string(pod.Status.Phase),
+		Node:   pod.Spec.NodeName,
+		Reason: pod.Status.Reason,
+	}
+	if w, ok := pod.WaitingTime(); ok {
+		st.Waiting, st.Started = w, true
+	}
+	if tt, ok := pod.TurnaroundTime(); ok {
+		st.Turnaround, st.Finished = tt, true
+	}
+	return st, nil
+}
+
+// NodeStatus reports one node's capacity and live usage.
+type NodeStatus struct {
+	Name string
+	SGX  bool
+	// Unschedulable marks control-plane nodes.
+	Unschedulable bool
+	MemoryBytes   int64
+	MemoryUsed    int64
+	// EPCPages / EPCPagesFree are the device-plugin page items (zero on
+	// non-SGX nodes).
+	EPCPages     int64
+	EPCPagesFree int64
+}
+
+// Nodes lists the cluster's nodes with live usage.
+func (c *Cluster) Nodes() []NodeStatus {
+	var out []NodeStatus
+	for _, kl := range c.kubelets {
+		m := kl.Machine()
+		st := NodeStatus{
+			Name:        m.Name(),
+			MemoryBytes: m.RAMBytes(),
+			MemoryUsed:  m.RAMUsed(),
+		}
+		if node, err := c.srv.GetNode(m.Name()); err == nil {
+			st.Unschedulable = node.Unschedulable
+		}
+		if p := kl.Plugin(); p != nil {
+			st.SGX = true
+			st.EPCPages = p.DeviceCount()
+			st.EPCPagesFree = p.FreeDevices()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// EvictJob forcibly terminates a job (queued or running); its resources
+// are released and its phase becomes Failed with an eviction reason.
+func (c *Cluster) EvictJob(name, reason string) error {
+	return c.srv.Evict(name, reason)
+}
+
+// DrainNode takes a node out of service: it goes NotReady (the scheduler
+// stops placing pods there) and its running jobs fail, as on a Kubernetes
+// node drain.
+func (c *Cluster) DrainNode(name string) error {
+	for _, kl := range c.kubelets {
+		if kl.NodeName() == name {
+			kl.Stop()
+			return nil
+		}
+	}
+	return fmt.Errorf("sgxorch: unknown node %q", name)
+}
+
+// SchedulerStats reports scheduling activity counters.
+type SchedulerStats struct {
+	Passes        int
+	Bound         int
+	Unschedulable int
+}
+
+// SchedulerStats returns the scheduler's counters.
+func (c *Cluster) SchedulerStats() SchedulerStats {
+	s := c.sched.Stats()
+	return SchedulerStats{Passes: s.Passes, Bound: s.Bound, Unschedulable: s.Unschedulable}
+}

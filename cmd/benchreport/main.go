@@ -1,0 +1,51 @@
+// Command benchreport regenerates every figure of the paper's evaluation
+// (Figs. 3-11) and renders the series and paper-vs-measured notes — the
+// data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchreport [-seed 1] [-figs fig3,fig7,...] [-rows 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	sgxorch "github.com/sgxorch/sgxorch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	figs := flag.String("figs", "", "comma-separated figure ids (default: all)")
+	rows := flag.Int("rows", 24, "max rows rendered per series")
+	flag.Parse()
+
+	ids := sgxorch.FigureIDs()
+	if *figs != "" {
+		ids = strings.Split(*figs, ",")
+	}
+	fmt.Printf("# SGX-aware orchestration — evaluation report (seed %d)\n", *seed)
+	fmt.Printf("# generated %s\n\n", time.Now().UTC().Format(time.RFC3339))
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := sgxorch.ReproduceFigure(strings.TrimSpace(id), *seed)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(os.Stdout, *rows); err != nil {
+			return err
+		}
+		fmt.Printf("   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command trace-replay replays the §VI-B Borg trace slice through the
+// full orchestrator stack on the paper's simulated testbed and prints the
+// §VI-E waiting-time and turnaround summary.
+//
+// Usage:
+//
+//	trace-replay [-sgx-ratio 0.5] [-policy binpack] [-epc-mib 128]
+//	             [-enforce=true] [-metrics=true] [-seed 1]
+//	             [-malicious 0] [-malicious-frac 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	sgxorch "github.com/sgxorch/sgxorch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sgxRatio := flag.Float64("sgx-ratio", 0.5, "fraction of SGX-enabled jobs (0..1)")
+	policy := flag.String("policy", "binpack", "binpack, spread or least-requested")
+	epcMiB := flag.Int64("epc-mib", 128, "EPC size of SGX machines in MiB")
+	enforce := flag.Bool("enforce", true, "driver-level EPC limit enforcement (§V-D)")
+	metrics := flag.Bool("metrics", true, "usage-aware scheduling")
+	seed := flag.Int64("seed", 1, "trace and designation seed")
+	malicious := flag.Int("malicious", 0, "malicious containers per SGX node (Fig. 11)")
+	maliciousFrac := flag.Float64("malicious-frac", 0.5, "EPC fraction each malicious container allocates")
+	flag.Parse()
+
+	fmt.Printf("replaying 663-job slice: %s policy, %.0f%% SGX, EPC %d MiB, enforcement %v\n",
+		*policy, *sgxRatio*100, *epcMiB, *enforce)
+	start := time.Now()
+	res, err := sgxorch.ReplayBorgTrace(sgxorch.ReplayOptions{
+		Seed:                 *seed,
+		SGXRatio:             *sgxRatio,
+		Policy:               sgxorch.Policy(*policy),
+		EPCSize:              *epcMiB * sgxorch.MiB,
+		DisableMetrics:       !*metrics,
+		DisableEnforcement:   !*enforce,
+		MaliciousPerSGXNode:  *malicious,
+		MaliciousEPCFraction: *maliciousFrac,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated in %v wall time\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("completed: %v   makespan: %v   failed jobs: %d\n",
+		res.Completed, res.Makespan.Round(time.Second), res.Failed)
+
+	for _, kind := range []string{"all", "sgx", "standard"} {
+		var filter *bool
+		switch kind {
+		case "sgx":
+			v := true
+			filter = &v
+		case "standard":
+			v := false
+			filter = &v
+		}
+		waits := res.WaitingSeconds(filter)
+		if len(waits) == 0 {
+			continue
+		}
+		sort.Float64s(waits)
+		fmt.Printf("%-8s jobs=%4d  wait p50=%7.1fs  p90=%7.1fs  p99=%7.1fs  max=%7.1fs\n",
+			kind, len(waits), waits[len(waits)/2], waits[len(waits)*9/10],
+			waits[len(waits)*99/100], waits[len(waits)-1])
+	}
+	fmt.Printf("\ntotal turnaround: %v (the Fig. 10 metric)\n",
+		res.TotalTurnaround().Round(time.Minute))
+
+	// Pending-queue peak (the Fig. 7 metric).
+	var peak int64
+	var peakAt time.Duration
+	for _, pt := range res.PendingSeries {
+		if pt.RequestedEPCBytes > peak {
+			peak, peakAt = pt.RequestedEPCBytes, pt.Offset
+		}
+	}
+	fmt.Printf("pending EPC queue peak: %.0f MiB at t=%v\n",
+		float64(peak)/float64(sgxorch.MiB), peakAt.Round(time.Second))
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package sgxorch is an SGX-aware container orchestrator for
+// heterogeneous clusters — a full reproduction of Vaucher et al.,
+// "SGX-Aware Container Orchestration for Heterogeneous Clusters"
+// (ICDCS 2018).
+//
+// The library builds simulated Kubernetes-like clusters mixing standard
+// and Intel SGX machines, schedules jobs whose Enclave Page Cache (EPC)
+// demands are tracked as first-class, *measured* resources, and enforces
+// per-pod EPC limits inside a modified SGX driver model. The package
+// exposes:
+//
+//   - Cluster: assemble a cluster (standard + SGX nodes), submit jobs,
+//     and observe placements, waiting times and turnaround times; the
+//     simulated clock replays hours of cluster time in milliseconds.
+//   - Policies: the paper's binpack and spread strategies plus a
+//     request-only baseline mirroring Kubernetes' default scheduler.
+//   - ReplayBorgTrace: replay the paper's Google Borg trace slice (663
+//     jobs, §VI-B) under any configuration.
+//   - ReproduceFigure: regenerate any of the paper's evaluation figures
+//     (Figs. 3-11).
+//
+// The subsystems live in internal/ packages: the SGX hardware model
+// (internal/sgx), the modified isgx driver (internal/isgx), the device
+// plugin (internal/deviceplugin), kubelets (internal/kubelet), the
+// monitoring pipeline (internal/monitor, internal/tsdb,
+// internal/influxql), the scheduler core (internal/core) and the Borg
+// trace substrate (internal/borg). This package is the stable public
+// surface over them.
+package sgxorch

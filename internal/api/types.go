@@ -1,0 +1,263 @@
+// Package api defines the Kubernetes-like object model the orchestrator
+// substrate exposes: nodes, pods, resource requirements and lifecycle
+// phases. The paper's components interact with Kubernetes exclusively
+// through its public API (§V); this package is that API surface.
+package api
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// PodPhase is the coarse lifecycle state of a pod.
+type PodPhase string
+
+// Pod phases, mirroring Kubernetes semantics.
+const (
+	// PodPending: accepted by the API server, waiting in the scheduler
+	// queue or being started by a kubelet.
+	PodPending PodPhase = "Pending"
+	// PodRunning: the workload has been launched on a node.
+	PodRunning PodPhase = "Running"
+	// PodSucceeded: the workload finished normally.
+	PodSucceeded PodPhase = "Succeeded"
+	// PodFailed: the workload was denied or killed (e.g. enclave init
+	// denial under EPC limit enforcement, §V-D).
+	PodFailed PodPhase = "Failed"
+)
+
+// WorkloadKind selects the simulated container behaviour, standing in for
+// the container images of §VI-C.
+type WorkloadKind int
+
+// Workload kinds.
+const (
+	// WorkloadSleep does nothing for the duration (control workload).
+	WorkloadSleep WorkloadKind = iota + 1
+	// WorkloadStressVM allocates standard virtual memory, like
+	// STRESS-NG's vm stressor (§VI-C).
+	WorkloadStressVM
+	// WorkloadStressEPC allocates EPC pages inside an enclave, like
+	// STRESS-SGX's EPC stressor (§VI-C).
+	WorkloadStressEPC
+	// WorkloadStressEPCDynamic is the SGX 2 variant (§VI-G): it commits a
+	// baseline at startup, bursts to the full allocation mid-run via
+	// dynamic EPC allocation, and trims back before finishing. It
+	// requires SGX 2-capable nodes.
+	WorkloadStressEPCDynamic
+)
+
+// String renders the workload kind.
+func (k WorkloadKind) String() string {
+	switch k {
+	case WorkloadSleep:
+		return "sleep"
+	case WorkloadStressVM:
+		return "stress-vm"
+	case WorkloadStressEPC:
+		return "stress-epc"
+	case WorkloadStressEPCDynamic:
+		return "stress-epc-dynamic"
+	default:
+		return fmt.Sprintf("WorkloadKind(%d)", int(k))
+	}
+}
+
+// WorkloadSpec describes what the simulated container does once started.
+type WorkloadSpec struct {
+	Kind WorkloadKind
+	// Duration is the useful runtime from the trace; total pod runtime
+	// additionally includes SGX startup latency (§VI-D).
+	Duration time.Duration
+	// AllocBytes is the memory the workload actually allocates — the
+	// trace's "maximal memory usage", which may legitimately differ from
+	// the advertised request ("the job will allocate the amount given in
+	// the maximal memory usage field", §VI-B). For dynamic EPC workloads
+	// this is the burst peak.
+	AllocBytes int64
+	// BaseBytes is the steady-state allocation of dynamic EPC workloads
+	// (defaults to half of AllocBytes when zero). Ignored by the other
+	// kinds.
+	BaseBytes int64
+}
+
+// Requirements carries the user-declared resource requests and limits
+// (§V-A: "end-users must declare that their SGX-enabled pods use some
+// amount of the SGX resource" via requests and limits).
+type Requirements struct {
+	Requests resource.List
+	Limits   resource.List
+}
+
+// Clone deep-copies the requirements.
+func (r Requirements) Clone() Requirements {
+	return Requirements{Requests: r.Requests.Clone(), Limits: r.Limits.Clone()}
+}
+
+// Container is one container of a pod.
+type Container struct {
+	Name      string
+	Image     string
+	Resources Requirements
+	Workload  WorkloadSpec
+}
+
+// PodSpec is the user-provided part of a pod.
+type PodSpec struct {
+	// SchedulerName selects which of the concurrently deployed schedulers
+	// handles this pod (§V-B: "each pod deployed to the cluster can
+	// specify which scheduler it requires").
+	SchedulerName string
+	// NodeName is set by a scheduler binding.
+	NodeName   string
+	Containers []Container
+}
+
+// PodStatus is the system-maintained part of a pod.
+type PodStatus struct {
+	Phase   PodPhase
+	Reason  string
+	Message string
+
+	// SubmittedAt is when the API server accepted the pod.
+	SubmittedAt time.Time
+	// ScheduledAt is when a scheduler bound the pod to a node.
+	ScheduledAt time.Time
+	// StartedAt is when the kubelet launched the workload. The paper's
+	// "waiting time" is StartedAt - SubmittedAt (§VI-E).
+	StartedAt time.Time
+	// FinishedAt is when the workload terminated. The paper's
+	// "turnaround time" is FinishedAt - SubmittedAt (§VI-E).
+	FinishedAt time.Time
+}
+
+// Pod is a schedulable unit (one or more co-located containers).
+type Pod struct {
+	Name   string
+	UID    string
+	Labels map[string]string
+	Spec   PodSpec
+	Status PodStatus
+}
+
+// CgroupPath derives the pod's cgroup path, the identifier shared by
+// Kubelet and the SGX driver for limit enforcement (§V-D: "all containers
+// in a pod share the same cgroup path, but distinct pods use different
+// ones; the path is available before containers actually start").
+func (p *Pod) CgroupPath() string {
+	id := p.UID
+	if id == "" {
+		id = p.Name
+	}
+	return "/kubepods/pod-" + id
+}
+
+// TotalRequests sums resource requests across containers.
+func (p *Pod) TotalRequests() resource.List {
+	total := resource.List{}
+	for _, c := range p.Spec.Containers {
+		total = total.Add(c.Resources.Requests)
+	}
+	return total
+}
+
+// TotalLimits sums resource limits across containers.
+func (p *Pod) TotalLimits() resource.List {
+	total := resource.List{}
+	for _, c := range p.Spec.Containers {
+		total = total.Add(c.Resources.Limits)
+	}
+	return total
+}
+
+// IsSGX reports whether the pod requests any share of the EPC resource,
+// which is how the stack distinguishes SGX-enabled jobs (§V-A).
+func (p *Pod) IsSGX() bool {
+	return p.TotalRequests().Get(resource.EPCPages) > 0
+}
+
+// IsTerminal reports whether the pod reached a final phase.
+func (p *Pod) IsTerminal() bool {
+	return p.Status.Phase == PodSucceeded || p.Status.Phase == PodFailed
+}
+
+// WaitingTime returns the paper's §VI-E waiting time: submission to
+// workload start. It returns (0, false) until the pod has started.
+func (p *Pod) WaitingTime() (time.Duration, bool) {
+	if p.Status.StartedAt.IsZero() {
+		return 0, false
+	}
+	return p.Status.StartedAt.Sub(p.Status.SubmittedAt), true
+}
+
+// TurnaroundTime returns the paper's §VI-E turnaround time: submission to
+// termination. It returns (0, false) until the pod is terminal.
+func (p *Pod) TurnaroundTime() (time.Duration, bool) {
+	if p.Status.FinishedAt.IsZero() {
+		return 0, false
+	}
+	return p.Status.FinishedAt.Sub(p.Status.SubmittedAt), true
+}
+
+// Clone deep-copies the pod.
+func (p *Pod) Clone() *Pod {
+	out := *p
+	out.Labels = cloneStringMap(p.Labels)
+	out.Spec.Containers = make([]Container, len(p.Spec.Containers))
+	for i, c := range p.Spec.Containers {
+		cc := c
+		cc.Resources = c.Resources.Clone()
+		out.Spec.Containers[i] = cc
+	}
+	return &out
+}
+
+// Node is one cluster machine as seen by the orchestrator.
+type Node struct {
+	Name   string
+	Labels map[string]string
+	// Capacity is the node's total resources; Allocatable is what pods
+	// may consume. The device plugin extends Allocatable with one item
+	// per EPC page (§V-A).
+	Capacity    resource.List
+	Allocatable resource.List
+	// Unschedulable excludes the node from scheduling (the Kubernetes
+	// master in the paper's testbed runs no jobs, §VI-A).
+	Unschedulable bool
+	Ready         bool
+}
+
+// HasSGX reports whether the node advertises EPC page resources.
+func (n *Node) HasSGX() bool {
+	return n.Allocatable.Get(resource.EPCPages) > 0
+}
+
+// Clone deep-copies the node.
+func (n *Node) Clone() *Node {
+	out := *n
+	out.Labels = cloneStringMap(n.Labels)
+	out.Capacity = n.Capacity.Clone()
+	out.Allocatable = n.Allocatable.Clone()
+	return &out
+}
+
+func cloneStringMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Event records a cluster occurrence for observability.
+type Event struct {
+	Time    time.Time
+	Object  string // e.g. "pod/job-42", "node/sgx-1"
+	Reason  string
+	Message string
+}

@@ -1,0 +1,405 @@
+// Package apiserver is the in-process equivalent of the Kubernetes API
+// server: the source of truth for nodes and pods, the persistent FCFS
+// queue of pending jobs (§IV, step Ì), and the notification hub that
+// kubelets and schedulers subscribe to.
+//
+// The paper's components "interact with [Kubernetes] using its public API"
+// (§V); this package provides that API for the simulated cluster.
+package apiserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/clock"
+)
+
+// Errors returned by API operations.
+var (
+	// ErrAlreadyExists is returned when creating an object whose name is
+	// taken.
+	ErrAlreadyExists = errors.New("apiserver: object already exists")
+	// ErrNotFound is returned for lookups of unknown objects.
+	ErrNotFound = errors.New("apiserver: object not found")
+	// ErrConflict is returned for state transitions that are not legal,
+	// e.g. binding an already bound pod.
+	ErrConflict = errors.New("apiserver: conflicting state transition")
+)
+
+// WatchEventType enumerates notification kinds.
+type WatchEventType int
+
+// Watch event types.
+const (
+	// PodCreated fires when a pod enters the pending queue.
+	PodCreated WatchEventType = iota + 1
+	// PodBound fires when a scheduler binds a pod to a node; kubelets
+	// react to it (§IV step Î: deployment towards the nodes).
+	PodBound
+	// PodUpdated fires on pod status changes.
+	PodUpdated
+	// NodeRegistered fires when a node joins the cluster.
+	NodeRegistered
+	// NodeUpdated fires on node status/allocatable changes.
+	NodeUpdated
+)
+
+// WatchEvent is delivered to subscribers on state changes. Pod/Node are
+// deep copies and safe to retain.
+type WatchEvent struct {
+	Type WatchEventType
+	Pod  *api.Pod
+	Node *api.Node
+}
+
+// maxEvents bounds the retained event log.
+const maxEvents = 16384
+
+// Server is the in-memory API server.
+type Server struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	nodes   map[string]*api.Node
+	pods    map[string]*api.Pod
+	pending []string // pod names in FCFS submission order (§IV)
+	nextUID int64
+
+	subs   map[int]func(WatchEvent)
+	nextID int
+
+	events []api.Event
+}
+
+// New creates an empty API server.
+func New(clk clock.Clock) *Server {
+	return &Server{
+		clk:   clk,
+		nodes: make(map[string]*api.Node),
+		pods:  make(map[string]*api.Pod),
+		subs:  make(map[int]func(WatchEvent)),
+	}
+}
+
+// Subscribe registers a synchronous watch callback and returns an
+// unsubscribe function. Callbacks run on the goroutine performing the
+// mutation, after the server lock is released, preserving deterministic
+// ordering under the simulation clock.
+func (s *Server) Subscribe(fn func(WatchEvent)) (unsubscribe func()) {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = fn
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.subs, id)
+		s.mu.Unlock()
+	}
+}
+
+// notify snapshots subscribers under the lock, then invokes them without
+// it.
+func (s *Server) notify(ev WatchEvent) {
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.subs))
+	for id := range s.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fns := make([]func(WatchEvent), 0, len(ids))
+	for _, id := range ids {
+		fns = append(fns, s.subs[id])
+	}
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// recordEvent appends to the capped event log. Caller must hold s.mu.
+func (s *Server) recordEvent(object, reason, message string) {
+	if len(s.events) >= maxEvents {
+		copy(s.events, s.events[len(s.events)-maxEvents/2:])
+		s.events = s.events[:maxEvents/2]
+	}
+	s.events = append(s.events, api.Event{
+		Time:    s.clk.Now(),
+		Object:  object,
+		Reason:  reason,
+		Message: message,
+	})
+}
+
+// Events returns a copy of the retained event log.
+func (s *Server) Events() []api.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]api.Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// RegisterNode adds a node to the cluster.
+func (s *Server) RegisterNode(n *api.Node) error {
+	s.mu.Lock()
+	if _, ok := s.nodes[n.Name]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: node %s", ErrAlreadyExists, n.Name)
+	}
+	stored := n.Clone()
+	s.nodes[n.Name] = stored
+	s.recordEvent("node/"+n.Name, "Registered", stored.Allocatable.String())
+	ev := WatchEvent{Type: NodeRegistered, Node: stored.Clone()}
+	s.mu.Unlock()
+	s.notify(ev)
+	return nil
+}
+
+// UpdateNode replaces a node's stored state (e.g. when the device plugin
+// extends its allocatable resources, §V-A).
+func (s *Server) UpdateNode(n *api.Node) error {
+	s.mu.Lock()
+	if _, ok := s.nodes[n.Name]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: node %s", ErrNotFound, n.Name)
+	}
+	stored := n.Clone()
+	s.nodes[n.Name] = stored
+	s.recordEvent("node/"+n.Name, "Updated", stored.Allocatable.String())
+	ev := WatchEvent{Type: NodeUpdated, Node: stored.Clone()}
+	s.mu.Unlock()
+	s.notify(ev)
+	return nil
+}
+
+// GetNode returns a copy of the named node.
+func (s *Server) GetNode(name string) (*api.Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %s", ErrNotFound, name)
+	}
+	return n.Clone(), nil
+}
+
+// ListNodes returns copies of all nodes, sorted by name for deterministic
+// iteration (the binpack policy relies on a consistent node order, §IV).
+func (s *Server) ListNodes() []*api.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.nodes))
+	for name := range s.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*api.Node, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.nodes[name].Clone())
+	}
+	return out
+}
+
+// CreatePod submits a pod: it is stamped, assigned a UID if absent, marked
+// Pending and appended to the FCFS queue (§IV step Ë).
+func (s *Server) CreatePod(p *api.Pod) error {
+	s.mu.Lock()
+	if _, ok := s.pods[p.Name]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pod %s", ErrAlreadyExists, p.Name)
+	}
+	stored := p.Clone()
+	if stored.UID == "" {
+		s.nextUID++
+		stored.UID = fmt.Sprintf("uid-%06d", s.nextUID)
+	}
+	stored.Status.Phase = api.PodPending
+	stored.Status.SubmittedAt = s.clk.Now()
+	s.pods[stored.Name] = stored
+	s.pending = append(s.pending, stored.Name)
+	s.recordEvent("pod/"+stored.Name, "Created", "queued as pending")
+	ev := WatchEvent{Type: PodCreated, Pod: stored.Clone()}
+	s.mu.Unlock()
+	s.notify(ev)
+	return nil
+}
+
+// GetPod returns a copy of the named pod.
+func (s *Server) GetPod(name string) (*api.Pod, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pods[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: pod %s", ErrNotFound, name)
+	}
+	return p.Clone(), nil
+}
+
+// ListPods returns copies of all pods matching the filter (nil matches
+// everything), sorted by name.
+func (s *Server) ListPods(filter func(*api.Pod) bool) []*api.Pod {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.pods))
+	for name, p := range s.pods {
+		if filter == nil || filter(p) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]*api.Pod, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.pods[name].Clone())
+	}
+	return out
+}
+
+// PendingPods returns the queued pods for the given scheduler in FCFS
+// submission order (§IV: "the orchestrator keeps a persistent queue of
+// pending jobs ... applying a first-come first-served priority"). An empty
+// schedulerName matches every pod.
+func (s *Server) PendingPods(schedulerName string) []*api.Pod {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*api.Pod, 0, len(s.pending))
+	for _, name := range s.pending {
+		p, ok := s.pods[name]
+		if !ok {
+			continue
+		}
+		if schedulerName != "" && p.Spec.SchedulerName != schedulerName {
+			continue
+		}
+		out = append(out, p.Clone())
+	}
+	return out
+}
+
+// PendingCount returns the number of queued pods across all schedulers.
+func (s *Server) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Bind assigns a pending pod to a node (§IV step Í: "the scheduler
+// communicates the computed job-node assignments to the orchestrator").
+// The pod leaves the pending queue; kubelets learn about it via PodBound.
+func (s *Server) Bind(podName, nodeName string) error {
+	s.mu.Lock()
+	p, ok := s.pods[podName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pod %s", ErrNotFound, podName)
+	}
+	if _, ok := s.nodes[nodeName]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: node %s", ErrNotFound, nodeName)
+	}
+	if p.Spec.NodeName != "" {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pod %s already bound to %s", ErrConflict, podName, p.Spec.NodeName)
+	}
+	if p.Status.Phase != api.PodPending {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pod %s in phase %s", ErrConflict, podName, p.Status.Phase)
+	}
+	p.Spec.NodeName = nodeName
+	p.Status.ScheduledAt = s.clk.Now()
+	s.removePending(podName)
+	s.recordEvent("pod/"+podName, "Bound", "assigned to node "+nodeName)
+	ev := WatchEvent{Type: PodBound, Pod: p.Clone()}
+	s.mu.Unlock()
+	s.notify(ev)
+	return nil
+}
+
+// removePending drops a pod from the FCFS queue. Caller must hold s.mu.
+func (s *Server) removePending(podName string) {
+	for i, name := range s.pending {
+		if name == podName {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// MarkRunning transitions a bound pod to Running, stamping StartedAt.
+func (s *Server) MarkRunning(podName string) error {
+	return s.transition(podName, api.PodRunning, "Started", "")
+}
+
+// MarkSucceeded transitions a pod to Succeeded, stamping FinishedAt.
+func (s *Server) MarkSucceeded(podName string) error {
+	return s.transition(podName, api.PodSucceeded, "Completed", "")
+}
+
+// MarkFailed transitions a pod to Failed with a reason, stamping
+// FinishedAt. Pods killed by EPC limit enforcement land here (§VI-F:
+// "these jobs are immediately killed after launch").
+func (s *Server) MarkFailed(podName, reason string) error {
+	return s.transition(podName, api.PodFailed, "Failed", reason)
+}
+
+func (s *Server) transition(podName string, phase api.PodPhase, event, reason string) error {
+	s.mu.Lock()
+	p, ok := s.pods[podName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pod %s", ErrNotFound, podName)
+	}
+	if p.IsTerminal() {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pod %s already terminal (%s)", ErrConflict, podName, p.Status.Phase)
+	}
+	now := s.clk.Now()
+	switch phase {
+	case api.PodRunning:
+		if p.Spec.NodeName == "" {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: pod %s running without binding", ErrConflict, podName)
+		}
+		p.Status.StartedAt = now
+	case api.PodSucceeded, api.PodFailed:
+		p.Status.FinishedAt = now
+		// A pod failed before start (e.g. admission denial) still leaves
+		// the queue.
+		s.removePending(podName)
+	}
+	p.Status.Phase = phase
+	p.Status.Reason = reason
+	s.recordEvent("pod/"+podName, event, reason)
+	ev := WatchEvent{Type: PodUpdated, Pod: p.Clone()}
+	s.mu.Unlock()
+	s.notify(ev)
+	return nil
+}
+
+// Evict forcibly terminates a pod (Failed with an eviction reason),
+// whether it is still queued or already running. Kubelets react to the
+// update by killing the workload and releasing its resources.
+func (s *Server) Evict(podName, reason string) error {
+	if reason == "" {
+		reason = "Evicted"
+	} else {
+		reason = "Evicted: " + reason
+	}
+	return s.transition(podName, api.PodFailed, "Evicted", reason)
+}
+
+// AllTerminal reports whether every pod has reached a terminal phase —
+// the completion condition for trace replays.
+func (s *Server) AllTerminal() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.pods {
+		if !p.IsTerminal() {
+			return false
+		}
+	}
+	return true
+}

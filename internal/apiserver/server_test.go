@@ -1,0 +1,327 @@
+package apiserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+func testNode(name string, sgx bool) *api.Node {
+	alloc := resource.List{resource.Memory: 64 * resource.GiB, resource.CPU: 8000}
+	if sgx {
+		alloc[resource.EPCPages] = 23936
+	}
+	return &api.Node{Name: name, Capacity: alloc.Clone(), Allocatable: alloc, Ready: true}
+}
+
+func testPod(name string) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{
+			SchedulerName: "sgx-binpack",
+			Containers: []api.Container{{
+				Name:      "main",
+				Resources: api.Requirements{Requests: resource.List{resource.Memory: resource.GiB}},
+				Workload:  api.WorkloadSpec{Kind: api.WorkloadSleep, Duration: time.Minute},
+			}},
+		},
+	}
+}
+
+func TestNodeRegistry(t *testing.T) {
+	s := New(clock.NewSim())
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterNode(testNode("n1", false)); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("duplicate register err = %v", err)
+	}
+	if _, err := s.GetNode("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing node err = %v", err)
+	}
+	n, err := s.GetNode("n1")
+	if err != nil || n.Name != "n1" {
+		t.Fatalf("GetNode = %v, %v", n, err)
+	}
+	// Mutating the returned copy must not affect the stored node.
+	n.Allocatable[resource.Memory] = 1
+	n2, _ := s.GetNode("n1")
+	if n2.Allocatable[resource.Memory] != 64*resource.GiB {
+		t.Fatal("GetNode returned aliased state")
+	}
+}
+
+func TestListNodesSorted(t *testing.T) {
+	s := New(clock.NewSim())
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := s.RegisterNode(testNode(name, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes := s.ListNodes()
+	if len(nodes) != 3 || nodes[0].Name != "alpha" || nodes[1].Name != "mid" || nodes[2].Name != "zeta" {
+		t.Fatalf("ListNodes order wrong: %v", nodes)
+	}
+}
+
+func TestUpdateNode(t *testing.T) {
+	s := New(clock.NewSim())
+	if err := s.UpdateNode(testNode("n1", false)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing err = %v", err)
+	}
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	upd := testNode("n1", true)
+	if err := s.UpdateNode(upd); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := s.GetNode("n1")
+	if !n.HasSGX() {
+		t.Fatal("update did not persist EPC allocatable")
+	}
+}
+
+func TestCreatePodQueuesFCFS(t *testing.T) {
+	clk := clock.NewSim()
+	s := New(clk)
+	for i := 0; i < 5; i++ {
+		clk.Advance(time.Second)
+		if err := s.CreatePod(testPod(fmt.Sprintf("pod-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CreatePod(testPod("pod-0")); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("duplicate pod err = %v", err)
+	}
+	pending := s.PendingPods("sgx-binpack")
+	if len(pending) != 5 {
+		t.Fatalf("pending = %d, want 5", len(pending))
+	}
+	for i, p := range pending {
+		if p.Name != fmt.Sprintf("pod-%d", i) {
+			t.Fatalf("FCFS order violated: %v at %d", p.Name, i)
+		}
+		if p.Status.Phase != api.PodPending {
+			t.Fatalf("phase = %s", p.Status.Phase)
+		}
+		if p.Status.SubmittedAt.IsZero() {
+			t.Fatal("SubmittedAt not stamped")
+		}
+		if p.UID == "" {
+			t.Fatal("UID not assigned")
+		}
+	}
+	// Scheduler filtering.
+	if got := s.PendingPods("other"); len(got) != 0 {
+		t.Fatalf("foreign scheduler sees %d pods", len(got))
+	}
+	if got := s.PendingPods(""); len(got) != 5 {
+		t.Fatalf("wildcard scheduler sees %d pods", len(got))
+	}
+}
+
+func TestBindLifecycle(t *testing.T) {
+	clk := clock.NewSim()
+	s := New(clk)
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreatePod(testPod("p1")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Bind("ghost", "n1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("bind missing pod err = %v", err)
+	}
+	if err := s.Bind("p1", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("bind missing node err = %v", err)
+	}
+
+	clk.Advance(10 * time.Second)
+	if err := s.Bind("p1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("p1", "n1"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("double bind err = %v", err)
+	}
+	if got := s.PendingCount(); got != 0 {
+		t.Fatalf("pending after bind = %d", got)
+	}
+
+	clk.Advance(5 * time.Second)
+	if err := s.MarkRunning("p1"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.GetPod("p1")
+	w, ok := p.WaitingTime()
+	if !ok || w != 15*time.Second {
+		t.Fatalf("WaitingTime = %v, %v; want 15s", w, ok)
+	}
+
+	clk.Advance(time.Minute)
+	if err := s.MarkSucceeded("p1"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = s.GetPod("p1")
+	tt, _ := p.TurnaroundTime()
+	if tt != 75*time.Second {
+		t.Fatalf("Turnaround = %v, want 75s", tt)
+	}
+	if err := s.MarkSucceeded("p1"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("double terminal err = %v", err)
+	}
+	if !s.AllTerminal() {
+		t.Fatal("AllTerminal = false")
+	}
+}
+
+func TestMarkRunningRequiresBinding(t *testing.T) {
+	s := New(clock.NewSim())
+	if err := s.CreatePod(testPod("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("p1"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("running unbound pod err = %v", err)
+	}
+}
+
+func TestFailBeforeBindingLeavesQueue(t *testing.T) {
+	s := New(clock.NewSim())
+	if err := s.CreatePod(testPod("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkFailed("p1", "admission denied"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PendingCount(); got != 0 {
+		t.Fatalf("failed pod still pending: %d", got)
+	}
+	p, _ := s.GetPod("p1")
+	if p.Status.Phase != api.PodFailed || p.Status.Reason != "admission denied" {
+		t.Fatalf("status = %+v", p.Status)
+	}
+}
+
+func TestWatchNotifications(t *testing.T) {
+	s := New(clock.NewSim())
+	var got []WatchEventType
+	unsub := s.Subscribe(func(ev WatchEvent) { got = append(got, ev.Type) })
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreatePod(testPod("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("p1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("p1"); err != nil {
+		t.Fatal(err)
+	}
+	want := []WatchEventType{NodeRegistered, PodCreated, PodBound, PodUpdated}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+	unsub()
+	if err := s.MarkSucceeded("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatal("unsubscribed watcher still notified")
+	}
+}
+
+func TestEventsLog(t *testing.T) {
+	s := New(clock.NewSim())
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	evs := s.Events()
+	if len(evs) != 1 || evs[0].Reason != "Registered" {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestListPodsFilter(t *testing.T) {
+	s := New(clock.NewSim())
+	for i := 0; i < 4; i++ {
+		p := testPod(fmt.Sprintf("p%d", i))
+		if i%2 == 0 {
+			p.Spec.Containers[0].Resources.Requests[resource.EPCPages] = 10
+		}
+		if err := s.CreatePod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sgxPods := s.ListPods(func(p *api.Pod) bool { return p.IsSGX() })
+	if len(sgxPods) != 2 {
+		t.Fatalf("sgx pods = %d, want 2", len(sgxPods))
+	}
+	all := s.ListPods(nil)
+	if len(all) != 4 {
+		t.Fatalf("all pods = %d, want 4", len(all))
+	}
+}
+
+// TestConcurrentAccess exercises the server's locking under parallel
+// creates, binds and reads (meaningful under -race).
+func TestConcurrentAccess(t *testing.T) {
+	clk := clock.NewSim()
+	s := New(clk)
+	if err := s.RegisterNode(testNode("n1", true)); err != nil {
+		t.Fatal(err)
+	}
+	unsub := s.Subscribe(func(WatchEvent) {})
+	defer unsub()
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("pod-%d-%d", w, i)
+				if err := s.CreatePod(testPod(name)); err != nil {
+					t.Errorf("create %s: %v", name, err)
+					return
+				}
+				if err := s.Bind(name, "n1"); err != nil {
+					t.Errorf("bind %s: %v", name, err)
+					return
+				}
+				if err := s.MarkRunning(name); err != nil {
+					t.Errorf("run %s: %v", name, err)
+					return
+				}
+				if err := s.MarkSucceeded(name); err != nil {
+					t.Errorf("finish %s: %v", name, err)
+					return
+				}
+				s.ListNodes()
+				s.PendingPods("")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(s.ListPods(nil)); got != workers*perWorker {
+		t.Fatalf("pods = %d, want %d", got, workers*perWorker)
+	}
+	if !s.AllTerminal() {
+		t.Fatal("not all pods terminal")
+	}
+}

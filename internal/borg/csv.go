@@ -1,0 +1,113 @@
+package borg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV schema: a flattened subset of the Borg task_events table (Reiss et
+// al., "Google cluster-usage traces: format + schema") carrying exactly
+// the four fields the paper extracts per job (§VI-B), keyed by job ID:
+//
+//	job_id, submit_us, duration_us, assigned_mem_frac, max_mem_frac
+//
+// Timestamps are microseconds since trace start, as in the original
+// trace; memory is normalised to the largest machine, as in the original
+// trace.
+var csvHeader = []string{"job_id", "submit_us", "duration_us", "assigned_mem_frac", "max_mem_frac"}
+
+// WriteCSV encodes the trace.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("borg: writing header: %w", err)
+	}
+	for _, j := range t.Jobs {
+		rec := []string{
+			strconv.FormatInt(j.ID, 10),
+			strconv.FormatInt(j.Submit.Microseconds(), 10),
+			strconv.FormatInt(j.Duration.Microseconds(), 10),
+			strconv.FormatFloat(j.AssignedMemFrac, 'g', 17, 64),
+			strconv.FormatFloat(j.MaxMemFrac, 'g', 17, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("borg: writing job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("borg: reading header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("borg: bad header column %d: %q (want %q)", i, header[i], want)
+		}
+	}
+	tr := &Trace{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("borg: line %d: %w", line, err)
+		}
+		j, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("borg: line %d: %w", line, err)
+		}
+		tr.Jobs = append(tr.Jobs, j)
+		if end := j.Submit + j.Duration; end > tr.Horizon {
+			tr.Horizon = end
+		}
+	}
+	tr.sortBySubmit()
+	return tr, nil
+}
+
+func parseRecord(rec []string) (Job, error) {
+	id, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return Job{}, fmt.Errorf("job_id: %w", err)
+	}
+	submitUS, err := strconv.ParseInt(rec[1], 10, 64)
+	if err != nil {
+		return Job{}, fmt.Errorf("submit_us: %w", err)
+	}
+	durUS, err := strconv.ParseInt(rec[2], 10, 64)
+	if err != nil {
+		return Job{}, fmt.Errorf("duration_us: %w", err)
+	}
+	assigned, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil {
+		return Job{}, fmt.Errorf("assigned_mem_frac: %w", err)
+	}
+	maxFrac, err := strconv.ParseFloat(rec[4], 64)
+	if err != nil {
+		return Job{}, fmt.Errorf("max_mem_frac: %w", err)
+	}
+	if submitUS < 0 || durUS < 0 {
+		return Job{}, fmt.Errorf("negative time fields (submit %d, duration %d)", submitUS, durUS)
+	}
+	if assigned < 0 || assigned > 1 || maxFrac < 0 || maxFrac > 1 {
+		return Job{}, fmt.Errorf("memory fraction out of [0,1]: assigned %g, max %g", assigned, maxFrac)
+	}
+	return Job{
+		ID:              id,
+		Submit:          time.Duration(submitUS) * time.Microsecond,
+		Duration:        time.Duration(durUS) * time.Microsecond,
+		AssignedMemFrac: assigned,
+		MaxMemFrac:      maxFrac,
+	}, nil
+}

@@ -1,0 +1,220 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// SimEpoch is the default start instant of a simulation. Using a fixed
+// epoch keeps experiment output deterministic and diffable.
+var SimEpoch = time.Date(2011, time.May, 1, 0, 0, 0, 0, time.UTC)
+
+// Sim is a deterministic discrete-event simulation clock.
+//
+// Components schedule work with AfterFunc; a single driver goroutine calls
+// Step, Run or RunUntil to pop events in timestamp order and execute their
+// callbacks synchronously. Virtual time jumps instantaneously between
+// events, so replaying the paper's 1-hour Borg trace slice (§VI-B) takes
+// milliseconds.
+//
+// Events that share a timestamp fire in scheduling order (FIFO), which
+// keeps runs reproducible bit-for-bit.
+type Sim struct {
+	mu  sync.Mutex
+	now time.Time
+	pq  eventQueue
+	seq uint64
+}
+
+// NewSim returns a simulation clock starting at SimEpoch.
+func NewSim() *Sim { return NewSimAt(SimEpoch) }
+
+// NewSimAt returns a simulation clock starting at the given instant.
+func NewSimAt(start time.Time) *Sim { return &Sim{now: start} }
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Sleep implements Clock. It blocks the calling goroutine until virtual
+// time advances past d; a different goroutine must drive the simulation.
+func (s *Sim) Sleep(d time.Duration) { <-s.After(d) }
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.AfterFunc(d, func() { ch <- s.Now() })
+	return ch
+}
+
+// AfterFunc implements Clock. Callbacks run synchronously on the driver
+// goroutine in timestamp order.
+func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := &event{at: s.now.Add(d), seq: s.seq, fn: f, clock: s}
+	s.seq++
+	heap.Push(&s.pq, ev)
+	return ev
+}
+
+// Len reports the number of pending events.
+func (s *Sim) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pq.Len()
+}
+
+// Step pops the earliest pending event, advances virtual time to it and
+// runs its callback. It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	s.mu.Lock()
+	ev := s.popRunnable()
+	if ev == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.now = ev.at
+	s.mu.Unlock()
+	ev.fn()
+	return true
+}
+
+// popRunnable discards cancelled events and returns the next live one.
+// Caller must hold s.mu.
+func (s *Sim) popRunnable() *event {
+	for s.pq.Len() > 0 {
+		ev := heap.Pop(&s.pq).(*event)
+		if !ev.stopped {
+			return ev
+		}
+	}
+	return nil
+}
+
+// Advance runs every event scheduled within the next d of virtual time,
+// then sets the clock to exactly now+d.
+func (s *Sim) Advance(d time.Duration) {
+	s.RunUntil(s.Now().Add(d))
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event lies after deadline; the clock finishes at deadline (or later if
+// it had already passed it).
+func (s *Sim) RunUntil(deadline time.Time) {
+	for {
+		s.mu.Lock()
+		ev := s.popRunnable()
+		if ev == nil {
+			if s.now.Before(deadline) {
+				s.now = deadline
+			}
+			s.mu.Unlock()
+			return
+		}
+		if ev.at.After(deadline) {
+			// Not due yet: put it back and finish.
+			heap.Push(&s.pq, ev)
+			if s.now.Before(deadline) {
+				s.now = deadline
+			}
+			s.mu.Unlock()
+			return
+		}
+		s.now = ev.at
+		s.mu.Unlock()
+		ev.fn()
+	}
+}
+
+// Run executes events until done returns true, the event queue drains, or
+// virtual time passes horizon. It reports whether done became true.
+//
+// Periodic tasks reschedule themselves forever, so experiments always pass
+// a done predicate (e.g. "all pods terminal") plus a safety horizon.
+func (s *Sim) Run(done func() bool, horizon time.Time) bool {
+	for {
+		if done != nil && done() {
+			return true
+		}
+		s.mu.Lock()
+		ev := s.popRunnable()
+		if ev == nil {
+			s.mu.Unlock()
+			return done != nil && done()
+		}
+		if ev.at.After(horizon) {
+			heap.Push(&s.pq, ev)
+			s.mu.Unlock()
+			return false
+		}
+		s.now = ev.at
+		s.mu.Unlock()
+		ev.fn()
+	}
+}
+
+type event struct {
+	at      time.Time
+	seq     uint64
+	fn      func()
+	index   int
+	stopped bool
+	clock   *Sim
+}
+
+// Stop implements Timer.
+func (e *event) Stop() bool {
+	e.clock.mu.Lock()
+	defer e.clock.mu.Unlock()
+	if e.stopped {
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+var _ Clock = (*Sim)(nil)

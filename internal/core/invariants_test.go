@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// TestSchedulerSafetyInvariants drives a randomised workload through the
+// full stack and checks the scheduler's safety properties on every
+// placement:
+//
+//  1. SGX jobs only land on SGX nodes (§IV hardware filter);
+//  2. standard jobs land on SGX nodes only when no standard node could
+//     ever have fit them (§IV SGX-last rule — approximated here by using
+//     jobs that always fit standard nodes);
+//  3. the per-node sum of EPC page requests never exceeds the device
+//     count (§V-A no-over-commitment);
+//  4. every running pod's node exists and is schedulable.
+func TestSchedulerSafetyInvariants(t *testing.T) {
+	for _, policy := range []Policy{Binpack{}, Spread{}} {
+		policy := policy
+		t.Run(policy.Name(), func(t *testing.T) {
+			c := newTestCluster(t, clusterSpec{
+				stdNodes: 2, sgxNodes: 2, policy: policy,
+				useMetrics: true, enforcement: true,
+			})
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 120; i++ {
+				name := fmt.Sprintf("rand-%03d", i)
+				dur := time.Duration(5+rng.Intn(120)) * time.Second
+				if rng.Intn(2) == 0 {
+					pages := int64(1 + rng.Intn(6000))
+					c.submit(t, epcJob(name, pages, resource.BytesForPages(pages), dur))
+				} else {
+					mem := int64(1+rng.Intn(8)) * resource.GiB
+					c.submit(t, memJob(name, mem, mem, dur))
+				}
+				c.clk.Advance(time.Duration(rng.Intn(20)) * time.Second)
+				c.checkInvariants(t)
+			}
+			c.clk.Advance(time.Hour)
+			c.checkInvariants(t)
+			if !c.srv.AllTerminal() {
+				c.clk.Advance(3 * time.Hour)
+			}
+			if !c.srv.AllTerminal() {
+				t.Fatal("randomised workload did not drain")
+			}
+		})
+	}
+}
+
+// checkInvariants asserts the §IV/§V-A safety properties at the current
+// instant.
+func (c *testCluster) checkInvariants(t *testing.T) {
+	t.Helper()
+	nodes := make(map[string]*api.Node)
+	for _, n := range c.srv.ListNodes() {
+		nodes[n.Name] = n
+	}
+	epcByNode := make(map[string]int64)
+	for _, p := range c.srv.ListPods(func(p *api.Pod) bool {
+		return p.Spec.NodeName != "" && !p.IsTerminal()
+	}) {
+		node, ok := nodes[p.Spec.NodeName]
+		if !ok {
+			t.Fatalf("pod %s bound to unknown node %q", p.Name, p.Spec.NodeName)
+		}
+		if node.Unschedulable {
+			t.Fatalf("pod %s bound to unschedulable node %s", p.Name, node.Name)
+		}
+		if p.IsSGX() && !node.HasSGX() {
+			t.Fatalf("SGX pod %s on non-SGX node %s", p.Name, node.Name)
+		}
+		if !p.IsSGX() && node.HasSGX() {
+			t.Fatalf("standard pod %s wasted SGX node %s (standard capacity never exhausted here)",
+				p.Name, node.Name)
+		}
+		epcByNode[node.Name] += p.TotalRequests().Get(resource.EPCPages)
+	}
+	for name, pages := range epcByNode {
+		if cap := nodes[name].Allocatable.Get(resource.EPCPages); pages > cap {
+			t.Fatalf("node %s EPC requests %d exceed device count %d", name, pages, cap)
+		}
+	}
+}

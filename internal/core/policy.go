@@ -1,0 +1,162 @@
+package core
+
+import (
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/stats"
+)
+
+// Policy selects a node for a pod among the feasible candidates of one
+// scheduling pass. Candidates are pre-filtered by the §IV hardware and
+// saturation checks and arrive sorted by node name.
+type Policy interface {
+	Name() string
+	// Select returns the chosen node name, or false when the policy
+	// declines every candidate.
+	Select(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool)
+}
+
+// preferNonSGX restricts candidates to non-SGX nodes when possible for
+// standard pods: both policies "only resort to SGX-enabled nodes for
+// non-SGX jobs when no other choice is possible to execute the job" (§IV).
+func preferNonSGX(pod *api.Pod, candidates []*NodeView) []*NodeView {
+	if pod.IsSGX() {
+		return candidates
+	}
+	nonSGX := make([]*NodeView, 0, len(candidates))
+	for _, c := range candidates {
+		if !c.SGX {
+			nonSGX = append(nonSGX, c)
+		}
+	}
+	if len(nonSGX) > 0 {
+		return nonSGX
+	}
+	return candidates
+}
+
+// Binpack implements the §IV binpack strategy: "the scheduler always tries
+// to fit as many jobs as possible on the same node. As soon as its
+// resources become insufficient, the scheduler advances to the next node
+// in the pool." Node order is the consistent by-name order, with SGX
+// nodes sorted last for standard jobs to preserve their EPC.
+type Binpack struct{}
+
+// Name implements Policy.
+func (Binpack) Name() string { return "binpack" }
+
+// Select implements Policy: first feasible node in the fixed order.
+func (Binpack) Select(pod *api.Pod, candidates []*NodeView, _ *ClusterView) (string, bool) {
+	if len(candidates) == 0 {
+		return "", false
+	}
+	ordered := make([]*NodeView, 0, len(candidates))
+	if pod.IsSGX() {
+		ordered = append(ordered, candidates...)
+	} else {
+		// Standard jobs: non-SGX nodes first (in name order), SGX nodes
+		// at the end of the list (§IV).
+		for _, c := range candidates {
+			if !c.SGX {
+				ordered = append(ordered, c)
+			}
+		}
+		for _, c := range candidates {
+			if c.SGX {
+				ordered = append(ordered, c)
+			}
+		}
+	}
+	return ordered[0].Name, true
+}
+
+// Spread implements the §IV spread strategy: "the main goal of the spread
+// strategy is to even out the load across all nodes. It works by choosing
+// job-node combinations that yield the smallest standard deviation of
+// load across the nodes."
+type Spread struct{}
+
+// Name implements Policy.
+func (Spread) Name() string { return "spread" }
+
+// Select implements Policy: hypothetically place the pod on each
+// candidate and keep the placement minimising the population standard
+// deviation of load. Load is measured on the pod's contended resource —
+// EPC fraction across SGX nodes for SGX jobs, memory fraction across all
+// nodes otherwise. Ties break on node-name order, keeping runs
+// deterministic.
+func (Spread) Select(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool) {
+	candidates = preferNonSGX(pod, candidates)
+	if len(candidates) == 0 {
+		return "", false
+	}
+	res := resource.Memory
+	if pod.IsSGX() {
+		res = resource.EPCPages
+	}
+	req := pod.TotalRequests()
+
+	best := ""
+	bestDev := 0.0
+	for _, cand := range candidates {
+		dev := hypotheticalStdDev(view, cand.Name, res, req.Get(res))
+		if best == "" || dev < bestDev {
+			best = cand.Name
+			bestDev = dev
+		}
+	}
+	return best, true
+}
+
+// hypotheticalStdDev computes the load stddev across the nodes holding
+// the resource, with extra added onto target.
+func hypotheticalStdDev(view *ClusterView, target string, res resource.Name, extra int64) float64 {
+	loads := make([]float64, 0, len(view.Nodes))
+	for _, n := range view.Nodes {
+		if n.Allocatable.Get(res) <= 0 {
+			continue
+		}
+		used := n.Used.Get(res)
+		if n.Name == target {
+			used += extra
+		}
+		loads = append(loads, float64(used)/float64(n.Allocatable.Get(res)))
+	}
+	return stats.PopStdDev(loads)
+}
+
+// LeastRequested mirrors the request-only scoring of Kubernetes' default
+// scheduler (§V-B deploys it side by side with the SGX-aware one). It is
+// the baseline for the ablation benchmarks: no SGX-last ordering and no
+// usage metrics, so it demonstrates what SGX-awareness buys.
+type LeastRequested struct{}
+
+// Name implements Policy.
+func (LeastRequested) Name() string { return "least-requested" }
+
+// Select implements Policy: pick the feasible node with the most free
+// memory fraction after placement (ties by name order).
+func (LeastRequested) Select(pod *api.Pod, candidates []*NodeView, _ *ClusterView) (string, bool) {
+	if len(candidates) == 0 {
+		return "", false
+	}
+	req := pod.TotalRequests()
+	best := ""
+	bestScore := -1.0
+	for _, c := range candidates {
+		capMem := c.Allocatable.Get(resource.Memory)
+		if capMem <= 0 {
+			continue
+		}
+		free := capMem - c.Used.Get(resource.Memory) - req.Get(resource.Memory)
+		score := float64(free) / float64(capMem)
+		if score > bestScore {
+			best = c.Name
+			bestScore = score
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return best, true
+}

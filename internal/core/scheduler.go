@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/influxql"
+	"github.com/sgxorch/sgxorch/internal/monitor"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// Defaults for the scheduling loop.
+const (
+	// DefaultInterval is the period of the scheduling pass; "the
+	// scheduler periodically checks for the possibility to schedule"
+	// queued jobs (§IV).
+	DefaultInterval = 5 * time.Second
+	// DefaultWindow is the sliding metric window of Listing 1 (25 s).
+	DefaultWindow = 25 * time.Second
+)
+
+// perPodEPCQuery and perPodMemQuery are the inner query of Listing 1 and
+// its Heapster twin: per-(pod, node) peak usage over the sliding window.
+// The per-node totals of Listing 1 are the GROUP BY nodename sum of these
+// rows, which the scheduler folds together with request data per §IV.
+const (
+	perPodEPCQuery = `SELECT MAX(value) AS epc FROM "sgx/epc" WHERE value <> 0 AND time >= now() - 25s GROUP BY pod_name, nodename`
+	perPodMemQuery = `SELECT MAX(value) AS mem FROM "memory/usage" WHERE value <> 0 AND time >= now() - 25s GROUP BY pod_name, nodename`
+)
+
+// Config parameterises a Scheduler.
+type Config struct {
+	// Name is the scheduler identity pods select via
+	// Spec.SchedulerName — multiple schedulers can serve one cluster
+	// concurrently (§V-B).
+	Name   string
+	Policy Policy
+	// Interval between scheduling passes (DefaultInterval when zero).
+	Interval time.Duration
+	// Window is the sliding metric window (DefaultWindow when zero).
+	Window time.Duration
+	// MetricsLag is how long after a pod starts the scheduler keeps
+	// charging max(measured, requested) before trusting measurements
+	// alone; defaults to Window.
+	MetricsLag time.Duration
+	// UseMetrics enables usage-aware scheduling; false reproduces the
+	// request-only accounting of the default Kubernetes scheduler.
+	UseMetrics bool
+}
+
+// Stats counts scheduler activity for tests and benchmarks.
+type Stats struct {
+	Passes        int
+	Bound         int
+	Unschedulable int
+}
+
+// Scheduler is one SGX-aware scheduler instance. It is "packaged as a
+// Kubernetes pod" in the paper (§V-B); here it attaches to the API server
+// and the time-series database directly.
+type Scheduler struct {
+	clk clock.Clock
+	srv *apiserver.Server
+	db  *tsdb.DB
+	cfg Config
+
+	epcQuery *influxql.Query
+	memQuery *influxql.Query
+
+	mu    sync.Mutex
+	stop  func()
+	stats Stats
+}
+
+// New creates a scheduler. The database may be nil when UseMetrics is
+// false.
+func New(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Config) (*Scheduler, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: scheduler name required")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("core: policy required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MetricsLag <= 0 {
+		cfg.MetricsLag = cfg.Window
+	}
+	if cfg.UseMetrics && db == nil {
+		return nil, fmt.Errorf("core: UseMetrics requires a metrics database")
+	}
+	s := &Scheduler{clk: clk, srv: srv, db: db, cfg: cfg}
+
+	var err error
+	if s.epcQuery, err = influxql.Parse(windowed(perPodEPCQuery, cfg.Window)); err != nil {
+		return nil, fmt.Errorf("core: parsing EPC query: %w", err)
+	}
+	if s.memQuery, err = influxql.Parse(windowed(perPodMemQuery, cfg.Window)); err != nil {
+		return nil, fmt.Errorf("core: parsing memory query: %w", err)
+	}
+	return s, nil
+}
+
+// windowed rewrites the default 25 s window when configured differently.
+func windowed(q string, w time.Duration) string {
+	if w == DefaultWindow {
+		return q
+	}
+	return replaceWindow(q, w)
+}
+
+func replaceWindow(q string, w time.Duration) string {
+	// The queries embed exactly one "- 25s" window term.
+	const def = "now() - 25s"
+	out := ""
+	for i := 0; i+len(def) <= len(q); i++ {
+		if q[i:i+len(def)] == def {
+			out = q[:i] + fmt.Sprintf("now() - %ds", int(w.Seconds())) + q[i+len(def):]
+			break
+		}
+	}
+	if out == "" {
+		return q
+	}
+	return out
+}
+
+// Name returns the scheduler identity.
+func (s *Scheduler) Name() string { return s.cfg.Name }
+
+// Stats returns a copy of the activity counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Start launches the periodic scheduling loop.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = clock.Periodic(s.clk, s.cfg.Interval, func() { s.ScheduleOnce() })
+}
+
+// Stop halts the loop.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	stop := s.stop
+	s.stop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// ScheduleOnce runs a single §IV pass: fetch the FCFS pending queue, fetch
+// node state and usage metrics, filter infeasible job-node combinations,
+// place with the policy, and bind. It returns the number of pods bound.
+func (s *Scheduler) ScheduleOnce() int {
+	pending := s.srv.PendingPods(s.cfg.Name)
+	s.mu.Lock()
+	s.stats.Passes++
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return 0
+	}
+
+	view := s.BuildView()
+	bound := 0
+	for _, pod := range pending {
+		req := pod.TotalRequests()
+		candidates := make([]*NodeView, 0, len(view.Nodes))
+		for _, n := range view.Nodes {
+			if n.Fits(req) {
+				candidates = append(candidates, n)
+			}
+		}
+		nodeName, ok := s.cfg.Policy.Select(pod, candidates, view)
+		if !ok {
+			// Not placeable now: the pod stays queued and is retried
+			// next pass, preserving FCFS priority without head-of-line
+			// blocking the rest of the queue.
+			s.mu.Lock()
+			s.stats.Unschedulable++
+			s.mu.Unlock()
+			continue
+		}
+		if err := s.srv.Bind(pod.Name, nodeName); err != nil {
+			// Bind conflicts (e.g. a concurrent scheduler) are skipped;
+			// the next pass re-evaluates.
+			continue
+		}
+		view.Commit(nodeName, req)
+		bound++
+	}
+	s.mu.Lock()
+	s.stats.Bound += bound
+	s.mu.Unlock()
+	return bound
+}
+
+// BuildView snapshots schedulable nodes, charging each with the fused
+// usage of its live pods (measured usage × declared requests per §IV:
+// "it takes their memory allocation requests into account ... At the same
+// time, it fetches accurate, up-to-date metrics about memory usage across
+// all nodes").
+func (s *Scheduler) BuildView() *ClusterView {
+	measuredEPC, measuredMem := s.queryUsage()
+	now := s.clk.Now()
+
+	view := &ClusterView{}
+	nodeByName := make(map[string]*NodeView)
+	for _, n := range s.srv.ListNodes() {
+		if n.Unschedulable || !n.Ready {
+			continue
+		}
+		nv := &NodeView{
+			Name:        n.Name,
+			SGX:         n.HasSGX(),
+			Allocatable: n.Allocatable.Clone(),
+			Used:        resource.List{},
+			FreeDevices: n.Allocatable.Get(resource.EPCPages),
+		}
+		view.Nodes = append(view.Nodes, nv)
+		nodeByName[n.Name] = nv
+	}
+
+	active := s.srv.ListPods(func(p *api.Pod) bool {
+		return p.Spec.NodeName != "" && !p.IsTerminal()
+	})
+	for _, p := range active {
+		nv, ok := nodeByName[p.Spec.NodeName]
+		if !ok {
+			continue
+		}
+		usage := podUsage(p, measuredMem[p.Name], measuredEPC[p.Name],
+			now, s.cfg.MetricsLag, s.cfg.UseMetrics)
+		nv.Used = nv.Used.Add(usage)
+		// Device items are reserved by request for the pod's lifetime.
+		nv.FreeDevices -= p.TotalRequests().Get(resource.EPCPages)
+	}
+	view.sortNodes()
+	return view
+}
+
+// queryUsage runs the sliding-window queries and returns per-pod peak
+// usage in bytes.
+func (s *Scheduler) queryUsage() (epc, mem map[string]float64) {
+	epc = make(map[string]float64)
+	mem = make(map[string]float64)
+	if !s.cfg.UseMetrics {
+		return epc, mem
+	}
+	if res, err := influxql.Run(s.db, s.epcQuery); err == nil {
+		for _, row := range res.Rows {
+			epc[row.Tags[monitor.TagPod]] = row.Value
+		}
+	}
+	if res, err := influxql.Run(s.db, s.memQuery); err == nil {
+		for _, row := range res.Rows {
+			mem[row.Tags[monitor.TagPod]] = row.Value
+		}
+	}
+	return epc, mem
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/isgx"
+	"github.com/sgxorch/sgxorch/internal/kubelet"
+	"github.com/sgxorch/sgxorch/internal/machine"
+	"github.com/sgxorch/sgxorch/internal/monitor"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/sgx"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// testCluster wires a miniature version of the paper's testbed: standard
+// nodes, SGX nodes, kubelets, monitoring and one scheduler.
+type testCluster struct {
+	clk      *clock.Sim
+	srv      *apiserver.Server
+	db       *tsdb.DB
+	sched    *Scheduler
+	kubelets []*kubelet.Kubelet
+}
+
+type clusterSpec struct {
+	stdNodes    int
+	sgxNodes    int
+	policy      Policy
+	useMetrics  bool
+	enforcement bool
+}
+
+func newTestCluster(t *testing.T, spec clusterSpec) *testCluster {
+	t.Helper()
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	db := tsdb.New(clk)
+
+	var kls []*kubelet.Kubelet
+	for i := 0; i < spec.stdNodes; i++ {
+		m := machine.New(fmt.Sprintf("std-%d", i+1), 64*resource.GiB, 8000)
+		kls = append(kls, kubelet.New(clk, srv, m))
+	}
+	for i := 0; i < spec.sgxNodes; i++ {
+		var driverOpts []isgx.Option
+		if !spec.enforcement {
+			driverOpts = append(driverOpts, isgx.WithoutEnforcement())
+		}
+		m := machine.New(fmt.Sprintf("sgx-%d", i+1), 8*resource.GiB, 8000,
+			machine.WithSGX(sgx.DefaultGeometry(), driverOpts...))
+		kls = append(kls, kubelet.New(clk, srv, m))
+	}
+	for _, kl := range kls {
+		if err := kl.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h := monitor.NewHeapster(clk, db, 10*time.Second)
+	for _, kl := range kls {
+		h.AddSource(kl)
+	}
+	h.Start()
+	ds := monitor.DeployProbes(clk, db, kls, 10*time.Second)
+
+	policy := spec.policy
+	if policy == nil {
+		policy = Binpack{}
+	}
+	sched, err := New(clk, srv, db, Config{
+		Name:       "sgx-sched",
+		Policy:     policy,
+		Interval:   5 * time.Second,
+		UseMetrics: spec.useMetrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Start()
+
+	t.Cleanup(func() {
+		sched.Stop()
+		h.Stop()
+		ds.Stop()
+		for _, kl := range kls {
+			kl.Stop()
+		}
+	})
+	return &testCluster{clk: clk, srv: srv, db: db, sched: sched, kubelets: kls}
+}
+
+func (c *testCluster) submit(t *testing.T, pod *api.Pod) {
+	t.Helper()
+	pod.Spec.SchedulerName = "sgx-sched"
+	if err := c.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func epcJob(name string, pages int64, allocBytes int64, dur time.Duration) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{Containers: []api.Container{{
+			Name: "main",
+			Resources: api.Requirements{
+				Requests: resource.List{resource.Memory: 32 * resource.MiB, resource.EPCPages: pages},
+				Limits:   resource.List{resource.EPCPages: pages},
+			},
+			Workload: api.WorkloadSpec{Kind: api.WorkloadStressEPC, Duration: dur, AllocBytes: allocBytes},
+		}}},
+	}
+}
+
+func memJob(name string, reqBytes, allocBytes int64, dur time.Duration) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{Containers: []api.Container{{
+			Name:      "main",
+			Resources: api.Requirements{Requests: resource.List{resource.Memory: reqBytes}},
+			Workload:  api.WorkloadSpec{Kind: api.WorkloadStressVM, Duration: dur, AllocBytes: allocBytes},
+		}}},
+	}
+}
+
+func TestMixedPlacementRespectsHardware(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{stdNodes: 2, sgxNodes: 2, useMetrics: true, enforcement: true})
+	c.submit(t, epcJob("sgx-job", 1000, 3*resource.MiB, 30*time.Second))
+	c.submit(t, memJob("std-job", resource.GiB, resource.GiB, 30*time.Second))
+	c.clk.Advance(10 * time.Second)
+
+	sgxPod, _ := c.srv.GetPod("sgx-job")
+	if sgxPod.Spec.NodeName != "sgx-1" && sgxPod.Spec.NodeName != "sgx-2" {
+		t.Fatalf("SGX job on %q", sgxPod.Spec.NodeName)
+	}
+	stdPod, _ := c.srv.GetPod("std-job")
+	if stdPod.Spec.NodeName != "std-1" && stdPod.Spec.NodeName != "std-2" {
+		t.Fatalf("standard job on %q (must avoid SGX nodes)", stdPod.Spec.NodeName)
+	}
+
+	c.clk.Advance(2 * time.Minute)
+	for _, name := range []string{"sgx-job", "std-job"} {
+		p, _ := c.srv.GetPod(name)
+		if p.Status.Phase != api.PodSucceeded {
+			t.Fatalf("%s phase = %s (%s)", name, p.Status.Phase, p.Status.Reason)
+		}
+	}
+}
+
+func TestEPCSaturationQueuesFCFS(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{sgxNodes: 1, useMetrics: true, enforcement: true})
+	// Each job needs just over half the EPC items: they must serialise.
+	for i := 0; i < 3; i++ {
+		c.submit(t, epcJob(fmt.Sprintf("job-%d", i), 12500, 40*resource.MiB, 30*time.Second))
+		c.clk.Advance(time.Second)
+	}
+	c.clk.Advance(9 * time.Second)
+
+	running := c.srv.ListPods(func(p *api.Pod) bool { return p.Status.Phase == api.PodRunning })
+	if len(running) != 1 || running[0].Name != "job-0" {
+		t.Fatalf("running = %v, want only job-0", podNames(running))
+	}
+
+	c.clk.Advance(5 * time.Minute)
+	if !c.srv.AllTerminal() {
+		t.Fatal("jobs did not all finish")
+	}
+	// FCFS: waiting times must be ordered by submission.
+	var waits []time.Duration
+	for i := 0; i < 3; i++ {
+		p, _ := c.srv.GetPod(fmt.Sprintf("job-%d", i))
+		if p.Status.Phase != api.PodSucceeded {
+			t.Fatalf("%s = %s (%s)", p.Name, p.Status.Phase, p.Status.Reason)
+		}
+		w, _ := p.WaitingTime()
+		waits = append(waits, w)
+	}
+	if !(waits[0] < waits[1] && waits[1] < waits[2]) {
+		t.Fatalf("waits not FCFS-ordered: %v", waits)
+	}
+}
+
+func TestUsageAwareSchedulerPacksMemoryByUsage(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{stdNodes: 1, useMetrics: true, enforcement: true})
+	// Over-declaring job: requests 60 GiB, uses 2 GiB.
+	c.submit(t, memJob("over", 60*resource.GiB, 2*resource.GiB, 10*time.Minute))
+	c.clk.Advance(10 * time.Second)
+	// Second job requests 30 GiB: request-based accounting says 60+30 >
+	// 64 GiB, but measured usage (2 GiB) frees the headroom once the
+	// first pod's metrics mature.
+	c.submit(t, memJob("second", 30*resource.GiB, 20*resource.GiB, 10*time.Minute))
+	c.clk.Advance(60 * time.Second)
+
+	second, _ := c.srv.GetPod("second")
+	if second.Status.Phase != api.PodRunning {
+		t.Fatalf("usage-aware scheduler did not pack second job: %s (%s)",
+			second.Status.Phase, second.Status.Reason)
+	}
+	over, _ := c.srv.GetPod("over")
+	if over.Status.Phase != api.PodRunning {
+		t.Fatalf("first job = %s", over.Status.Phase)
+	}
+}
+
+func TestRequestOnlySchedulerDoesNotPackByUsage(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{stdNodes: 1, useMetrics: false, enforcement: true})
+	c.submit(t, memJob("over", 60*resource.GiB, 2*resource.GiB, 10*time.Minute))
+	c.clk.Advance(10 * time.Second)
+	c.submit(t, memJob("second", 30*resource.GiB, 20*resource.GiB, 10*time.Minute))
+	c.clk.Advance(2 * time.Minute)
+
+	second, _ := c.srv.GetPod("second")
+	if second.Status.Phase != api.PodPending {
+		t.Fatalf("request-only scheduler packed by usage: %s", second.Status.Phase)
+	}
+}
+
+func TestMaliciousUsageThrottlesAdmissions(t *testing.T) {
+	// Enforcement disabled (Fig. 11 "limits disabled"): the malicious
+	// pod's measured EPC blocks honest admissions via the usage-aware
+	// scheduler.
+	c := newTestCluster(t, clusterSpec{sgxNodes: 1, useMetrics: true, enforcement: false})
+	half := int64(11968 * 4096)
+	c.submit(t, epcJob("malicious", 1, half, 10*time.Hour))
+	c.clk.Advance(40 * time.Second) // metrics mature
+
+	c.submit(t, epcJob("honest", 15000, 40*resource.MiB, 30*time.Second))
+	c.clk.Advance(60 * time.Second)
+
+	honest, _ := c.srv.GetPod("honest")
+	if honest.Status.Phase != api.PodPending {
+		t.Fatalf("honest pod = %s, want Pending (blocked by malicious usage)", honest.Status.Phase)
+	}
+	if got := c.sched.Stats().Unschedulable; got == 0 {
+		t.Fatal("scheduler did not record unschedulable attempts")
+	}
+}
+
+func TestEnforcementKillsMaliciousAndFreesHonest(t *testing.T) {
+	// Enforcement enabled (Fig. 11 "limits enabled"): the malicious pod
+	// dies at enclave init, the honest pod proceeds.
+	c := newTestCluster(t, clusterSpec{sgxNodes: 1, useMetrics: true, enforcement: true})
+	half := int64(11968 * 4096)
+	c.submit(t, epcJob("malicious", 1, half, 10*time.Hour))
+	c.clk.Advance(40 * time.Second)
+
+	mal, _ := c.srv.GetPod("malicious")
+	if mal.Status.Phase != api.PodFailed {
+		t.Fatalf("malicious pod = %s, want Failed", mal.Status.Phase)
+	}
+
+	c.submit(t, epcJob("honest", 15000, 40*resource.MiB, 30*time.Second))
+	c.clk.Advance(2 * time.Minute)
+	honest, _ := c.srv.GetPod("honest")
+	if honest.Status.Phase != api.PodSucceeded {
+		t.Fatalf("honest pod = %s (%s)", honest.Status.Phase, honest.Status.Reason)
+	}
+}
+
+func TestMultipleSchedulersCoexist(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	db := tsdb.New(clk)
+	m := machine.New("std-1", 64*resource.GiB, 8000)
+	kl := kubelet.New(clk, srv, m)
+	if err := kl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer kl.Stop()
+
+	mk := func(name string, policy Policy) *Scheduler {
+		s, err := New(clk, srv, db, Config{Name: name, Policy: policy, Interval: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		t.Cleanup(s.Stop)
+		return s
+	}
+	a := mk("sched-a", Binpack{})
+	b := mk("sched-b", Spread{})
+
+	podA := memJob("pod-a", resource.GiB, resource.GiB, 10*time.Second)
+	podA.Spec.SchedulerName = "sched-a"
+	podB := memJob("pod-b", resource.GiB, resource.GiB, 10*time.Second)
+	podB.Spec.SchedulerName = "sched-b"
+	if err := srv.CreatePod(podA); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CreatePod(podB); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Second)
+
+	if got := a.Stats().Bound; got != 1 {
+		t.Fatalf("sched-a bound %d", got)
+	}
+	if got := b.Stats().Bound; got != 1 {
+		t.Fatalf("sched-b bound %d", got)
+	}
+}
+
+func TestSchedulerConfigValidation(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	if _, err := New(clk, srv, nil, Config{Policy: Binpack{}}); err == nil {
+		t.Fatal("missing name accepted")
+	}
+	if _, err := New(clk, srv, nil, Config{Name: "s"}); err == nil {
+		t.Fatal("missing policy accepted")
+	}
+	if _, err := New(clk, srv, nil, Config{Name: "s", Policy: Binpack{}, UseMetrics: true}); err == nil {
+		t.Fatal("UseMetrics without db accepted")
+	}
+	s, err := New(clk, srv, nil, Config{Name: "s", Policy: Binpack{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Interval != DefaultInterval || s.cfg.Window != DefaultWindow || s.cfg.MetricsLag != DefaultWindow {
+		t.Fatalf("defaults not applied: %+v", s.cfg)
+	}
+}
+
+func TestCustomWindowRewritesQueries(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	db := tsdb.New(clk)
+	s, err := New(clk, srv, db, Config{
+		Name: "s", Policy: Binpack{}, UseMetrics: true, Window: 40 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.epcQuery.Source.Sub != nil {
+		t.Fatal("per-pod query should not be nested")
+	}
+	found := false
+	for _, c := range s.epcQuery.Where {
+		if c.IsTime && c.Offset == 40*time.Second {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("window not rewritten: %+v", s.epcQuery.Where)
+	}
+}
+
+func podNames(pods []*api.Pod) []string {
+	out := make([]string, 0, len(pods))
+	for _, p := range pods {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+func TestSchedulerRoutesAroundDrainedNode(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{sgxNodes: 2, useMetrics: true, enforcement: true})
+	// Prime both nodes with one job each so the cluster is warm.
+	c.submit(t, epcJob("warm-0", 1000, 3*resource.MiB, 10*time.Minute))
+	c.submit(t, epcJob("warm-1", 1000, 3*resource.MiB, 10*time.Minute))
+	c.clk.Advance(10 * time.Second)
+
+	// Drain sgx-1: its running pod fails, the node goes NotReady.
+	for _, kl := range c.kubelets {
+		if kl.NodeName() == "sgx-1" {
+			kl.Stop()
+		}
+	}
+	// New jobs must all land on the surviving node.
+	for i := 0; i < 3; i++ {
+		c.submit(t, epcJob(fmt.Sprintf("after-%d", i), 500, resource.MiB, 30*time.Second))
+	}
+	c.clk.Advance(30 * time.Second)
+	for i := 0; i < 3; i++ {
+		p, err := c.srv.GetPod(fmt.Sprintf("after-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Spec.NodeName != "sgx-2" {
+			t.Fatalf("after-%d on %q, want sgx-2 (sgx-1 drained)", i, p.Spec.NodeName)
+		}
+	}
+}

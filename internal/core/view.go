@@ -1,0 +1,130 @@
+// Package core implements the paper's primary contribution: the SGX-aware
+// scheduler (§IV, §V-B). It periodically drains the API server's FCFS
+// pending queue, fuses static resource requests with live usage metrics
+// pulled from the time-series database (the sliding-window queries of
+// Listing 1), filters job-node combinations by hardware compatibility and
+// saturation, and places pods with one of the supported policies:
+// binpack, spread, or the request-only baseline that mirrors Kubernetes'
+// default scheduler.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// NodeView is the scheduler's working snapshot of one node during a pass.
+type NodeView struct {
+	Name string
+	// SGX reports whether the node advertises EPC page resources — the
+	// hardware-compatibility dimension of the §IV filter.
+	SGX         bool
+	Allocatable resource.List
+	// Used is the effective usage estimate: measured usage fused with
+	// requests of freshly placed pods whose allocations are not yet
+	// visible in the 25 s metric window.
+	Used resource.List
+	// FreeDevices is the strict EPC page-item headroom by request
+	// accounting; the device plugin enforces this bound at admission, so
+	// the scheduler must never exceed it (§V-A: no EPC over-commitment).
+	FreeDevices int64
+}
+
+// Free returns the usage-based headroom (floored at zero per resource).
+func (v *NodeView) Free() resource.List {
+	free := v.Allocatable.Sub(v.Used)
+	for k, q := range free {
+		if q < 0 {
+			free[k] = 0
+		}
+	}
+	return free
+}
+
+// Fits reports whether a pod with the given requests passes the §IV
+// filter on this node: hardware compatibility (EPC on non-SGX nodes can
+// never fit), device-item availability, and the saturation check against
+// the usage-based headroom.
+func (v *NodeView) Fits(req resource.List) bool {
+	if pages := req.Get(resource.EPCPages); pages > 0 {
+		if !v.SGX || pages > v.FreeDevices {
+			return false
+		}
+	}
+	return v.Free().Fits(req)
+}
+
+// LoadFraction returns this node's utilisation of the given resource in
+// [0, 1+]; nodes without the resource report 1 when asked about usage of
+// something they cannot hold (they are excluded from spread's stddev by
+// the caller instead).
+func (v *NodeView) LoadFraction(name resource.Name) float64 {
+	return v.Used.FractionOf(name, v.Allocatable)
+}
+
+// ClusterView is the scheduler's snapshot of all schedulable nodes for one
+// pass. Nodes are kept sorted by name: "the order of the nodes stays
+// consistent by always sorting them in the same way" (§IV).
+type ClusterView struct {
+	Nodes []*NodeView
+}
+
+// Node returns the view of the named node, or nil.
+func (c *ClusterView) Node(name string) *NodeView {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Commit records a placement decided in this pass so later decisions in
+// the same pass see the node's reduced headroom.
+func (c *ClusterView) Commit(nodeName string, req resource.List) {
+	n := c.Node(nodeName)
+	if n == nil {
+		return
+	}
+	n.Used = n.Used.Add(req)
+	n.FreeDevices -= req.Get(resource.EPCPages)
+}
+
+// sortNodes normalises node order.
+func (c *ClusterView) sortNodes() {
+	sort.Slice(c.Nodes, func(i, j int) bool { return c.Nodes[i].Name < c.Nodes[j].Name })
+}
+
+// podUsage is the per-pod fusion of measured usage and declared requests.
+//
+// The paper's scheduler decides "based on actual measured memory usage
+// (for the EPC as well as regular memory)" (§V-B). Freshly bound or
+// freshly started pods have not yet been sampled by the 10 s probes, so
+// for pods younger than the metric lag the scheduler takes the maximum of
+// the measurement and the request; mature pods are charged their measured
+// usage only — which is how a usage-aware scheduler reclaims headroom from
+// over-declaring jobs and detects under-declaring (malicious) ones.
+func podUsage(p *api.Pod, measuredMem, measuredEPCBytes float64, now time.Time, lag time.Duration, useMetrics bool) resource.List {
+	req := p.TotalRequests()
+	if !useMetrics {
+		return resource.List{
+			resource.Memory:   req.Get(resource.Memory),
+			resource.EPCPages: req.Get(resource.EPCPages),
+		}
+	}
+	measured := resource.List{
+		resource.Memory:   int64(measuredMem),
+		resource.EPCPages: resource.PagesForBytes(int64(measuredEPCBytes)),
+	}
+	young := p.Status.StartedAt.IsZero() || now.Sub(p.Status.StartedAt) < lag
+	if young {
+		return measured.Max(resource.List{
+			resource.Memory:   req.Get(resource.Memory),
+			resource.EPCPages: req.Get(resource.EPCPages),
+		})
+	}
+	return measured
+}

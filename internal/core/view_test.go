@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+func TestNodeViewFitsHardwareFilter(t *testing.T) {
+	std := nv("std", false, 1000, 0, 0, 0)
+	// An SGX job on a non-SGX node can never be satisfied (§IV).
+	if std.Fits(resource.List{resource.EPCPages: 1}) {
+		t.Fatal("non-SGX node accepted EPC request")
+	}
+	if !std.Fits(resource.List{resource.Memory: 1000}) {
+		t.Fatal("exact-fit memory rejected")
+	}
+	if std.Fits(resource.List{resource.Memory: 1001}) {
+		t.Fatal("saturating request accepted")
+	}
+}
+
+func TestNodeViewFitsDeviceAccounting(t *testing.T) {
+	sgxNode := nv("sgx", true, 1000, 0, 1000, 0)
+	sgxNode.FreeDevices = 10
+	// Usage-based headroom says yes (Used=0), but only 10 device items
+	// remain: the request must be rejected to avoid kubelet denial.
+	if sgxNode.Fits(resource.List{resource.EPCPages: 11}) {
+		t.Fatal("request beyond free devices accepted")
+	}
+	if !sgxNode.Fits(resource.List{resource.EPCPages: 10}) {
+		t.Fatal("request within free devices rejected")
+	}
+}
+
+func TestNodeViewFreeFloorsAtZero(t *testing.T) {
+	n := nv("n", false, 1000, 1500, 0, 0) // over-used (malicious overrun)
+	if got := n.Free().Get(resource.Memory); got != 0 {
+		t.Fatalf("Free = %d, want 0", got)
+	}
+}
+
+func TestClusterViewCommit(t *testing.T) {
+	n := nv("n", true, 1000, 0, 500, 0)
+	view := &ClusterView{Nodes: []*NodeView{n}}
+	view.Commit("n", resource.List{resource.Memory: 400, resource.EPCPages: 100})
+	if n.Used.Get(resource.Memory) != 400 {
+		t.Fatalf("Used = %v", n.Used)
+	}
+	if n.FreeDevices != 400 {
+		t.Fatalf("FreeDevices = %d, want 400", n.FreeDevices)
+	}
+	view.Commit("ghost", resource.List{resource.Memory: 1}) // no-op
+	if view.Node("ghost") != nil {
+		t.Fatal("ghost node materialised")
+	}
+}
+
+func TestPodUsageRequestOnlyMode(t *testing.T) {
+	p := sgxPodReq(100, 10)
+	now := clock.SimEpoch
+	got := podUsage(p, 999999, 999999, now, 25*time.Second, false)
+	if got.Get(resource.Memory) != 100 || got.Get(resource.EPCPages) != 10 {
+		t.Fatalf("request-only usage = %v", got)
+	}
+}
+
+func TestPodUsageYoungPodTakesMax(t *testing.T) {
+	p := sgxPodReq(100, 10)
+	now := clock.SimEpoch
+	// Not yet started: requests dominate missing metrics.
+	got := podUsage(p, 0, 0, now, 25*time.Second, true)
+	if got.Get(resource.Memory) != 100 || got.Get(resource.EPCPages) != 10 {
+		t.Fatalf("young unstarted usage = %v", got)
+	}
+	// Started 5s ago with metrics above requests (malicious): max wins.
+	p.Status.StartedAt = now.Add(-5 * time.Second)
+	got = podUsage(p, 500, float64(20*4096), now, 25*time.Second, true)
+	if got.Get(resource.Memory) != 500 || got.Get(resource.EPCPages) != 20 {
+		t.Fatalf("young measured usage = %v", got)
+	}
+}
+
+func TestPodUsageMaturePodTrustsMetrics(t *testing.T) {
+	p := sgxPodReq(1000, 100)
+	now := clock.SimEpoch.Add(time.Hour)
+	p.Status.StartedAt = now.Add(-time.Minute)
+	// Mature over-declaring pod: measured (low) frees headroom for the
+	// usage-aware scheduler.
+	got := podUsage(p, 200, float64(30*4096), now, 25*time.Second, true)
+	if got.Get(resource.Memory) != 200 || got.Get(resource.EPCPages) != 30 {
+		t.Fatalf("mature usage = %v", got)
+	}
+}
+
+func TestPodUsageMaliciousMatureExceedsRequests(t *testing.T) {
+	// Declares 1 page, uses half the EPC: a usage-aware scheduler must
+	// see the real footprint (Fig. 11's mechanism).
+	p := sgxPodReq(1, 1)
+	now := clock.SimEpoch.Add(time.Hour)
+	p.Status.StartedAt = now.Add(-10 * time.Minute)
+	halfEPC := float64(11968 * 4096)
+	got := podUsage(p, 0, halfEPC, now, 25*time.Second, true)
+	if got.Get(resource.EPCPages) != 11968 {
+		t.Fatalf("malicious usage = %v, want 11968 pages", got)
+	}
+}
+
+func TestViewNodeLookupAndSort(t *testing.T) {
+	view := &ClusterView{Nodes: []*NodeView{
+		nv("z", false, 1, 0, 0, 0),
+		nv("a", false, 1, 0, 0, 0),
+	}}
+	view.sortNodes()
+	if view.Nodes[0].Name != "a" || view.Nodes[1].Name != "z" {
+		t.Fatal("sortNodes did not order by name")
+	}
+	if view.Node("z") == nil || view.Node("missing") != nil {
+		t.Fatal("Node lookup wrong")
+	}
+}
+
+func TestLoadFraction(t *testing.T) {
+	n := nv("n", true, 1000, 250, 800, 200)
+	if got := n.LoadFraction(resource.Memory); got != 0.25 {
+		t.Fatalf("memory load = %v", got)
+	}
+	if got := n.LoadFraction(resource.EPCPages); got != 0.25 {
+		t.Fatalf("EPC load = %v", got)
+	}
+}
+
+var _ = api.PodPending // keep api import for helpers above

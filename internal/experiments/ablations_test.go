@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestWindowAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace replays")
+	}
+	fig, err := WindowAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %v", seriesNames(fig))
+	}
+	means := seriesByName(t, fig, "mean wait")
+	if len(means.Points) != 5 {
+		t.Fatalf("points = %d", len(means.Points))
+	}
+	// The paper's 25 s window must be safe: no failures at or above it.
+	failures := seriesByName(t, fig, "OOM-killed jobs")
+	for _, p := range failures.Points {
+		if p.X >= 25 && p.Y > 0 {
+			t.Fatalf("window %vs produced %v failures", p.X, p.Y)
+		}
+	}
+}
+
+func TestIntervalAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace replays")
+	}
+	fig, err := IntervalAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesByName(t, fig, "mean wait (0% SGX)")
+	if len(s.Points) != 4 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// On the uncontended standard workload, waiting scales with the
+	// scheduling period: the 30 s loop must wait clearly longer than the
+	// 1 s loop.
+	first, last := s.Points[0], s.Points[len(s.Points)-1]
+	if last.Y <= first.Y {
+		t.Fatalf("interval %vs wait %.1fs not above %vs wait %.1fs",
+			last.X, last.Y, first.X, first.Y)
+	}
+}

@@ -1,0 +1,292 @@
+package influxql
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// ErrUnknownField is returned when the aggregation argument does not
+// match the source's field name.
+var ErrUnknownField = errors.New("influxql: unknown field")
+
+// Row is one output row of a query: the grouping tags and the aggregated
+// value under the projected column name.
+type Row struct {
+	Tags  map[string]string
+	Field string
+	Value float64
+}
+
+// Result is the ordered output of a query execution.
+type Result struct {
+	Rows []Row
+}
+
+// ValueByTag returns a map from the given tag's value to the row value —
+// convenient for per-node lookups ("GROUP BY nodename").
+func (r Result) ValueByTag(tag string) map[string]float64 {
+	out := make(map[string]float64, len(r.Rows))
+	for _, row := range r.Rows {
+		out[row.Tags[tag]] = row.Value
+	}
+	return out
+}
+
+// Execute parses and runs a query against the database.
+func Execute(db *tsdb.DB, query string) (Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(db, q)
+}
+
+// sample is the internal unit flowing between query stages: a tagged,
+// timestamped value under a field name.
+type sample struct {
+	tags  tsdb.Tags
+	time  time.Time
+	field string
+	value float64
+}
+
+// Run executes a parsed query against the database.
+func Run(db *tsdb.DB, q *Query) (Result, error) {
+	samples, err := evalSource(db, q.Source)
+	if err != nil {
+		return Result{}, err
+	}
+	samples, err = applyWhere(db, q.Where, samples)
+	if err != nil {
+		return Result{}, err
+	}
+	return aggregate(q, samples)
+}
+
+func evalSource(db *tsdb.DB, src Source) ([]sample, error) {
+	if src.Sub != nil {
+		inner, err := Run(db, src.Sub)
+		if err != nil {
+			return nil, err
+		}
+		now := db.Now()
+		out := make([]sample, 0, len(inner.Rows))
+		for _, row := range inner.Rows {
+			out = append(out, sample{
+				tags:  tsdb.Tags(row.Tags).Clone(),
+				time:  now,
+				field: row.Field,
+				value: row.Value,
+			})
+		}
+		return out, nil
+	}
+	var out []sample
+	for _, s := range db.Series(src.Measurement) {
+		for _, p := range s.Points {
+			out = append(out, sample{
+				tags:  s.Tags,
+				time:  p.Time,
+				field: "value",
+				value: p.Value,
+			})
+		}
+	}
+	return out, nil
+}
+
+func applyWhere(db *tsdb.DB, conds []Condition, in []sample) ([]sample, error) {
+	if len(conds) == 0 {
+		return in, nil
+	}
+	now := db.Now()
+	out := in[:0]
+	for _, s := range in {
+		keep := true
+		for _, c := range conds {
+			ok, err := evalCondition(c, s, now)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func evalCondition(c Condition, s sample, now time.Time) (bool, error) {
+	switch {
+	case c.IsTime:
+		threshold := now.Add(-c.Offset)
+		return compareTime(s.time, c.Op, threshold)
+	case c.IsTag:
+		v := s.tags[c.Subject]
+		if c.Op == OpEq {
+			return v == c.Str, nil
+		}
+		return v != c.Str, nil
+	default:
+		if c.Subject != s.field {
+			return false, fmt.Errorf("%w: %q (source provides %q)", ErrUnknownField, c.Subject, s.field)
+		}
+		return compareFloat(s.value, c.Op, c.Number)
+	}
+}
+
+func compareTime(t time.Time, op CompareOp, threshold time.Time) (bool, error) {
+	switch op {
+	case OpGte:
+		return !t.Before(threshold), nil
+	case OpGt:
+		return t.After(threshold), nil
+	case OpLte:
+		return !t.After(threshold), nil
+	case OpLt:
+		return t.Before(threshold), nil
+	case OpEq:
+		return t.Equal(threshold), nil
+	case OpNeq:
+		return !t.Equal(threshold), nil
+	default:
+		return false, fmt.Errorf("influxql: unsupported time operator %q", op)
+	}
+}
+
+func compareFloat(v float64, op CompareOp, x float64) (bool, error) {
+	switch op {
+	case OpEq:
+		return v == x, nil
+	case OpNeq:
+		return v != x, nil
+	case OpGt:
+		return v > x, nil
+	case OpGte:
+		return v >= x, nil
+	case OpLt:
+		return v < x, nil
+	case OpLte:
+		return v <= x, nil
+	default:
+		return false, fmt.Errorf("influxql: unsupported operator %q", op)
+	}
+}
+
+// aggregate groups samples by the GROUP BY tags and folds each group with
+// the aggregation function.
+func aggregate(q *Query, samples []sample) (Result, error) {
+	type group struct {
+		tags   tsdb.Tags
+		values []float64
+		last   sample
+	}
+	groups := make(map[string]*group)
+	for _, s := range samples {
+		if s.field != q.Field.Arg {
+			return Result{}, fmt.Errorf("%w: %q (source provides %q)",
+				ErrUnknownField, q.Field.Arg, s.field)
+		}
+		key := groupKey(q.GroupBy, s.tags)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{tags: projectTags(q.GroupBy, s.tags)}
+			groups[key] = g
+		}
+		g.values = append(g.values, s.value)
+		if s.time.After(g.last.time) || len(g.values) == 1 {
+			g.last = s
+		}
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	res := Result{Rows: make([]Row, 0, len(keys))}
+	for _, k := range keys {
+		g := groups[k]
+		v, err := fold(q.Field.Func, g.values, g.last.value)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Tags:  g.tags,
+			Field: q.Field.OutName(),
+			Value: v,
+		})
+	}
+	return res, nil
+}
+
+func groupKey(groupBy []string, tags tsdb.Tags) string {
+	if len(groupBy) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(groupBy))
+	for _, k := range groupBy {
+		parts = append(parts, k+"="+tags[k])
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func projectTags(groupBy []string, tags tsdb.Tags) tsdb.Tags {
+	out := make(tsdb.Tags, len(groupBy))
+	for _, k := range groupBy {
+		out[k] = tags[k]
+	}
+	return out
+}
+
+func fold(fn AggFunc, values []float64, last float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, nil
+	}
+	switch fn {
+	case AggSum:
+		var sum float64
+		for _, v := range values {
+			sum += v
+		}
+		return sum, nil
+	case AggMax:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	case AggMin:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case AggMean:
+		var sum float64
+		for _, v := range values {
+			sum += v
+		}
+		return sum / float64(len(values)), nil
+	case AggCount:
+		return float64(len(values)), nil
+	case AggLast:
+		return last, nil
+	default:
+		return 0, fmt.Errorf("influxql: unsupported aggregation %q", fn)
+	}
+}

@@ -1,0 +1,169 @@
+package influxql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokString // "double-quoted" measurement or 'single-quoted' literal
+	tokNumber // integer or decimal literal, possibly with duration unit
+	tokLParen
+	tokRParen
+	tokComma
+	tokOp    // = <> > >= < <=
+	tokMinus // -
+)
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits an InfluxQL string into tokens.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func newLexer(input string) *lexer { return &lexer{input: input} }
+
+// errSyntax builds a positioned syntax error.
+func errSyntax(pos int, format string, args ...any) error {
+	return fmt.Errorf("influxql: syntax error at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '-':
+		l.pos++
+		return token{kind: tokMinus, text: "-", pos: start}, nil
+	case c == '=', c == '>', c == '<':
+		return l.lexOp()
+	case c == '"', c == '\'':
+		return l.lexQuoted(c)
+	case unicode.IsDigit(rune(c)):
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	default:
+		return token{}, errSyntax(start, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) lexOp() (token, error) {
+	start := l.pos
+	c := l.input[l.pos]
+	l.pos++
+	if l.pos < len(l.input) {
+		two := string(c) + string(l.input[l.pos])
+		switch two {
+		case ">=", "<=", "<>":
+			l.pos++
+			return token{kind: tokOp, text: two, pos: start}, nil
+		}
+	}
+	switch c {
+	case '=', '>', '<':
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	}
+	return token{}, errSyntax(start, "unexpected operator %q", c)
+}
+
+func (l *lexer) lexQuoted(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // consume opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == quote {
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, errSyntax(start, "unterminated quoted string")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.input) {
+		c := rune(l.input[l.pos])
+		// Durations like "25s", "5m", "1h30m" and decimals like "0.5"
+		// stay a single token; the parser interprets the suffix.
+		if unicode.IsDigit(c) || c == '.' || isDurationUnit(byte(c)) {
+			l.pos++
+			continue
+		}
+		break
+	}
+	return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+}
+
+func isDurationUnit(c byte) bool {
+	switch c {
+	case 's', 'm', 'h', 'd', 'u', 'n':
+		return true
+	default:
+		return false
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '/' || c == '.' || c == '-' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+		l.pos++
+	}
+	return token{kind: tokIdent, text: l.input[start:l.pos], pos: start}, nil
+}
+
+// lexAll tokenizes the full input.
+func lexAll(input string) ([]token, error) {
+	l := newLexer(input)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

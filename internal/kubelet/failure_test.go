@@ -1,0 +1,91 @@
+package kubelet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+func TestEvictRunningPodReleasesResources(t *testing.T) {
+	f := newFixture(t, true)
+	pod := sgxPod("victim", 2560, 10*resource.MiB, time.Hour)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("victim", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(2 * time.Second)
+	if got := f.mach.Driver().FreePages(); got == 23936 {
+		t.Fatal("workload not running before eviction")
+	}
+
+	if err := f.srv.Evict("victim", "node maintenance"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := f.srv.GetPod("victim")
+	if p.Status.Phase != api.PodFailed || !strings.Contains(p.Status.Reason, "Evicted") {
+		t.Fatalf("status = %+v", p.Status)
+	}
+	// The kubelet reacted: enclave destroyed, devices and limits freed.
+	if got := f.mach.Driver().FreePages(); got != 23936 {
+		t.Fatalf("eviction leaked EPC: free = %d", got)
+	}
+	if got := f.kl.Plugin().FreeDevices(); got != 23936 {
+		t.Fatalf("eviction leaked devices: %d", got)
+	}
+	if got := f.mach.ProcessCount(); got != 0 {
+		t.Fatalf("eviction leaked processes: %d", got)
+	}
+	// Time can keep flowing without stray callbacks resurrecting it.
+	f.clk.Advance(2 * time.Hour)
+	p, _ = f.srv.GetPod("victim")
+	if p.Status.Phase != api.PodFailed {
+		t.Fatalf("phase mutated after eviction: %s", p.Status.Phase)
+	}
+}
+
+func TestEvictPendingPod(t *testing.T) {
+	f := newFixture(t, false)
+	pod := vmPod("queued", resource.GiB, resource.GiB, time.Minute)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Evict("queued", "quota exceeded"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.srv.PendingCount(); got != 0 {
+		t.Fatalf("evicted pod still pending: %d", got)
+	}
+}
+
+func TestNodeDrainMarksNotReadyAndFailsPods(t *testing.T) {
+	f := newFixture(t, true)
+	pod := sgxPod("long-job", 2560, 10*resource.MiB, time.Hour)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("long-job", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(2 * time.Second)
+
+	f.kl.Stop()
+	node, err := f.srv.GetNode("sgx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Ready {
+		t.Fatal("drained node still Ready")
+	}
+	p, _ := f.srv.GetPod("long-job")
+	if p.Status.Phase != api.PodFailed {
+		t.Fatalf("pod on drained node = %s, want Failed", p.Status.Phase)
+	}
+	if got := f.mach.RAMUsed(); got != 0 {
+		t.Fatalf("drain leaked RAM: %d", got)
+	}
+}

@@ -1,0 +1,377 @@
+// Package kubelet is the per-node agent of the orchestrator substrate. It
+// registers its machine as a cluster node (with EPC page resources
+// advertised by the device plugin, §V-A), reacts to scheduler bindings by
+// admitting pods, wires pod EPC limits into the modified SGX driver — the
+// paper's 16-lines-of-Go / 22-lines-of-C Kubelet patch (§V-D) — launches
+// the workloads, reports their completion, and serves per-pod usage
+// statistics to the monitoring layer (§V-C).
+package kubelet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/deviceplugin"
+	"github.com/sgxorch/sgxorch/internal/machine"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/sgx"
+	"github.com/sgxorch/sgxorch/internal/stress"
+)
+
+// DefaultAdmissionLatency models the container-runtime work between a
+// binding and the workload launch (image pull, Docker start). Waiting
+// times in §VI-E include this component.
+const DefaultAdmissionLatency = 500 * time.Millisecond
+
+// PodStat is one pod's live usage on this node, scraped by the monitoring
+// layer.
+type PodStat struct {
+	PodName string
+	// MemoryBytes is the standard memory in use (Heapster's metric).
+	MemoryBytes int64
+	// EPCBytes is the EPC in use, derived from driver page counts (the
+	// SGX probe's metric).
+	EPCBytes int64
+}
+
+// Kubelet is one node agent.
+type Kubelet struct {
+	clk    clock.Clock
+	srv    *apiserver.Server
+	mach   *machine.Machine
+	runner *stress.Runner
+	plugin *deviceplugin.SGXPlugin
+
+	nodeName         string
+	unschedulable    bool
+	admissionLatency time.Duration
+
+	mu          sync.Mutex
+	pods        map[string]*podEntry
+	unsubscribe func()
+	started     bool
+}
+
+type podEntry struct {
+	cgroup     string
+	epcPages   int64
+	executions []*stress.Execution
+	remaining  int
+	firstErr   error
+}
+
+// Option configures a Kubelet.
+type Option func(*Kubelet)
+
+// WithUnschedulable marks the node as excluded from scheduling (the
+// Kubernetes master in the paper's cluster, §VI-A).
+func WithUnschedulable() Option {
+	return func(k *Kubelet) { k.unschedulable = true }
+}
+
+// WithAdmissionLatency overrides the binding-to-launch latency.
+func WithAdmissionLatency(d time.Duration) Option {
+	return func(k *Kubelet) { k.admissionLatency = d }
+}
+
+// WithCostModel overrides the SGX startup cost model used for workloads.
+func WithCostModel(m sgx.CostModel) Option {
+	return func(k *Kubelet) { k.runner = stress.NewRunner(k.clk, m) }
+}
+
+// New creates a kubelet for a machine. Call Start to join the cluster.
+func New(clk clock.Clock, srv *apiserver.Server, mach *machine.Machine, opts ...Option) *Kubelet {
+	k := &Kubelet{
+		clk:              clk,
+		srv:              srv,
+		mach:             mach,
+		nodeName:         mach.Name(),
+		admissionLatency: DefaultAdmissionLatency,
+		pods:             make(map[string]*podEntry),
+	}
+	k.runner = stress.NewRunner(clk, sgx.CostModel{})
+	for _, o := range opts {
+		o(k)
+	}
+	return k
+}
+
+// NodeName returns the node this kubelet manages.
+func (k *Kubelet) NodeName() string { return k.nodeName }
+
+// Machine returns the underlying machine (for probes and tests).
+func (k *Kubelet) Machine() *machine.Machine { return k.mach }
+
+// Plugin returns the node's SGX device plugin, or nil.
+func (k *Kubelet) Plugin() *deviceplugin.SGXPlugin { return k.plugin }
+
+// Start registers the node — running the device-plugin detection to
+// advertise EPC page resources — and begins watching for bindings.
+func (k *Kubelet) Start() error {
+	k.mu.Lock()
+	if k.started {
+		k.mu.Unlock()
+		return fmt.Errorf("kubelet %s: already started", k.nodeName)
+	}
+	k.started = true
+	k.mu.Unlock()
+
+	alloc := resource.List{
+		resource.Memory: k.mach.RAMBytes(),
+		resource.CPU:    k.mach.CPUMillis(),
+	}
+	// Device-plugin registration: "Kubelet notifies the master node about
+	// the availability of an SGX resource on that node" (§V-A).
+	if plugin, ok := deviceplugin.Detect(k.mach); ok {
+		k.plugin = plugin
+		alloc[resource.EPCPages] = plugin.DeviceCount()
+	}
+	node := &api.Node{
+		Name:          k.nodeName,
+		Capacity:      alloc.Clone(),
+		Allocatable:   alloc,
+		Ready:         true,
+		Unschedulable: k.unschedulable,
+	}
+	if err := k.srv.RegisterNode(node); err != nil {
+		return fmt.Errorf("kubelet %s: %w", k.nodeName, err)
+	}
+	k.unsubscribe = k.srv.Subscribe(k.onEvent)
+	return nil
+}
+
+// Stop drains the node: it detaches from the API server, marks the node
+// NotReady so the scheduler stops placing pods here, and aborts running
+// workloads (their pods fail, as on a node drain).
+func (k *Kubelet) Stop() {
+	k.mu.Lock()
+	unsub := k.unsubscribe
+	k.unsubscribe = nil
+	wasStarted := k.started
+	var running []*stress.Execution
+	for _, e := range k.pods {
+		running = append(running, e.executions...)
+	}
+	k.mu.Unlock()
+	if unsub != nil {
+		unsub()
+	}
+	if wasStarted {
+		if node, err := k.srv.GetNode(k.nodeName); err == nil && node.Ready {
+			node.Ready = false
+			// UpdateNode only fails for unknown nodes, which Start
+			// registered.
+			_ = k.srv.UpdateNode(node)
+		}
+	}
+	for _, ex := range running {
+		ex.Abort()
+	}
+}
+
+func (k *Kubelet) onEvent(ev apiserver.WatchEvent) {
+	if ev.Pod == nil || ev.Pod.Spec.NodeName != k.nodeName {
+		return
+	}
+	switch ev.Type {
+	case apiserver.PodBound:
+		pod := ev.Pod
+		// Container-runtime latency before the workload launches.
+		k.clk.AfterFunc(k.admissionLatency, func() { k.admit(pod) })
+	case apiserver.PodUpdated:
+		// External terminal transitions (eviction) kill the local
+		// workload. Self-reported completions have already deregistered
+		// the entry, so this is a no-op for them.
+		if !ev.Pod.IsTerminal() {
+			return
+		}
+		k.mu.Lock()
+		entry, ok := k.pods[ev.Pod.Name]
+		var executions []*stress.Execution
+		if ok {
+			delete(k.pods, ev.Pod.Name)
+			executions = append(executions, entry.executions...)
+		}
+		k.mu.Unlock()
+		if !ok {
+			return
+		}
+		for _, ex := range executions {
+			ex.Abort()
+		}
+		k.release(entry)
+	}
+}
+
+// admit performs device allocation, limit registration and workload
+// launch for a pod bound to this node.
+func (k *Kubelet) admit(pod *api.Pod) {
+	cgroup := pod.CgroupPath()
+	epcReq := pod.TotalRequests().Get(resource.EPCPages)
+
+	if epcReq > 0 {
+		if k.plugin == nil {
+			k.fail(pod, nil, fmt.Sprintf("UnexpectedAdmissionError: no SGX device plugin on %s", k.nodeName))
+			return
+		}
+		if _, err := k.plugin.Allocate(cgroup, epcReq); err != nil {
+			// Mirrors Kubernetes' OutOfEpc admission failure when the
+			// scheduler raced device accounting.
+			k.fail(pod, nil, "OutOfEPC: "+err.Error())
+			return
+		}
+		// The Kubelet patch of §V-D: communicate the cgroup-path / EPC
+		// page limit pair to the driver before containers start. Missing
+		// limits fall back to the request, as resource requests default
+		// limits in Kubernetes.
+		limit := pod.TotalLimits().Get(resource.EPCPages)
+		if limit == 0 {
+			limit = epcReq
+		}
+		if err := k.mach.Driver().IoctlSetLimit(cgroup, limit); err != nil {
+			k.plugin.Deallocate(cgroup)
+			k.fail(pod, nil, "SetLimit: "+err.Error())
+			return
+		}
+	}
+
+	entry := &podEntry{cgroup: cgroup, epcPages: epcReq}
+	var workloads []api.WorkloadSpec
+	for _, c := range pod.Spec.Containers {
+		if c.Workload.Kind != 0 {
+			workloads = append(workloads, c.Workload)
+		}
+	}
+
+	k.mu.Lock()
+	k.pods[pod.Name] = entry
+	entry.remaining = len(workloads)
+	k.mu.Unlock()
+
+	// MarkRunning errors only if the pod raced to a terminal state.
+	if err := k.srv.MarkRunning(pod.Name); err != nil {
+		k.mu.Lock()
+		delete(k.pods, pod.Name)
+		k.mu.Unlock()
+		k.release(entry)
+		return
+	}
+
+	if len(workloads) == 0 {
+		k.complete(pod.Name, entry, nil)
+		return
+	}
+	for _, w := range workloads {
+		ex, err := k.runner.Run(stress.Config{
+			Machine:    k.mach,
+			CgroupPath: cgroup,
+			Spec:       w,
+			OnFinished: func(err error) { k.containerFinished(pod.Name, err) },
+		})
+		if err != nil {
+			k.containerFinished(pod.Name, err)
+			continue
+		}
+		k.mu.Lock()
+		entry.executions = append(entry.executions, ex)
+		k.mu.Unlock()
+	}
+}
+
+// containerFinished accounts one container completion; the pod terminates
+// when all its containers have.
+func (k *Kubelet) containerFinished(podName string, err error) {
+	k.mu.Lock()
+	entry, ok := k.pods[podName]
+	if !ok {
+		k.mu.Unlock()
+		return
+	}
+	if err != nil && entry.firstErr == nil {
+		entry.firstErr = err
+	}
+	entry.remaining--
+	// Any container failure kills the pod at once — matching §VI-F, where
+	// limit-violating jobs "are immediately killed after launch".
+	done := entry.remaining <= 0 || entry.firstErr != nil
+	firstErr := entry.firstErr
+	k.mu.Unlock()
+	if done {
+		k.complete(podName, entry, firstErr)
+	}
+}
+
+// complete finalises a pod: the entry is deregistered first so that late
+// container callbacks (triggered by aborting siblings below) become
+// no-ops, then node resources are released and the terminal phase
+// reported.
+func (k *Kubelet) complete(podName string, entry *podEntry, err error) {
+	k.mu.Lock()
+	delete(k.pods, podName)
+	executions := entry.executions
+	k.mu.Unlock()
+
+	// A failing container kills the whole pod.
+	if err != nil {
+		for _, ex := range executions {
+			ex.Abort()
+		}
+	}
+	k.release(entry)
+	if err != nil {
+		// Terminal-state races are benign during shutdown.
+		_ = k.srv.MarkFailed(podName, err.Error())
+		return
+	}
+	_ = k.srv.MarkSucceeded(podName)
+}
+
+// release returns device allocations and driver limits to the node.
+func (k *Kubelet) release(entry *podEntry) {
+	if entry.epcPages > 0 && k.plugin != nil {
+		k.plugin.Deallocate(entry.cgroup)
+		k.mach.Driver().ClearLimit(entry.cgroup)
+	}
+}
+
+// fail marks a pod failed before launch (admission errors).
+func (k *Kubelet) fail(pod *api.Pod, entry *podEntry, reason string) {
+	if entry != nil {
+		k.mu.Lock()
+		delete(k.pods, pod.Name)
+		k.mu.Unlock()
+		k.release(entry)
+	}
+	_ = k.srv.MarkFailed(pod.Name, reason)
+}
+
+// PodStats reports per-pod usage for this node's pods — the stats
+// endpoint Heapster and the SGX probe scrape (§V-C). Pod order is
+// deterministic (tracked pods sorted by name is unnecessary here because
+// callers re-tag by pod name).
+func (k *Kubelet) PodStats() []PodStat {
+	k.mu.Lock()
+	type ref struct {
+		name   string
+		cgroup string
+	}
+	refs := make([]ref, 0, len(k.pods))
+	for name, e := range k.pods {
+		refs = append(refs, ref{name: name, cgroup: e.cgroup})
+	}
+	k.mu.Unlock()
+
+	out := make([]PodStat, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, PodStat{
+			PodName:     r.name,
+			MemoryBytes: k.mach.VMBytesByCgroup(r.cgroup),
+			EPCBytes:    resource.BytesForPages(k.mach.EPCPagesByCgroup(r.cgroup)),
+		})
+	}
+	return out
+}

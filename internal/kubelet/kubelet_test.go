@@ -1,0 +1,347 @@
+package kubelet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/machine"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/sgx"
+)
+
+type fixture struct {
+	clk  *clock.Sim
+	srv  *apiserver.Server
+	mach *machine.Machine
+	kl   *Kubelet
+}
+
+func newFixture(t *testing.T, sgxNode bool, opts ...Option) *fixture {
+	t.Helper()
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	var mach *machine.Machine
+	if sgxNode {
+		mach = machine.New("sgx-1", 8*resource.GiB, 8000, machine.WithSGX(sgx.DefaultGeometry()))
+	} else {
+		mach = machine.New("std-1", 64*resource.GiB, 8000)
+	}
+	kl := New(clk, srv, mach, opts...)
+	if err := kl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(kl.Stop)
+	return &fixture{clk: clk, srv: srv, mach: mach, kl: kl}
+}
+
+func sgxPod(name string, pages int64, alloc int64, dur time.Duration) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{
+			SchedulerName: "sgx-binpack",
+			Containers: []api.Container{{
+				Name: "main",
+				Resources: api.Requirements{
+					Requests: resource.List{resource.Memory: 64 * resource.MiB, resource.EPCPages: pages},
+					Limits:   resource.List{resource.EPCPages: pages},
+				},
+				Workload: api.WorkloadSpec{Kind: api.WorkloadStressEPC, Duration: dur, AllocBytes: alloc},
+			}},
+		},
+	}
+}
+
+func vmPod(name string, reqBytes, allocBytes int64, dur time.Duration) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{
+			Containers: []api.Container{{
+				Name:      "main",
+				Resources: api.Requirements{Requests: resource.List{resource.Memory: reqBytes}},
+				Workload:  api.WorkloadSpec{Kind: api.WorkloadStressVM, Duration: dur, AllocBytes: allocBytes},
+			}},
+		},
+	}
+}
+
+func TestStartRegistersNodeWithEPCResources(t *testing.T) {
+	f := newFixture(t, true)
+	node, err := f.srv.GetNode("sgx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := node.Allocatable.Get(resource.EPCPages); got != 23936 {
+		t.Fatalf("allocatable EPC pages = %d, want 23936", got)
+	}
+	if !node.HasSGX() || !node.Ready {
+		t.Fatalf("node = %+v", node)
+	}
+	if err := f.kl.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+}
+
+func TestStartNonSGXNodeHasNoEPC(t *testing.T) {
+	f := newFixture(t, false)
+	node, err := f.srv.GetNode("std-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.HasSGX() {
+		t.Fatal("non-SGX node advertises EPC")
+	}
+	if f.kl.Plugin() != nil {
+		t.Fatal("plugin detected on non-SGX machine")
+	}
+}
+
+func TestUnschedulableOption(t *testing.T) {
+	f := newFixture(t, false, WithUnschedulable())
+	node, _ := f.srv.GetNode("std-1")
+	if !node.Unschedulable {
+		t.Fatal("master node not marked unschedulable")
+	}
+}
+
+func TestPodFullLifecycle(t *testing.T) {
+	f := newFixture(t, true)
+	pod := sgxPod("job-1", 2560, 10*resource.MiB, 60*time.Second)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("job-1", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Admission latency, then Running.
+	f.clk.Advance(DefaultAdmissionLatency)
+	p, _ := f.srv.GetPod("job-1")
+	if p.Status.Phase != api.PodRunning {
+		t.Fatalf("phase after admission = %s", p.Status.Phase)
+	}
+
+	// Device allocation and driver limit registered.
+	if got := f.kl.Plugin().FreeDevices(); got != 23936-2560 {
+		t.Fatalf("free devices = %d", got)
+	}
+	limit, ok := f.mach.Driver().LimitFor(p.CgroupPath())
+	if !ok || limit != 2560 {
+		t.Fatalf("driver limit = %d, %v", limit, ok)
+	}
+
+	// After SGX startup the enclave holds its pages.
+	f.clk.Advance(time.Second)
+	if got := f.mach.Driver().FreePages(); got != 23936-2560 {
+		t.Fatalf("EPC free = %d, want %d", got, 23936-2560)
+	}
+
+	// Completion: phase Succeeded, resources released.
+	f.clk.Advance(2 * time.Minute)
+	p, _ = f.srv.GetPod("job-1")
+	if p.Status.Phase != api.PodSucceeded {
+		t.Fatalf("final phase = %s (%s)", p.Status.Phase, p.Status.Reason)
+	}
+	if got := f.kl.Plugin().FreeDevices(); got != 23936 {
+		t.Fatalf("devices leaked: %d", got)
+	}
+	if got := f.mach.Driver().FreePages(); got != 23936 {
+		t.Fatalf("EPC leaked: %d", got)
+	}
+	if _, ok := f.mach.Driver().LimitFor(p.CgroupPath()); ok {
+		t.Fatal("driver limit not cleared")
+	}
+	w, _ := p.WaitingTime()
+	if w != DefaultAdmissionLatency {
+		t.Fatalf("waiting time = %v, want %v", w, DefaultAdmissionLatency)
+	}
+}
+
+func TestMaliciousPodKilledByLimit(t *testing.T) {
+	f := newFixture(t, true)
+	// Declares 1 page, allocates half the EPC (§VI-F).
+	pod := sgxPod("mal-1", 1, f.mach.SGX().Geometry().UsableBytes()/2, time.Hour)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("mal-1", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(time.Minute)
+	p, _ := f.srv.GetPod("mal-1")
+	if p.Status.Phase != api.PodFailed {
+		t.Fatalf("phase = %s, want Failed", p.Status.Phase)
+	}
+	if !strings.Contains(p.Status.Reason, "denied") {
+		t.Fatalf("reason = %q", p.Status.Reason)
+	}
+	if got := f.mach.Driver().FreePages(); got != 23936 {
+		t.Fatalf("EPC leaked by killed pod: %d", got)
+	}
+	if got := f.kl.Plugin().FreeDevices(); got != 23936 {
+		t.Fatalf("devices leaked by killed pod: %d", got)
+	}
+}
+
+func TestOutOfEPCAdmissionFails(t *testing.T) {
+	f := newFixture(t, true)
+	// Two pods whose requests together exceed the device pool; bind both
+	// (simulating a buggy scheduler) — the second must fail admission.
+	a := sgxPod("a", 20000, resource.MiB, time.Minute)
+	b := sgxPod("b", 20000, resource.MiB, time.Minute)
+	for _, p := range []*api.Pod{a, b} {
+		if err := f.srv.CreatePod(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.srv.Bind(p.Name, "sgx-1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.clk.Advance(time.Second)
+	pb, _ := f.srv.GetPod("b")
+	if pb.Status.Phase != api.PodFailed || !strings.Contains(pb.Status.Reason, "OutOfEPC") {
+		t.Fatalf("pod b = %s (%s)", pb.Status.Phase, pb.Status.Reason)
+	}
+	pa, _ := f.srv.GetPod("a")
+	if pa.Status.Phase != api.PodRunning {
+		t.Fatalf("pod a = %s", pa.Status.Phase)
+	}
+}
+
+func TestSGXPodOnNonSGXNodeFails(t *testing.T) {
+	f := newFixture(t, false)
+	pod := sgxPod("job-1", 100, resource.MiB, time.Minute)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("job-1", "std-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(time.Second)
+	p, _ := f.srv.GetPod("job-1")
+	if p.Status.Phase != api.PodFailed {
+		t.Fatalf("phase = %s, want Failed", p.Status.Phase)
+	}
+}
+
+func TestVMPodOverallocatingUnderUse(t *testing.T) {
+	f := newFixture(t, false)
+	// Advertises 1 GiB, actually uses 2 GiB — like the 44 over-allocating
+	// Borg jobs (§VI-F); without enforcement on standard memory it runs.
+	pod := vmPod("over-1", resource.GiB, 2*resource.GiB, 30*time.Second)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("over-1", "std-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(2 * time.Second)
+	if got := f.mach.RAMUsed(); got != 2*resource.GiB {
+		t.Fatalf("RAMUsed = %d, want actual usage 2 GiB", got)
+	}
+	f.clk.Advance(time.Minute)
+	p, _ := f.srv.GetPod("over-1")
+	if p.Status.Phase != api.PodSucceeded {
+		t.Fatalf("phase = %s", p.Status.Phase)
+	}
+}
+
+func TestPodWithNoWorkloadSucceedsImmediately(t *testing.T) {
+	f := newFixture(t, false)
+	pod := &api.Pod{Name: "empty", Spec: api.PodSpec{Containers: []api.Container{{Name: "noop"}}}}
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("empty", "std-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(time.Second)
+	p, _ := f.srv.GetPod("empty")
+	if p.Status.Phase != api.PodSucceeded {
+		t.Fatalf("phase = %s", p.Status.Phase)
+	}
+}
+
+func TestMultiContainerPodFailsTogether(t *testing.T) {
+	f := newFixture(t, true)
+	pod := &api.Pod{
+		Name: "multi",
+		Spec: api.PodSpec{
+			Containers: []api.Container{
+				{
+					Name:      "good",
+					Resources: api.Requirements{Requests: resource.List{resource.EPCPages: 100}},
+					Workload:  api.WorkloadSpec{Kind: api.WorkloadStressEPC, Duration: time.Hour, AllocBytes: 100 * 4096},
+				},
+				{
+					Name: "bad",
+					// Allocates more EPC than the pod's total limit.
+					Workload: api.WorkloadSpec{Kind: api.WorkloadStressEPC, Duration: time.Hour, AllocBytes: resource.MiB},
+				},
+			},
+		},
+	}
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("multi", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(time.Minute)
+	p, _ := f.srv.GetPod("multi")
+	if p.Status.Phase != api.PodFailed {
+		t.Fatalf("phase = %s, want Failed", p.Status.Phase)
+	}
+	// Both containers' resources must be fully released.
+	if got := f.mach.Driver().FreePages(); got != 23936 {
+		t.Fatalf("EPC leaked: %d", got)
+	}
+	if got := f.mach.ProcessCount(); got != 0 {
+		t.Fatalf("processes leaked: %d", got)
+	}
+}
+
+func TestPodStats(t *testing.T) {
+	f := newFixture(t, true)
+	pod := sgxPod("job-1", 2560, 10*resource.MiB, time.Hour)
+	pod.Spec.Containers[0].Workload.AllocBytes = 10 * resource.MiB
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("job-1", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(2 * time.Second) // admission + SGX startup
+	stats := f.kl.PodStats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].PodName != "job-1" {
+		t.Fatalf("stat pod = %s", stats[0].PodName)
+	}
+	if stats[0].EPCBytes != 10*resource.MiB {
+		t.Fatalf("EPCBytes = %d, want %d", stats[0].EPCBytes, 10*resource.MiB)
+	}
+}
+
+func TestStopAbortsWorkloads(t *testing.T) {
+	f := newFixture(t, false)
+	pod := vmPod("long", resource.GiB, resource.GiB, 10*time.Hour)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("long", "std-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(2 * time.Second)
+	if got := f.mach.RAMUsed(); got == 0 {
+		t.Fatal("workload not running before Stop")
+	}
+	f.kl.Stop()
+	if got := f.mach.RAMUsed(); got != 0 {
+		t.Fatalf("Stop leaked RAM: %d", got)
+	}
+}

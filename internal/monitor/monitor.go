@@ -1,0 +1,198 @@
+// Package monitor implements the paper's monitoring layer (§V-C): a
+// Heapster-equivalent collector that pushes per-pod standard-memory usage
+// into the time-series database, and the custom SGX metrics probe —
+// deployed as a DaemonSet on SGX-enabled nodes — that pushes per-pod EPC
+// usage gathered from the modified driver into the same database, "so our
+// scheduler [can] use equivalent queries for SGX- and non SGX-related
+// metrics".
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/kubelet"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// Measurement names, matching the paper's InfluxDB schema (Listing 1 uses
+// "sgx/epc"; Heapster's memory metric is "memory/usage").
+const (
+	MeasurementEPC    = "sgx/epc"
+	MeasurementMemory = "memory/usage"
+)
+
+// Tag keys used by Heapster and the probe (Listing 1 groups by pod_name
+// and nodename).
+const (
+	TagPod  = "pod_name"
+	TagNode = "nodename"
+)
+
+// DefaultScrapeInterval is how often collectors sample node stats.
+// Heapster's housekeeping default is 10 s, which keeps the scheduler's
+// 25 s sliding window (Listing 1) populated with 2-3 samples per pod.
+const DefaultScrapeInterval = 10 * time.Second
+
+// StatsSource abstracts the kubelet stats endpoint the collectors scrape.
+type StatsSource interface {
+	NodeName() string
+	PodStats() []kubelet.PodStat
+}
+
+// Heapster collects standard-memory usage from every node in the cluster
+// (§V-C: "Kubernetes natively supports Heapster, a lightweight monitoring
+// framework for containers").
+type Heapster struct {
+	clk      clock.Clock
+	db       *tsdb.DB
+	interval time.Duration
+
+	mu      sync.Mutex
+	sources []StatsSource
+	stop    func()
+}
+
+// NewHeapster creates a collector writing into db. A non-positive
+// interval selects the default.
+func NewHeapster(clk clock.Clock, db *tsdb.DB, interval time.Duration) *Heapster {
+	if interval <= 0 {
+		interval = DefaultScrapeInterval
+	}
+	return &Heapster{clk: clk, db: db, interval: interval}
+}
+
+// AddSource registers a node's stats endpoint.
+func (h *Heapster) AddSource(s StatsSource) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sources = append(h.sources, s)
+}
+
+// Start begins periodic scraping. It returns immediately; use Stop to
+// halt.
+func (h *Heapster) Start() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stop != nil {
+		return
+	}
+	h.stop = clock.Periodic(h.clk, h.interval, h.Scrape)
+}
+
+// Stop halts periodic scraping.
+func (h *Heapster) Stop() {
+	h.mu.Lock()
+	stop := h.stop
+	h.stop = nil
+	h.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// Scrape samples every source once, writing one memory/usage point per
+// pod. Exposed for deterministic tests and manual collection.
+func (h *Heapster) Scrape() {
+	h.mu.Lock()
+	sources := make([]StatsSource, len(h.sources))
+	copy(sources, h.sources)
+	h.mu.Unlock()
+	for _, src := range sources {
+		node := src.NodeName()
+		for _, ps := range src.PodStats() {
+			h.db.WriteNow(MeasurementMemory, tsdb.Tags{
+				TagPod:  ps.PodName,
+				TagNode: node,
+			}, float64(ps.MemoryBytes))
+		}
+	}
+}
+
+// Probe is the SGX metrics probe for one SGX-enabled node. It reads EPC
+// occupancy through the modified driver's interfaces and pushes it "into
+// the same InfluxDB database used by Heapster" (§V-C).
+type Probe struct {
+	clk      clock.Clock
+	db       *tsdb.DB
+	source   StatsSource
+	interval time.Duration
+
+	mu   sync.Mutex
+	stop func()
+}
+
+// NewProbe creates a probe for one node.
+func NewProbe(clk clock.Clock, db *tsdb.DB, source StatsSource, interval time.Duration) *Probe {
+	if interval <= 0 {
+		interval = DefaultScrapeInterval
+	}
+	return &Probe{clk: clk, db: db, source: source, interval: interval}
+}
+
+// Start begins periodic collection.
+func (p *Probe) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.stop = clock.Periodic(p.clk, p.interval, p.Scrape)
+}
+
+// Stop halts collection.
+func (p *Probe) Stop() {
+	p.mu.Lock()
+	stop := p.stop
+	p.stop = nil
+	p.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// Scrape samples EPC usage once, one sgx/epc point per pod (value in
+// bytes, as summed by Listing 1).
+func (p *Probe) Scrape() {
+	node := p.source.NodeName()
+	for _, ps := range p.source.PodStats() {
+		p.db.WriteNow(MeasurementEPC, tsdb.Tags{
+			TagPod:  ps.PodName,
+			TagNode: node,
+		}, float64(ps.EPCBytes))
+	}
+}
+
+// DaemonSet deploys probes across the cluster the way the paper does
+// (§V-C): one probe per SGX-enabled node, where "the distinction between
+// standard and SGX-enabled cluster nodes is made by checking for the EPC
+// size advertised to Kubernetes by the device plugin".
+type DaemonSet struct {
+	probes []*Probe
+}
+
+// DeployProbes creates and starts a probe on every kubelet whose device
+// plugin advertises EPC pages.
+func DeployProbes(clk clock.Clock, db *tsdb.DB, kubelets []*kubelet.Kubelet, interval time.Duration) *DaemonSet {
+	ds := &DaemonSet{}
+	for _, kl := range kubelets {
+		if kl.Plugin() == nil || kl.Plugin().DeviceCount() == 0 {
+			continue
+		}
+		p := NewProbe(clk, db, kl, interval)
+		p.Start()
+		ds.probes = append(ds.probes, p)
+	}
+	return ds
+}
+
+// Size returns the number of deployed probes.
+func (d *DaemonSet) Size() int { return len(d.probes) }
+
+// Stop halts every probe.
+func (d *DaemonSet) Stop() {
+	for _, p := range d.probes {
+		p.Stop()
+	}
+}

@@ -1,0 +1,129 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/influxql"
+	"github.com/sgxorch/sgxorch/internal/kubelet"
+	"github.com/sgxorch/sgxorch/internal/machine"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/sgx"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// fakeSource is a deterministic StatsSource.
+type fakeSource struct {
+	node  string
+	stats []kubelet.PodStat
+}
+
+func (f *fakeSource) NodeName() string            { return f.node }
+func (f *fakeSource) PodStats() []kubelet.PodStat { return f.stats }
+
+func TestHeapsterScrape(t *testing.T) {
+	clk := clock.NewSim()
+	db := tsdb.New(clk)
+	h := NewHeapster(clk, db, 0)
+	h.AddSource(&fakeSource{node: "n1", stats: []kubelet.PodStat{
+		{PodName: "a", MemoryBytes: 100},
+		{PodName: "b", MemoryBytes: 200},
+	}})
+	h.AddSource(&fakeSource{node: "n2", stats: []kubelet.PodStat{
+		{PodName: "c", MemoryBytes: 300},
+	}})
+	h.Scrape()
+	res, err := influxql.Execute(db,
+		`SELECT SUM(mem) AS mem FROM (SELECT MAX(value) AS mem FROM "memory/usage" WHERE time >= now() - 25s GROUP BY pod_name, nodename) GROUP BY nodename`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNode := res.ValueByTag(TagNode)
+	if byNode["n1"] != 300 || byNode["n2"] != 300 {
+		t.Fatalf("per-node memory = %v", byNode)
+	}
+}
+
+func TestHeapsterPeriodic(t *testing.T) {
+	clk := clock.NewSim()
+	db := tsdb.New(clk)
+	h := NewHeapster(clk, db, 10*time.Second)
+	h.AddSource(&fakeSource{node: "n1", stats: []kubelet.PodStat{{PodName: "a", MemoryBytes: 1}}})
+	h.Start()
+	h.Start() // idempotent
+	clk.Advance(35 * time.Second)
+	series := db.Series(MeasurementMemory)
+	if len(series) != 1 || len(series[0].Points) != 3 {
+		t.Fatalf("series = %+v", series)
+	}
+	h.Stop()
+	h.Stop() // idempotent
+	clk.Advance(time.Minute)
+	series = db.Series(MeasurementMemory)
+	if len(series[0].Points) != 3 {
+		t.Fatal("heapster kept scraping after Stop")
+	}
+}
+
+func TestProbeWritesEPCBytes(t *testing.T) {
+	clk := clock.NewSim()
+	db := tsdb.New(clk)
+	p := NewProbe(clk, db, &fakeSource{node: "sgx-1", stats: []kubelet.PodStat{
+		{PodName: "job-1", EPCBytes: 10 * resource.MiB},
+		{PodName: "idle", EPCBytes: 0},
+	}}, 0)
+	p.Scrape()
+
+	// Listing 1 must see the non-zero pod and filter the idle one.
+	res, err := influxql.Execute(db,
+		`SELECT SUM(epc) AS epc FROM (SELECT MAX(value) AS epc FROM "sgx/epc" WHERE value <> 0 AND time >= now() - 25s GROUP BY pod_name, nodename) GROUP BY nodename`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNode := res.ValueByTag(TagNode)
+	if got := byNode["sgx-1"]; got != float64(10*resource.MiB) {
+		t.Fatalf("sgx-1 EPC = %v, want %d", got, 10*resource.MiB)
+	}
+}
+
+func TestDeployProbesOnlyOnSGXNodes(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	db := tsdb.New(clk)
+
+	sgxMach := machine.New("sgx-1", 8*resource.GiB, 8000, machine.WithSGX(sgx.DefaultGeometry()))
+	stdMach := machine.New("std-1", 64*resource.GiB, 8000)
+	kls := []*kubelet.Kubelet{
+		kubelet.New(clk, srv, sgxMach),
+		kubelet.New(clk, srv, stdMach),
+	}
+	for _, kl := range kls {
+		if err := kl.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := DeployProbes(clk, db, kls, time.Second)
+	defer ds.Stop()
+	// "The probe is deployed on all SGX-enabled nodes using the DaemonSet
+	// component" (§V-C) — exactly one here.
+	if got := ds.Size(); got != 1 {
+		t.Fatalf("probes deployed = %d, want 1", got)
+	}
+}
+
+func TestProbeStartStop(t *testing.T) {
+	clk := clock.NewSim()
+	db := tsdb.New(clk)
+	src := &fakeSource{node: "sgx-1", stats: []kubelet.PodStat{{PodName: "j", EPCBytes: 5}}}
+	p := NewProbe(clk, db, src, 10*time.Second)
+	p.Start()
+	clk.Advance(25 * time.Second)
+	p.Stop()
+	clk.Advance(time.Minute)
+	series := db.Series(MeasurementEPC)
+	if len(series) != 1 || len(series[0].Points) != 2 {
+		t.Fatalf("points = %+v", series)
+	}
+}

@@ -1,0 +1,170 @@
+// Package resource defines the resource vocabulary shared by the API
+// objects, the device plugin and the scheduler.
+//
+// The paper's key insight (§V-A) is to expose every EPC page as an
+// individually countable resource item so several SGX pods can share a
+// node. We therefore model quantities as plain integers: bytes for memory,
+// pages for EPC, millicores for CPU.
+package resource
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Name identifies a resource kind.
+type Name string
+
+// Resource names used across the cluster. EPCPages follows the Kubernetes
+// extended-resource naming convention used by device plugins.
+const (
+	CPU      Name = "cpu"                    // millicores
+	Memory   Name = "memory"                 // bytes
+	EPCPages Name = "sgx.intel.com/epc-page" // 4 KiB EPC pages (§V-A)
+)
+
+// Byte size helpers.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+)
+
+// EPCPageSize is the size of one EPC page: "The EPC is split into pages of
+// 4KiB" (§II).
+const EPCPageSize int64 = 4 * KiB
+
+// PagesForBytes returns the number of EPC pages needed to hold b bytes
+// (rounded up). Zero or negative byte counts need zero pages.
+func PagesForBytes(b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (b + EPCPageSize - 1) / EPCPageSize
+}
+
+// BytesForPages returns the byte capacity of p EPC pages.
+func BytesForPages(p int64) int64 { return p * EPCPageSize }
+
+// List maps resource names to integer quantities. The zero value is usable
+// as an empty list, but callers mutating a List must create it with make
+// or Clone first.
+type List map[Name]int64
+
+// Get returns the quantity for name, or zero when absent.
+func (l List) Get(name Name) int64 { return l[name] }
+
+// Clone returns a deep copy of l.
+func (l List) Clone() List {
+	out := make(List, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Add returns a new List holding l + other, element-wise.
+func (l List) Add(other List) List {
+	out := l.Clone()
+	for k, v := range other {
+		out[k] += v
+	}
+	return out
+}
+
+// Sub returns a new List holding l - other, element-wise. Quantities may
+// go negative; use Fits to test satisfiability instead.
+func (l List) Sub(other List) List {
+	out := l.Clone()
+	for k, v := range other {
+		out[k] -= v
+	}
+	return out
+}
+
+// Max returns a new List holding the element-wise maximum of l and other.
+// The scheduler uses it to combine measured usage with request-based
+// reservations (§IV: "combines the two kinds of data").
+func (l List) Max(other List) List {
+	out := l.Clone()
+	for k, v := range other {
+		if v > out[k] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Fits reports whether request fits in l, i.e. request <= l element-wise.
+// Resources absent from l count as zero, so a request for a resource the
+// node does not expose (e.g. EPC pages on a non-SGX node) does not fit —
+// this is the hardware-compatibility filter of §IV.
+func (l List) Fits(request List) bool {
+	for k, v := range request {
+		if v <= 0 {
+			continue
+		}
+		if l[k] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every quantity in l is zero.
+func (l List) IsZero() bool {
+	for _, v := range l {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether l and other hold the same quantities (absent keys
+// equal zero).
+func (l List) Equal(other List) bool {
+	for k, v := range l {
+		if other[k] != v {
+			return false
+		}
+	}
+	for k, v := range other {
+		if l[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the list deterministically, e.g.
+// "cpu=4000,memory=68719476736,sgx.intel.com/epc-page=23936".
+func (l List) String() string {
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, l[Name(k)]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// FractionOf returns l[name] / capacity[name] as a float in [0, +inf);
+// zero capacity yields 0 when usage is zero and +1 when over an absent
+// capacity (treated as saturated). The spread policy uses these per-node
+// load fractions.
+func (l List) FractionOf(name Name, capacity List) float64 {
+	c := capacity[name]
+	u := l[name]
+	if c <= 0 {
+		if u <= 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(u) / float64(c)
+}

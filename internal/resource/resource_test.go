@@ -1,0 +1,167 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPagesForBytes(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  int64
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{4096, 1},
+		{4097, 2},
+		{93*MiB + 512*KiB, 23936}, // 93.5 MiB == full usable EPC (§II)
+		{128 * MiB, 32768},
+	}
+	for _, tc := range cases {
+		if got := PagesForBytes(tc.bytes); got != tc.want {
+			t.Errorf("PagesForBytes(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestBytesForPagesRoundTrip(t *testing.T) {
+	if got := BytesForPages(23936); got != 23936*4096 {
+		t.Fatalf("BytesForPages(23936) = %d", got)
+	}
+	f := func(pages uint16) bool {
+		p := int64(pages)
+		return PagesForBytes(BytesForPages(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListAddSubClone(t *testing.T) {
+	a := List{Memory: 100, CPU: 4}
+	b := List{Memory: 30, EPCPages: 5}
+	sum := a.Add(b)
+	if sum[Memory] != 130 || sum[CPU] != 4 || sum[EPCPages] != 5 {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff := sum.Sub(b)
+	if !diff.Equal(a.Add(List{EPCPages: 0})) {
+		t.Fatalf("Sub = %v, want %v", diff, a)
+	}
+	// Original must be untouched (copy-on-write semantics).
+	if a[Memory] != 100 || len(a) != 2 {
+		t.Fatalf("Add/Sub mutated receiver: %v", a)
+	}
+	c := a.Clone()
+	c[Memory] = 1
+	if a[Memory] != 100 {
+		t.Fatal("Clone did not deep-copy")
+	}
+}
+
+func TestListFits(t *testing.T) {
+	node := List{Memory: 8 * GiB, EPCPages: 23936}
+	cases := []struct {
+		name string
+		req  List
+		want bool
+	}{
+		{"fits exactly", List{Memory: 8 * GiB, EPCPages: 23936}, true},
+		{"fits partial", List{Memory: GiB}, true},
+		{"memory too big", List{Memory: 9 * GiB}, false},
+		{"epc too big", List{EPCPages: 23937}, false},
+		{"absent resource requested", List{CPU: 1}, false},
+		{"zero request on absent resource", List{CPU: 0}, true},
+		{"empty request", List{}, true},
+	}
+	for _, tc := range cases {
+		if got := node.Fits(tc.req); got != tc.want {
+			t.Errorf("%s: Fits(%v) = %v, want %v", tc.name, tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestNonSGXNodeRejectsEPCRequest(t *testing.T) {
+	// Hardware-compatibility filter of §IV: an SGX-enabled job on a
+	// non-SGX node can never fit.
+	nonSGX := List{Memory: 64 * GiB}
+	if nonSGX.Fits(List{EPCPages: 1}) {
+		t.Fatal("non-SGX node accepted an EPC request")
+	}
+}
+
+func TestListMax(t *testing.T) {
+	a := List{Memory: 10, EPCPages: 3}
+	b := List{Memory: 7, EPCPages: 8, CPU: 2}
+	m := a.Max(b)
+	if m[Memory] != 10 || m[EPCPages] != 8 || m[CPU] != 2 {
+		t.Fatalf("Max = %v", m)
+	}
+}
+
+func TestListIsZeroAndEqual(t *testing.T) {
+	if !(List{}).IsZero() {
+		t.Fatal("empty list should be zero")
+	}
+	if !(List{Memory: 0}).IsZero() {
+		t.Fatal("explicit zero should be zero")
+	}
+	if (List{Memory: 1}).IsZero() {
+		t.Fatal("non-zero list reported zero")
+	}
+	if !(List{Memory: 0}).Equal(List{}) {
+		t.Fatal("zero-valued key should equal absent key")
+	}
+	if (List{Memory: 1}).Equal(List{Memory: 2}) {
+		t.Fatal("unequal lists reported equal")
+	}
+}
+
+func TestListString(t *testing.T) {
+	l := List{Memory: 5, CPU: 2}
+	if got, want := l.String(), "cpu=2,memory=5"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFractionOf(t *testing.T) {
+	cap := List{Memory: 100}
+	if got := (List{Memory: 25}).FractionOf(Memory, cap); got != 0.25 {
+		t.Fatalf("FractionOf = %v, want 0.25", got)
+	}
+	if got := (List{}).FractionOf(Memory, List{}); got != 0 {
+		t.Fatalf("0/0 FractionOf = %v, want 0", got)
+	}
+	if got := (List{Memory: 5}).FractionOf(Memory, List{}); got != 1 {
+		t.Fatalf("usage over absent capacity = %v, want 1", got)
+	}
+}
+
+// Property: Fits(a.Add(b)) implies Fits(a) for non-negative b.
+func TestFitsMonotoneProperty(t *testing.T) {
+	f := func(capMem, reqMem, extraMem uint32) bool {
+		capacity := List{Memory: int64(capMem)}
+		small := List{Memory: int64(reqMem)}
+		big := small.Add(List{Memory: int64(extraMem)})
+		if capacity.Fits(big) && !capacity.Fits(small) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add then Sub round-trips.
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		x := List{Memory: int64(a)}
+		y := List{Memory: int64(b)}
+		return x.Add(y).Sub(y).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Attestation and sealing model (§II). The paper's background describes
+// the architectural enclaves brokered by the AESM — the Launch Enclave
+// (LE), which issues the launch tokens required by EINIT; the Quoting
+// Enclave (QE), which signs reports for remote attestation ("a custom
+// remote attestation protocol allows to verify that a particular version
+// of a specific enclave runs on a remote machine, using a genuine Intel
+// processor"); and the Provisioning Enclave (PE), which establishes the
+// platform's attestation key. Sealed storage lets enclaves persist data
+// "protected by a seal key", which "waiv[es] the need for a new remote
+// attestation every time the SGX application restarts".
+//
+// The model uses real cryptography (HMAC-SHA-256, AES-GCM) over simulated
+// fused platform keys, so protocol-level properties — tokens don't
+// transfer between platforms, quotes fail verification when tampered,
+// sealed blobs only open on the sealing platform for the sealing
+// enclave — hold for the tests exactly as they would on silicon.
+
+// Measurement is the enclave identity digest (MRENCLAVE): the hash of the
+// enclave contents measured at build time. "An application using enclaves
+// must ship a signed (not encrypted) shared library" (§II); the
+// measurement covers exactly those contents.
+type Measurement [32]byte
+
+// MeasureContents computes the measurement of enclave contents.
+func MeasureContents(contents []byte) Measurement {
+	return sha256.Sum256(contents)
+}
+
+// Attestation errors.
+var (
+	// ErrBadLaunchToken is returned by EINIT-time token validation.
+	ErrBadLaunchToken = errors.New("sgx: invalid launch token")
+	// ErrBadQuote is returned when quote verification fails.
+	ErrBadQuote = errors.New("sgx: quote verification failed")
+	// ErrUnsealFailed is returned when sealed data cannot be opened.
+	ErrUnsealFailed = errors.New("sgx: unseal failed")
+)
+
+// Platform models one SGX-capable CPU's fused key material. The CPU
+// package is the security boundary (§II), so every derived secret is
+// keyed on it.
+type Platform struct {
+	// ID is the platform's public identity (e.g. the PPID derived during
+	// provisioning).
+	ID uint64
+
+	fuseKey [32]byte
+}
+
+// NewPlatform derives a deterministic simulated platform from a seed;
+// distinct seeds behave like distinct CPUs.
+func NewPlatform(seed uint64) *Platform {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], seed)
+	p := &Platform{ID: seed}
+	p.fuseKey = sha256.Sum256(append([]byte("sgx-fuse-key"), buf[:]...))
+	return p
+}
+
+// derive produces a labelled subkey of the platform's fused key.
+func (p *Platform) derive(label string, context []byte) [32]byte {
+	mac := hmac.New(sha256.New, p.fuseKey[:])
+	mac.Write([]byte(label))
+	mac.Write(context)
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// LaunchToken authorises EINIT of a specific enclave on a specific
+// platform (§II: an enclave "must then be initialized using a launch
+// token").
+type LaunchToken struct {
+	Measurement Measurement
+	PlatformID  uint64
+	mac         [32]byte
+}
+
+// AESM is the Application Enclave Service Manager: "access to the LE and
+// other architectural enclaves, such as the Quoting Enclave (QE) and the
+// Provisioning Enclave (PE), is provided by the Intel Application Enclave
+// Service Manager" (§II). One instance runs per container in the paper's
+// deployment (§VI-D).
+type AESM struct {
+	platform *Platform
+}
+
+// NewAESM starts the service for a platform.
+func NewAESM(p *Platform) *AESM { return &AESM{platform: p} }
+
+// PlatformID exposes the platform identity used in quotes.
+func (a *AESM) PlatformID() uint64 { return a.platform.ID }
+
+// IssueLaunchToken is the Launch Enclave operation: it binds a
+// measurement to this platform.
+func (a *AESM) IssueLaunchToken(m Measurement) LaunchToken {
+	key := a.platform.derive("launch-key", nil)
+	return LaunchToken{
+		Measurement: m,
+		PlatformID:  a.platform.ID,
+		mac:         tokenMAC(key, m, a.platform.ID),
+	}
+}
+
+// ValidateLaunchToken is the EINIT-side check of a token.
+func (a *AESM) ValidateLaunchToken(t LaunchToken, m Measurement) error {
+	if t.Measurement != m {
+		return fmt.Errorf("%w: token for different enclave", ErrBadLaunchToken)
+	}
+	if t.PlatformID != a.platform.ID {
+		return fmt.Errorf("%w: token from platform %d used on %d",
+			ErrBadLaunchToken, t.PlatformID, a.platform.ID)
+	}
+	key := a.platform.derive("launch-key", nil)
+	if !hmac.Equal(t.mac[:], tokenMAC(key, m, a.platform.ID).bytes()) {
+		return fmt.Errorf("%w: bad MAC", ErrBadLaunchToken)
+	}
+	return nil
+}
+
+type mac32 [32]byte
+
+func (m mac32) bytes() []byte { return m[:] }
+
+func tokenMAC(key [32]byte, m Measurement, platformID uint64) mac32 {
+	h := hmac.New(sha256.New, key[:])
+	h.Write(m[:])
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], platformID)
+	h.Write(buf[:])
+	var out mac32
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Quote is the Quoting Enclave's signed statement: this measurement runs
+// on this platform, with 64 bytes of caller-chosen report data (typically
+// a key-exchange transcript hash).
+type Quote struct {
+	Measurement Measurement
+	PlatformID  uint64
+	ReportData  [64]byte
+	signature   [32]byte
+}
+
+// GenerateQuote is the QE operation.
+func (a *AESM) GenerateQuote(m Measurement, reportData [64]byte) Quote {
+	key := a.platform.derive("attestation-key", nil)
+	return Quote{
+		Measurement: m,
+		PlatformID:  a.platform.ID,
+		ReportData:  reportData,
+		signature:   quoteSig(key, m, a.platform.ID, reportData),
+	}
+}
+
+func quoteSig(key [32]byte, m Measurement, platformID uint64, reportData [64]byte) [32]byte {
+	h := hmac.New(sha256.New, key[:])
+	h.Write(m[:])
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], platformID)
+	h.Write(buf[:])
+	h.Write(reportData[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// AttestationService models the verification authority (Intel's IAS): it
+// knows the provisioned platforms and checks quote signatures.
+type AttestationService struct {
+	platforms map[uint64]*Platform
+}
+
+// NewAttestationService registers the provisioned platforms (the PE's
+// job, abstracted).
+func NewAttestationService(platforms ...*Platform) *AttestationService {
+	s := &AttestationService{platforms: make(map[uint64]*Platform, len(platforms))}
+	for _, p := range platforms {
+		s.platforms[p.ID] = p
+	}
+	return s
+}
+
+// Verify checks a quote: known platform, intact signature.
+func (s *AttestationService) Verify(q Quote) error {
+	p, ok := s.platforms[q.PlatformID]
+	if !ok {
+		return fmt.Errorf("%w: unknown platform %d", ErrBadQuote, q.PlatformID)
+	}
+	key := p.derive("attestation-key", nil)
+	want := quoteSig(key, q.Measurement, q.PlatformID, q.ReportData)
+	if !hmac.Equal(q.signature[:], want[:]) {
+		return fmt.Errorf("%w: signature mismatch", ErrBadQuote)
+	}
+	return nil
+}
+
+// SealKey derives the enclave- and platform-specific sealing key
+// (MRENCLAVE policy): only the same enclave on the same CPU re-derives it
+// (§II: data "can be saved to persistent storage, protected by a seal
+// key").
+func (p *Platform) SealKey(m Measurement) [32]byte {
+	return p.derive("seal-key", m[:])
+}
+
+// Seal encrypts data under the enclave's sealing key with AES-GCM. The
+// nonce must be unique per (key, message); callers provide it so sealed
+// blobs stay deterministic in simulations.
+func Seal(key [32]byte, nonce [12]byte, plaintext []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	return gcm.Seal(nil, nonce[:], plaintext, nil), nil
+}
+
+// Unseal decrypts a sealed blob; wrong key, nonce or tampered data fails.
+func Unseal(key [32]byte, nonce [12]byte, sealed []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	out, err := gcm.Open(nil, nonce[:], sealed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnsealFailed, err)
+	}
+	return out, nil
+}
+
+func newGCM(key [32]byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: building AES cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}

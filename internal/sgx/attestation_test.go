@@ -1,0 +1,206 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeasurementDeterministic(t *testing.T) {
+	a := MeasureContents([]byte("enclave.so v1"))
+	b := MeasureContents([]byte("enclave.so v1"))
+	c := MeasureContents([]byte("enclave.so v2"))
+	if a != b {
+		t.Fatal("same contents, different measurement")
+	}
+	if a == c {
+		t.Fatal("different contents, same measurement")
+	}
+}
+
+func TestLaunchTokenRoundTrip(t *testing.T) {
+	p := NewPlatform(1)
+	aesm := NewAESM(p)
+	m := MeasureContents([]byte("service"))
+	tok := aesm.IssueLaunchToken(m)
+	if err := aesm.ValidateLaunchToken(tok, m); err != nil {
+		t.Fatalf("valid token rejected: %v", err)
+	}
+}
+
+func TestLaunchTokenWrongEnclave(t *testing.T) {
+	aesm := NewAESM(NewPlatform(1))
+	tok := aesm.IssueLaunchToken(MeasureContents([]byte("a")))
+	err := aesm.ValidateLaunchToken(tok, MeasureContents([]byte("b")))
+	if !errors.Is(err, ErrBadLaunchToken) {
+		t.Fatalf("err = %v, want ErrBadLaunchToken", err)
+	}
+}
+
+func TestLaunchTokenDoesNotTransferAcrossPlatforms(t *testing.T) {
+	m := MeasureContents([]byte("service"))
+	tok := NewAESM(NewPlatform(1)).IssueLaunchToken(m)
+	err := NewAESM(NewPlatform(2)).ValidateLaunchToken(tok, m)
+	if !errors.Is(err, ErrBadLaunchToken) {
+		t.Fatalf("cross-platform token accepted: %v", err)
+	}
+}
+
+func TestLaunchTokenForgedMAC(t *testing.T) {
+	p := NewPlatform(1)
+	aesm := NewAESM(p)
+	m := MeasureContents([]byte("service"))
+	tok := aesm.IssueLaunchToken(m)
+	tok.mac[0] ^= 0xff
+	if err := aesm.ValidateLaunchToken(tok, m); !errors.Is(err, ErrBadLaunchToken) {
+		t.Fatalf("forged token accepted: %v", err)
+	}
+}
+
+func TestQuoteVerification(t *testing.T) {
+	p1, p2 := NewPlatform(1), NewPlatform(2)
+	ias := NewAttestationService(p1, p2)
+	m := MeasureContents([]byte("secure-job"))
+	var report [64]byte
+	copy(report[:], "key-exchange-transcript-hash")
+
+	q := NewAESM(p1).GenerateQuote(m, report)
+	if err := ias.Verify(q); err != nil {
+		t.Fatalf("genuine quote rejected: %v", err)
+	}
+	if q.PlatformID != 1 || q.Measurement != m {
+		t.Fatalf("quote fields: %+v", q)
+	}
+}
+
+func TestQuoteTamperDetection(t *testing.T) {
+	p := NewPlatform(1)
+	ias := NewAttestationService(p)
+	m := MeasureContents([]byte("secure-job"))
+	q := NewAESM(p).GenerateQuote(m, [64]byte{})
+
+	// Tampered measurement.
+	q1 := q
+	q1.Measurement[0] ^= 1
+	if err := ias.Verify(q1); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("tampered measurement accepted: %v", err)
+	}
+	// Tampered report data.
+	q2 := q
+	q2.ReportData[0] ^= 1
+	if err := ias.Verify(q2); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("tampered report accepted: %v", err)
+	}
+	// Unknown platform.
+	q3 := q
+	q3.PlatformID = 99
+	if err := ias.Verify(q3); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("unknown platform accepted: %v", err)
+	}
+}
+
+func TestQuoteFromUnprovisionedPlatform(t *testing.T) {
+	ias := NewAttestationService(NewPlatform(1))
+	rogue := NewAESM(NewPlatform(66))
+	q := rogue.GenerateQuote(MeasureContents([]byte("x")), [64]byte{})
+	if err := ias.Verify(q); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("rogue platform accepted: %v", err)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p := NewPlatform(1)
+	m := MeasureContents([]byte("stateful-service"))
+	key := p.SealKey(m)
+	nonce := [12]byte{1, 2, 3}
+	secret := []byte("database encryption master key")
+
+	sealed, err := Seal(key, nonce, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, secret) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	back, err := Unseal(key, nonce, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, secret) {
+		t.Fatalf("unsealed = %q", back)
+	}
+}
+
+func TestSealKeyIsolation(t *testing.T) {
+	m1 := MeasureContents([]byte("enclave-1"))
+	m2 := MeasureContents([]byte("enclave-2"))
+	p1, p2 := NewPlatform(1), NewPlatform(2)
+	nonce := [12]byte{9}
+
+	sealed, err := Seal(p1.SealKey(m1), nonce, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different enclave on the same platform cannot unseal.
+	if _, err := Unseal(p1.SealKey(m2), nonce, sealed); !errors.Is(err, ErrUnsealFailed) {
+		t.Fatalf("cross-enclave unseal: %v", err)
+	}
+	// The same enclave on a different platform cannot unseal — "a memory
+	// dump on a victim's machine will only produce encrypted data" (§II).
+	if _, err := Unseal(p2.SealKey(m1), nonce, sealed); !errors.Is(err, ErrUnsealFailed) {
+		t.Fatalf("cross-platform unseal: %v", err)
+	}
+}
+
+func TestSealTamperDetection(t *testing.T) {
+	p := NewPlatform(1)
+	key := p.SealKey(MeasureContents([]byte("e")))
+	nonce := [12]byte{5}
+	sealed, err := Seal(key, nonce, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[0] ^= 0xff
+	if _, err := Unseal(key, nonce, sealed); !errors.Is(err, ErrUnsealFailed) {
+		t.Fatalf("tampered blob unsealed: %v", err)
+	}
+}
+
+// Property: seal/unseal round-trips for arbitrary payloads and seeds.
+func TestSealRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, contents, payload []byte) bool {
+		p := NewPlatform(seed)
+		key := p.SealKey(MeasureContents(contents))
+		nonce := [12]byte{0xA}
+		sealed, err := Seal(key, nonce, payload)
+		if err != nil {
+			return false
+		}
+		back, err := Unseal(key, nonce, sealed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quotes verify iff untampered.
+func TestQuoteSoundnessProperty(t *testing.T) {
+	f := func(seed uint64, contents []byte, flip uint8) bool {
+		p := NewPlatform(seed)
+		ias := NewAttestationService(p)
+		q := NewAESM(p).GenerateQuote(MeasureContents(contents), [64]byte{})
+		if ias.Verify(q) != nil {
+			return false
+		}
+		q.signature[flip%32] ^= 0x01
+		return errors.Is(ias.Verify(q), ErrBadQuote)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package stress
+
+import (
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// runDynamicEPC implements the SGX 2 workload of §VI-G: the enclave
+// commits a baseline working set at initialization, bursts to its peak
+// via dynamic EPC allocation (EAUG) for the middle third of its runtime,
+// and trims back (EREMOVE) for the final third. Both dynamic operations
+// go through the driver, which applies the pod's EPC limit to the burst
+// exactly as it does at enclave initialization.
+//
+// Compared with the SGX 1 stressor — which must hold its peak for the
+// whole run — the dynamic variant keeps EPC free between bursts, which a
+// usage-aware scheduler converts into extra packing headroom ("this new
+// feature can really improve resource utilization on shared
+// infrastructures", §VI-G).
+func (r *Runner) runDynamicEPC(ex *Execution, cfg Config) {
+	peakBytes := cfg.Spec.AllocBytes
+	baseBytes := cfg.Spec.BaseBytes
+	if baseBytes <= 0 {
+		baseBytes = peakBytes / 2
+	}
+	if baseBytes > peakBytes {
+		baseBytes = peakBytes
+	}
+	basePages := resource.PagesForBytes(baseBytes)
+	burstPages := resource.PagesForBytes(peakBytes) - basePages
+
+	usable := cfg.Machine.SGX().Geometry().UsableBytes()
+	driver := cfg.Machine.Driver()
+	startup := r.cost.PSWStartup + r.cost.AllocLatency(baseBytes, usable)
+	phase := cfg.Spec.Duration / 3
+
+	ex.arm(startup, func() {
+		enclave, err := ex.proc.OpenEnclave(basePages)
+		if err != nil {
+			ex.finish(err)
+			return
+		}
+		// Phase 1: steady baseline.
+		ex.arm(phase, func() {
+			// Phase 2: burst to peak through the driver-mediated EAUG;
+			// denial (limit enforcement) kills the job like an EINIT
+			// denial would.
+			if burstPages > 0 {
+				if err := driver.IoctlAugmentPages(enclave, burstPages); err != nil {
+					ex.finish(err)
+					return
+				}
+			}
+			ex.arm(phase, func() {
+				// Phase 3: trim back to baseline and run out the clock.
+				if burstPages > 0 {
+					if _, err := driver.IoctlTrimPages(enclave, burstPages); err != nil {
+						ex.finish(err)
+						return
+					}
+				}
+				ex.arm(cfg.Spec.Duration-2*phase, func() { ex.finish(nil) })
+			})
+		})
+	})
+}

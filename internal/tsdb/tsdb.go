@@ -1,0 +1,190 @@
+// Package tsdb is the in-memory stand-in for the InfluxDB instance of the
+// paper's monitoring pipeline (§V-C): Heapster pushes standard-memory
+// samples and the SGX probes push EPC samples into it, and the scheduler
+// runs sliding-window queries (Listing 1) against it through the
+// internal/influxql engine.
+//
+// Data model: a measurement (e.g. "sgx/epc") contains tagged series
+// (pod_name, nodename); each series is an append-mostly list of
+// timestamped float64 samples of a single field called "value", matching
+// how Heapster writes metrics.
+package tsdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/clock"
+)
+
+// Point is one timestamped sample.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// Tags identifies a series within a measurement.
+type Tags map[string]string
+
+// Clone copies the tag set.
+func (t Tags) Clone() Tags {
+	out := make(Tags, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// canonical renders tags deterministically for use as a map key.
+func (t Tags) canonical() string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(t[k])
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// SeriesData is a copy of one series returned by queries.
+type SeriesData struct {
+	Measurement string
+	Tags        Tags
+	Points      []Point
+}
+
+// DefaultRetention bounds how much history is kept. The scheduler only
+// queries short sliding windows (25 s in Listing 1), so minutes of history
+// suffice.
+const DefaultRetention = 10 * time.Minute
+
+// DB is the in-memory time-series database.
+type DB struct {
+	clk       clock.Clock
+	retention time.Duration
+
+	mu     sync.Mutex
+	series map[string]*seriesEntry
+}
+
+type seriesEntry struct {
+	measurement string
+	tags        Tags
+	points      []Point
+}
+
+// Option configures the DB.
+type Option func(*DB)
+
+// WithRetention overrides the retention window.
+func WithRetention(d time.Duration) Option {
+	return func(db *DB) { db.retention = d }
+}
+
+// New creates an empty database.
+func New(clk clock.Clock, opts ...Option) *DB {
+	db := &DB{
+		clk:       clk,
+		retention: DefaultRetention,
+		series:    make(map[string]*seriesEntry),
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// Now exposes the database clock; the query engine evaluates now()
+// against it.
+func (db *DB) Now() time.Time { return db.clk.Now() }
+
+// Write appends a sample to the series identified by measurement and
+// tags, stamped at time t. Out-of-order writes are tolerated (points are
+// kept sorted by insertion; queries do not rely on order).
+func (db *DB) Write(measurement string, tags Tags, value float64, t time.Time) {
+	key := measurement + "|" + tags.canonical()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.series[key]
+	if !ok {
+		e = &seriesEntry{measurement: measurement, tags: tags.Clone()}
+		db.series[key] = e
+	}
+	e.points = append(e.points, Point{Time: t, Value: value})
+	db.pruneLocked(e)
+}
+
+// WriteNow appends a sample stamped with the database clock.
+func (db *DB) WriteNow(measurement string, tags Tags, value float64) {
+	db.Write(measurement, tags, value, db.clk.Now())
+}
+
+// pruneLocked discards points older than the retention window, relative
+// to the clock. Caller must hold db.mu.
+func (db *DB) pruneLocked(e *seriesEntry) {
+	cutoff := db.clk.Now().Add(-db.retention)
+	i := 0
+	for i < len(e.points) && e.points[i].Time.Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		e.points = append(e.points[:0], e.points[i:]...)
+	}
+}
+
+// Series returns copies of every series in the measurement, ordered
+// deterministically by canonical tags.
+func (db *DB) Series(measurement string) []SeriesData {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	keys := make([]string, 0, len(db.series))
+	for key, e := range db.series {
+		if e.measurement == measurement {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]SeriesData, 0, len(keys))
+	for _, key := range keys {
+		e := db.series[key]
+		pts := make([]Point, len(e.points))
+		copy(pts, e.points)
+		out = append(out, SeriesData{
+			Measurement: e.measurement,
+			Tags:        e.tags.Clone(),
+			Points:      pts,
+		})
+	}
+	return out
+}
+
+// Measurements lists the distinct measurement names, sorted.
+func (db *DB) Measurements() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, e := range db.series {
+		seen[e.measurement] = true
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesCount returns the number of live series (for monitoring tests).
+func (db *DB) SeriesCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.series)
+}

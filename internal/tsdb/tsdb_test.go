@@ -1,0 +1,94 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/clock"
+)
+
+func TestWriteAndSeries(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk)
+	db.WriteNow("sgx/epc", Tags{"pod_name": "a", "nodename": "n1"}, 100)
+	clk.Advance(time.Second)
+	db.WriteNow("sgx/epc", Tags{"pod_name": "a", "nodename": "n1"}, 200)
+	db.WriteNow("sgx/epc", Tags{"pod_name": "b", "nodename": "n1"}, 300)
+	db.WriteNow("memory/usage", Tags{"pod_name": "a", "nodename": "n2"}, 400)
+
+	series := db.Series("sgx/epc")
+	if len(series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(series))
+	}
+	// Deterministic order: tags sorted canonically (nodename before
+	// pod_name, then values).
+	if series[0].Tags["pod_name"] != "a" || series[1].Tags["pod_name"] != "b" {
+		t.Fatalf("series order: %v / %v", series[0].Tags, series[1].Tags)
+	}
+	if len(series[0].Points) != 2 || series[0].Points[1].Value != 200 {
+		t.Fatalf("points = %v", series[0].Points)
+	}
+	if got := db.Series("nothing"); len(got) != 0 {
+		t.Fatalf("unknown measurement series = %v", got)
+	}
+}
+
+func TestSeriesReturnsCopies(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk)
+	db.WriteNow("m", Tags{"k": "v"}, 1)
+	s := db.Series("m")
+	s[0].Points[0].Value = 999
+	s[0].Tags["k"] = "mutated"
+	s2 := db.Series("m")
+	if s2[0].Points[0].Value != 1 || s2[0].Tags["k"] != "v" {
+		t.Fatal("Series returned aliased data")
+	}
+}
+
+func TestRetentionPruning(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk, WithRetention(time.Minute))
+	db.WriteNow("m", Tags{"k": "v"}, 1)
+	clk.Advance(2 * time.Minute)
+	// Writing triggers pruning of the expired point.
+	db.WriteNow("m", Tags{"k": "v"}, 2)
+	s := db.Series("m")
+	if len(s[0].Points) != 1 || s[0].Points[0].Value != 2 {
+		t.Fatalf("points after retention = %v", s[0].Points)
+	}
+}
+
+func TestMeasurementsAndCount(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk)
+	db.WriteNow("b", Tags{"x": "1"}, 1)
+	db.WriteNow("a", Tags{"x": "1"}, 1)
+	db.WriteNow("a", Tags{"x": "2"}, 1)
+	ms := db.Measurements()
+	if len(ms) != 2 || ms[0] != "a" || ms[1] != "b" {
+		t.Fatalf("Measurements = %v", ms)
+	}
+	if got := db.SeriesCount(); got != 3 {
+		t.Fatalf("SeriesCount = %d, want 3", got)
+	}
+}
+
+func TestTagsCanonicalOrderIndependent(t *testing.T) {
+	a := Tags{"pod_name": "p", "nodename": "n"}
+	b := Tags{"nodename": "n", "pod_name": "p"}
+	if a.canonical() != b.canonical() {
+		t.Fatal("canonical depends on map iteration order")
+	}
+}
+
+func TestExplicitTimestampWrite(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk)
+	past := clk.Now().Add(-30 * time.Second)
+	db.Write("m", Tags{"k": "v"}, 7, past)
+	s := db.Series("m")
+	if !s[0].Points[0].Time.Equal(past) {
+		t.Fatalf("point time = %v, want %v", s[0].Points[0].Time, past)
+	}
+}
