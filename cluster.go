@@ -217,6 +217,7 @@ func (c *Cluster) Close() {
 	for _, kl := range c.kubelets {
 		kl.Stop()
 	}
+	c.db.Close()
 }
 
 // Now returns the cluster's current simulated time.

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/sgxorch/sgxorch/internal/api"
@@ -103,6 +104,23 @@ func run() error {
 	for _, row := range res.Rows {
 		fmt.Printf("  nodename=%s  epc=%.0f bytes (%.1f MiB)\n",
 			row.Tags[monitor.TagNode], row.Value, row.Value/float64(resource.MiB))
+	}
+
+	fmt.Println("\nper-pod window peaks (tsdb scan path):")
+	peaks := monitor.WindowPeak(db, monitor.MeasurementEPC, 25*time.Second)
+	keys := make([]monitor.PodNode, 0, len(peaks))
+	for key := range peaks {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Node != keys[j].Node {
+			return keys[i].Node < keys[j].Node
+		}
+		return keys[i].Pod < keys[j].Pod
+	})
+	for _, key := range keys {
+		fmt.Printf("  pod=%s node=%s  peak=%.1f MiB\n",
+			key.Pod, key.Node, peaks[key]/float64(resource.MiB))
 	}
 	return nil
 }

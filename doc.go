@@ -26,4 +26,14 @@
 // internal/influxql), the scheduler core (internal/core) and the Borg
 // trace substrate (internal/borg). This package is the stable public
 // surface over them.
+//
+// The module path is github.com/sgxorch/sgxorch (Go 1.24).
+//
+// The monitoring read path is built for long replays: internal/tsdb
+// indexes series per measurement, keeps points time-ordered, exposes a
+// windowed in-place Scan(measurement, from, to, fn) API, and
+// garbage-collects series whose newest point has aged out of retention,
+// while internal/influxql executes Listing 1-style queries by pushing
+// time and value predicates into that scan and folding points into
+// per-group running aggregates — allocation is O(groups), not O(points).
 package sgxorch

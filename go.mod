@@ -1,0 +1,3 @@
+module github.com/sgxorch/sgxorch
+
+go 1.24

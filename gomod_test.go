@@ -1,0 +1,25 @@
+package sgxorch_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestModuleDefinition guards the seed-state failure where the repo
+// shipped without a go.mod and `go build ./...` could not run at all: the
+// module file must exist at the root and declare the import path every
+// source file uses.
+func TestModuleDefinition(t *testing.T) {
+	data, err := os.ReadFile("go.mod")
+	if err != nil {
+		t.Fatalf("go.mod missing at repo root: %v", err)
+	}
+	content := string(data)
+	if !strings.Contains(content, "module github.com/sgxorch/sgxorch") {
+		t.Fatalf("go.mod does not declare module github.com/sgxorch/sgxorch:\n%s", content)
+	}
+	if !strings.Contains(content, "go 1.") {
+		t.Fatalf("go.mod missing go directive:\n%s", content)
+	}
+}

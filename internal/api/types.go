@@ -156,26 +156,33 @@ func (p *Pod) CgroupPath() string {
 
 // TotalRequests sums resource requests across containers.
 func (p *Pod) TotalRequests() resource.List {
-	total := resource.List{}
+	total := make(resource.List, 2)
 	for _, c := range p.Spec.Containers {
-		total = total.Add(c.Resources.Requests)
+		total.AddInPlace(c.Resources.Requests)
 	}
 	return total
 }
 
 // TotalLimits sums resource limits across containers.
 func (p *Pod) TotalLimits() resource.List {
-	total := resource.List{}
+	total := make(resource.List, 2)
 	for _, c := range p.Spec.Containers {
-		total = total.Add(c.Resources.Limits)
+		total.AddInPlace(c.Resources.Limits)
 	}
 	return total
 }
 
 // IsSGX reports whether the pod requests any share of the EPC resource,
-// which is how the stack distinguishes SGX-enabled jobs (§V-A).
+// which is how the stack distinguishes SGX-enabled jobs (§V-A). It is
+// called per pod per scheduling pass, so it avoids materialising the
+// request sum.
 func (p *Pod) IsSGX() bool {
-	return p.TotalRequests().Get(resource.EPCPages) > 0
+	for _, c := range p.Spec.Containers {
+		if c.Resources.Requests.Get(resource.EPCPages) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // IsTerminal reports whether the pod reached a final phase.

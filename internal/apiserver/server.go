@@ -279,6 +279,43 @@ func (s *Server) PendingPods(schedulerName string) []*api.Pod {
 	return out
 }
 
+// VisitPods calls fn for every live pod under the server lock, without
+// copying. It is the allocation-free companion of ListPods for hot paths
+// (the scheduler visits every active pod once per pass). fn must treat
+// the pod as read-only, must not retain it past its return, and must not
+// call back into the server; returning false stops the walk. Iteration
+// order is unspecified.
+func (s *Server) VisitPods(fn func(*api.Pod) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.pods {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// VisitPending calls fn for the given scheduler's queued pods in FCFS
+// submission order under the server lock, without copying. The same
+// read-only, no-retain, no-reentrancy contract as VisitPods applies; an
+// empty schedulerName matches every pod. Returning false stops the walk.
+func (s *Server) VisitPending(schedulerName string, fn func(*api.Pod) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.pending {
+		p, ok := s.pods[name]
+		if !ok {
+			continue
+		}
+		if schedulerName != "" && p.Spec.SchedulerName != schedulerName {
+			continue
+		}
+		if !fn(p) {
+			return
+		}
+	}
+}
+
 // PendingCount returns the number of queued pods across all schedulers.
 func (s *Server) PendingCount() int {
 	s.mu.Lock()

@@ -325,3 +325,82 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatal("not all pods terminal")
 	}
 }
+
+func TestVisitPendingFCFSOrder(t *testing.T) {
+	s := New(clock.NewSim())
+	for i := 0; i < 5; i++ {
+		p := testPod(fmt.Sprintf("pod-%d", i))
+		if i%2 == 1 {
+			p.Spec.SchedulerName = "other"
+		}
+		if err := s.CreatePod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []string
+	s.VisitPending("sgx-binpack", func(p *api.Pod) bool {
+		seen = append(seen, p.Name)
+		return true
+	})
+	want := []string{"pod-0", "pod-2", "pod-4"}
+	if len(seen) != len(want) {
+		t.Fatalf("visited %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("visited %v, want %v (FCFS order)", seen, want)
+		}
+	}
+
+	// Early stop.
+	visits := 0
+	s.VisitPending("", func(*api.Pod) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("visits after stop = %d, want 1", visits)
+	}
+}
+
+func TestVisitPendingSkipsBoundPods(t *testing.T) {
+	s := New(clock.NewSim())
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreatePod(testPod("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("p1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	s.VisitPending("", func(p *api.Pod) bool {
+		t.Fatalf("bound pod %s still visited as pending", p.Name)
+		return false
+	})
+}
+
+func TestVisitPodsSeesLiveState(t *testing.T) {
+	s := New(clock.NewSim())
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.CreatePod(testPod(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Bind("p0", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	bound := 0
+	s.VisitPods(func(p *api.Pod) bool {
+		if p.Spec.NodeName != "" {
+			bound++
+		}
+		return true
+	})
+	if bound != 1 {
+		t.Fatalf("bound pods seen = %d, want 1", bound)
+	}
+}

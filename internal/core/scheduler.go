@@ -98,6 +98,9 @@ func New(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Config) (*Sche
 	if cfg.UseMetrics && db == nil {
 		return nil, fmt.Errorf("core: UseMetrics requires a metrics database")
 	}
+	if cfg.Window%time.Millisecond != 0 {
+		return nil, fmt.Errorf("core: window %v has sub-millisecond precision", cfg.Window)
+	}
 	s := &Scheduler{clk: clk, srv: srv, db: db, cfg: cfg}
 
 	var err error
@@ -124,7 +127,7 @@ func replaceWindow(q string, w time.Duration) string {
 	out := ""
 	for i := 0; i+len(def) <= len(q); i++ {
 		if q[i:i+len(def)] == def {
-			out = q[:i] + fmt.Sprintf("now() - %ds", int(w.Seconds())) + q[i+len(def):]
+			out = q[:i] + "now() - " + formatWindow(w) + q[i+len(def):]
 			break
 		}
 	}
@@ -132,6 +135,18 @@ func replaceWindow(q string, w time.Duration) string {
 		return q
 	}
 	return out
+}
+
+// formatWindow renders w as an exact InfluxQL duration literal. Whole
+// seconds keep the paper's "25s" shape; fractional windows render at
+// millisecond precision instead of being truncated (a 1500ms window used
+// to become "1s" and 500ms became "0s"). New rejects sub-millisecond
+// remainders, so this loses nothing.
+func formatWindow(w time.Duration) string {
+	if w%time.Second == 0 {
+		return fmt.Sprintf("%ds", w/time.Second)
+	}
+	return fmt.Sprintf("%dms", w/time.Millisecond)
 }
 
 // Name returns the scheduler identity.
@@ -165,23 +180,36 @@ func (s *Scheduler) Stop() {
 	}
 }
 
-// ScheduleOnce runs a single §IV pass: fetch the FCFS pending queue, fetch
-// node state and usage metrics, filter infeasible job-node combinations,
-// place with the policy, and bind. It returns the number of pods bound.
+// ScheduleOnce runs a single §IV pass: snapshot the FCFS pending queue,
+// fetch node state and usage metrics, filter infeasible job-node
+// combinations, place with the policy, and bind. It returns the number
+// of pods bound.
+//
+// The pending walk takes shallow pod snapshots under the API server lock
+// (one struct copy each — specs are immutable after creation, so the
+// copies are consistent) and releases it before any policy work, so a
+// slow placement pass never stalls concurrent schedulers or kubelets.
 func (s *Scheduler) ScheduleOnce() int {
-	pending := s.srv.PendingPods(s.cfg.Name)
 	s.mu.Lock()
 	s.stats.Passes++
 	s.mu.Unlock()
+
+	var pending []api.Pod
+	s.srv.VisitPending(s.cfg.Name, func(pod *api.Pod) bool {
+		pending = append(pending, *pod)
+		return true
+	})
 	if len(pending) == 0 {
 		return 0
 	}
 
 	view := s.BuildView()
-	bound := 0
-	for _, pod := range pending {
+	bound, unschedulable := 0, 0
+	candidates := make([]*NodeView, 0, len(view.Nodes))
+	for i := range pending {
+		pod := &pending[i]
 		req := pod.TotalRequests()
-		candidates := make([]*NodeView, 0, len(view.Nodes))
+		candidates = candidates[:0]
 		for _, n := range view.Nodes {
 			if n.Fits(req) {
 				candidates = append(candidates, n)
@@ -192,9 +220,7 @@ func (s *Scheduler) ScheduleOnce() int {
 			// Not placeable now: the pod stays queued and is retried
 			// next pass, preserving FCFS priority without head-of-line
 			// blocking the rest of the queue.
-			s.mu.Lock()
-			s.stats.Unschedulable++
-			s.mu.Unlock()
+			unschedulable++
 			continue
 		}
 		if err := s.srv.Bind(pod.Name, nodeName); err != nil {
@@ -202,11 +228,14 @@ func (s *Scheduler) ScheduleOnce() int {
 			// the next pass re-evaluates.
 			continue
 		}
+		// Commit so later decisions in this pass see the node's reduced
+		// headroom.
 		view.Commit(nodeName, req)
 		bound++
 	}
 	s.mu.Lock()
 	s.stats.Bound += bound
+	s.stats.Unschedulable += unschedulable
 	s.mu.Unlock()
 	return bound
 }
@@ -237,40 +266,53 @@ func (s *Scheduler) BuildView() *ClusterView {
 		nodeByName[n.Name] = nv
 	}
 
-	active := s.srv.ListPods(func(p *api.Pod) bool {
-		return p.Spec.NodeName != "" && !p.IsTerminal()
-	})
-	for _, p := range active {
+	s.srv.VisitPods(func(p *api.Pod) bool {
+		if p.Spec.NodeName == "" || p.IsTerminal() {
+			return true
+		}
 		nv, ok := nodeByName[p.Spec.NodeName]
 		if !ok {
-			continue
+			return true
 		}
-		usage := podUsage(p, measuredMem[p.Name], measuredEPC[p.Name],
+		req := p.TotalRequests()
+		k := usageKey{pod: p.Name, node: p.Spec.NodeName}
+		memBytes, epcPages := podUsage(p, req, measuredMem[k], measuredEPC[k],
 			now, s.cfg.MetricsLag, s.cfg.UseMetrics)
-		nv.Used = nv.Used.Add(usage)
+		nv.Used[resource.Memory] += memBytes
+		nv.Used[resource.EPCPages] += epcPages
 		// Device items are reserved by request for the pod's lifetime.
-		nv.FreeDevices -= p.TotalRequests().Get(resource.EPCPages)
-	}
+		nv.FreeDevices -= req.Get(resource.EPCPages)
+		return true
+	})
 	view.sortNodes()
 	return view
 }
 
-// queryUsage runs the sliding-window queries and returns per-pod peak
-// usage in bytes.
-func (s *Scheduler) queryUsage() (epc, mem map[string]float64) {
-	epc = make(map[string]float64)
-	mem = make(map[string]float64)
+// usageKey identifies one measured series the way Listing 1's GROUP BY
+// pod_name, nodename intends. Keying by pod name alone lets a stale
+// series from a node the pod no longer runs on (e.g. after a drain)
+// silently override the live measurement.
+type usageKey struct {
+	pod  string
+	node string
+}
+
+// queryUsage runs the sliding-window queries and returns per-(pod, node)
+// peak usage in bytes.
+func (s *Scheduler) queryUsage() (epc, mem map[usageKey]float64) {
+	epc = make(map[usageKey]float64)
+	mem = make(map[usageKey]float64)
 	if !s.cfg.UseMetrics {
 		return epc, mem
 	}
 	if res, err := influxql.Run(s.db, s.epcQuery); err == nil {
 		for _, row := range res.Rows {
-			epc[row.Tags[monitor.TagPod]] = row.Value
+			epc[usageKey{pod: row.Tags[monitor.TagPod], node: row.Tags[monitor.TagNode]}] = row.Value
 		}
 	}
 	if res, err := influxql.Run(s.db, s.memQuery); err == nil {
 		for _, row := range res.Rows {
-			mem[row.Tags[monitor.TagPod]] = row.Value
+			mem[usageKey{pod: row.Tags[monitor.TagPod], node: row.Tags[monitor.TagNode]}] = row.Value
 		}
 	}
 	return epc, mem

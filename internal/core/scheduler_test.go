@@ -349,6 +349,143 @@ func TestCustomWindowRewritesQueries(t *testing.T) {
 	}
 }
 
+// TestUsageKeyedByPodAndNode reproduces the drained-node override: the
+// database holds series for the same pod name on two nodes (the stale one
+// sorting after the live one, which is the order that used to win under
+// pod-name-only keying), and the view must charge each node only its own
+// measurement.
+func TestUsageKeyedByPodAndNode(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	db := tsdb.New(clk)
+	for _, name := range []string{"a-live", "z-stale"} {
+		if err := srv.RegisterNode(&api.Node{
+			Name:        name,
+			Capacity:    resource.List{resource.Memory: 64 * resource.GiB},
+			Allocatable: resource.List{resource.Memory: 64 * resource.GiB},
+			Ready:       true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(clk, srv, db, Config{
+		Name: "s", Policy: Binpack{}, UseMetrics: true, MetricsLag: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pod := memJob("dup", resource.GiB, resource.GiB, time.Hour)
+	pod.Spec.SchedulerName = "s"
+	if err := srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind("dup", "a-live"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.MarkRunning("dup"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second) // past MetricsLag: measurements only
+
+	// Fresh points, both inside the window: the pod's live series on
+	// a-live reports 1 GiB; a stale series under the same pod name on
+	// z-stale reports 32 GiB.
+	live := float64(resource.GiB)
+	stale := float64(32 * resource.GiB)
+	db.WriteNow(monitor.MeasurementMemory, tsdb.Tags{monitor.TagPod: "dup", monitor.TagNode: "a-live"}, live)
+	db.WriteNow(monitor.MeasurementMemory, tsdb.Tags{monitor.TagPod: "dup", monitor.TagNode: "z-stale"}, stale)
+
+	view := s.BuildView()
+	if got := view.Node("a-live").Used.Get(resource.Memory); got != int64(live) {
+		t.Fatalf("a-live used = %d, want %d (its own series)", got, int64(live))
+	}
+	if got := view.Node("z-stale").Used.Get(resource.Memory); got != 0 {
+		t.Fatalf("z-stale used = %d, want 0 (no pod runs there)", got)
+	}
+}
+
+func TestReplaceWindowFormatsExactly(t *testing.T) {
+	cases := []struct {
+		w    time.Duration
+		want string
+	}{
+		{40 * time.Second, "now() - 40s"},
+		{1500 * time.Millisecond, "now() - 1500ms"},
+		{500 * time.Millisecond, "now() - 500ms"},
+		{2 * time.Minute, "now() - 120s"},
+	}
+	for _, tc := range cases {
+		got := replaceWindow(`... time >= now() - 25s ...`, tc.w)
+		want := "... time >= " + tc.want + " ..."
+		if got != want {
+			t.Errorf("replaceWindow(%v) = %q, want %q", tc.w, got, want)
+		}
+	}
+}
+
+func TestSubSecondWindowParsesToExactOffset(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	db := tsdb.New(clk)
+	s, err := New(clk, srv, db, Config{
+		Name: "s", Policy: Binpack{}, UseMetrics: true, Window: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range s.epcQuery.Where {
+		if c.IsTime {
+			if c.Offset != 1500*time.Millisecond {
+				t.Fatalf("window offset = %v, want 1.5s", c.Offset)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no time condition in rewritten query")
+	}
+}
+
+func TestSubMillisecondWindowRejected(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	db := tsdb.New(clk)
+	if _, err := New(clk, srv, db, Config{
+		Name: "s", Policy: Binpack{}, UseMetrics: true, Window: 1500 * time.Microsecond,
+	}); err == nil {
+		t.Fatal("sub-millisecond window accepted")
+	}
+}
+
+// TestSeriesCountBoundedAfterChurn replays a churning workload: every
+// finished pod's series must be garbage-collected once retention
+// elapses, so the database does not grow for the lifetime of the
+// cluster.
+func TestSeriesCountBoundedAfterChurn(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{stdNodes: 1, sgxNodes: 1, useMetrics: true, enforcement: true})
+	for wave := 0; wave < 3; wave++ {
+		for i := 0; i < 4; i++ {
+			c.submit(t, memJob(fmt.Sprintf("w%d-std-%d", wave, i), resource.GiB, resource.GiB, 20*time.Second))
+			c.submit(t, epcJob(fmt.Sprintf("w%d-sgx-%d", wave, i), 500, resource.MiB, 20*time.Second))
+		}
+		c.clk.Advance(time.Minute)
+	}
+	if !c.srv.AllTerminal() {
+		t.Fatal("churn jobs did not finish")
+	}
+	if got := c.db.SeriesCount(); got == 0 {
+		t.Fatal("expected live series right after the churn")
+	}
+	// Default retention is 10 min and the sweep runs every minute: after
+	// 12 idle minutes every series of the terminated pods must be gone.
+	c.clk.Advance(12 * time.Minute)
+	if got := c.db.SeriesCount(); got != 0 {
+		t.Fatalf("SeriesCount = %d after retention, want 0 (series leak)", got)
+	}
+}
+
 func podNames(pods []*api.Pod) []string {
 	out := make([]string, 0, len(pods))
 	for _, p := range pods {

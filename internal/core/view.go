@@ -47,14 +47,23 @@ func (v *NodeView) Free() resource.List {
 // Fits reports whether a pod with the given requests passes the §IV
 // filter on this node: hardware compatibility (EPC on non-SGX nodes can
 // never fit), device-item availability, and the saturation check against
-// the usage-based headroom.
+// the usage-based headroom. It runs once per (pod, node) pair per pass,
+// so it checks headroom directly instead of materialising Free().
 func (v *NodeView) Fits(req resource.List) bool {
 	if pages := req.Get(resource.EPCPages); pages > 0 {
 		if !v.SGX || pages > v.FreeDevices {
 			return false
 		}
 	}
-	return v.Free().Fits(req)
+	for k, q := range req {
+		if q <= 0 {
+			continue
+		}
+		if v.Allocatable.Get(k)-v.Used.Get(k) < q {
+			return false
+		}
+	}
+	return true
 }
 
 // LoadFraction returns this node's utilisation of the given resource in
@@ -83,13 +92,14 @@ func (c *ClusterView) Node(name string) *NodeView {
 }
 
 // Commit records a placement decided in this pass so later decisions in
-// the same pass see the node's reduced headroom.
+// the same pass see the node's reduced headroom. Used is mutated in
+// place; views built by BuildView always carry a writable map.
 func (c *ClusterView) Commit(nodeName string, req resource.List) {
 	n := c.Node(nodeName)
 	if n == nil {
 		return
 	}
-	n.Used = n.Used.Add(req)
+	n.Used.AddInPlace(req)
 	n.FreeDevices -= req.Get(resource.EPCPages)
 }
 
@@ -107,24 +117,23 @@ func (c *ClusterView) sortNodes() {
 // the measurement and the request; mature pods are charged their measured
 // usage only — which is how a usage-aware scheduler reclaims headroom from
 // over-declaring jobs and detects under-declaring (malicious) ones.
-func podUsage(p *api.Pod, measuredMem, measuredEPCBytes float64, now time.Time, lag time.Duration, useMetrics bool) resource.List {
-	req := p.TotalRequests()
+// podUsage returns scalars rather than a resource.List: it runs once per
+// active pod per pass, and the caller folds the result straight into the
+// node's usage accumulators.
+func podUsage(p *api.Pod, req resource.List, measuredMem, measuredEPCBytes float64, now time.Time, lag time.Duration, useMetrics bool) (memBytes, epcPages int64) {
 	if !useMetrics {
-		return resource.List{
-			resource.Memory:   req.Get(resource.Memory),
-			resource.EPCPages: req.Get(resource.EPCPages),
-		}
+		return req.Get(resource.Memory), req.Get(resource.EPCPages)
 	}
-	measured := resource.List{
-		resource.Memory:   int64(measuredMem),
-		resource.EPCPages: resource.PagesForBytes(int64(measuredEPCBytes)),
-	}
+	memBytes = int64(measuredMem)
+	epcPages = resource.PagesForBytes(int64(measuredEPCBytes))
 	young := p.Status.StartedAt.IsZero() || now.Sub(p.Status.StartedAt) < lag
 	if young {
-		return measured.Max(resource.List{
-			resource.Memory:   req.Get(resource.Memory),
-			resource.EPCPages: req.Get(resource.EPCPages),
-		})
+		if r := req.Get(resource.Memory); r > memBytes {
+			memBytes = r
+		}
+		if r := req.Get(resource.EPCPages); r > epcPages {
+			epcPages = r
+		}
 	}
-	return measured
+	return memBytes, epcPages
 }

@@ -62,9 +62,9 @@ func TestClusterViewCommit(t *testing.T) {
 func TestPodUsageRequestOnlyMode(t *testing.T) {
 	p := sgxPodReq(100, 10)
 	now := clock.SimEpoch
-	got := podUsage(p, 999999, 999999, now, 25*time.Second, false)
-	if got.Get(resource.Memory) != 100 || got.Get(resource.EPCPages) != 10 {
-		t.Fatalf("request-only usage = %v", got)
+	mem, epc := podUsage(p, p.TotalRequests(), 999999, 999999, now, 25*time.Second, false)
+	if mem != 100 || epc != 10 {
+		t.Fatalf("request-only usage = %d bytes, %d pages", mem, epc)
 	}
 }
 
@@ -72,15 +72,15 @@ func TestPodUsageYoungPodTakesMax(t *testing.T) {
 	p := sgxPodReq(100, 10)
 	now := clock.SimEpoch
 	// Not yet started: requests dominate missing metrics.
-	got := podUsage(p, 0, 0, now, 25*time.Second, true)
-	if got.Get(resource.Memory) != 100 || got.Get(resource.EPCPages) != 10 {
-		t.Fatalf("young unstarted usage = %v", got)
+	mem, epc := podUsage(p, p.TotalRequests(), 0, 0, now, 25*time.Second, true)
+	if mem != 100 || epc != 10 {
+		t.Fatalf("young unstarted usage = %d bytes, %d pages", mem, epc)
 	}
 	// Started 5s ago with metrics above requests (malicious): max wins.
 	p.Status.StartedAt = now.Add(-5 * time.Second)
-	got = podUsage(p, 500, float64(20*4096), now, 25*time.Second, true)
-	if got.Get(resource.Memory) != 500 || got.Get(resource.EPCPages) != 20 {
-		t.Fatalf("young measured usage = %v", got)
+	mem, epc = podUsage(p, p.TotalRequests(), 500, float64(20*4096), now, 25*time.Second, true)
+	if mem != 500 || epc != 20 {
+		t.Fatalf("young measured usage = %d bytes, %d pages", mem, epc)
 	}
 }
 
@@ -90,9 +90,9 @@ func TestPodUsageMaturePodTrustsMetrics(t *testing.T) {
 	p.Status.StartedAt = now.Add(-time.Minute)
 	// Mature over-declaring pod: measured (low) frees headroom for the
 	// usage-aware scheduler.
-	got := podUsage(p, 200, float64(30*4096), now, 25*time.Second, true)
-	if got.Get(resource.Memory) != 200 || got.Get(resource.EPCPages) != 30 {
-		t.Fatalf("mature usage = %v", got)
+	mem, epc := podUsage(p, p.TotalRequests(), 200, float64(30*4096), now, 25*time.Second, true)
+	if mem != 200 || epc != 30 {
+		t.Fatalf("mature usage = %d bytes, %d pages", mem, epc)
 	}
 }
 
@@ -103,9 +103,9 @@ func TestPodUsageMaliciousMatureExceedsRequests(t *testing.T) {
 	now := clock.SimEpoch.Add(time.Hour)
 	p.Status.StartedAt = now.Add(-10 * time.Minute)
 	halfEPC := float64(11968 * 4096)
-	got := podUsage(p, 0, halfEPC, now, 25*time.Second, true)
-	if got.Get(resource.EPCPages) != 11968 {
-		t.Fatalf("malicious usage = %v, want 11968 pages", got)
+	_, epc := podUsage(p, p.TotalRequests(), 0, halfEPC, now, 25*time.Second, true)
+	if epc != 11968 {
+		t.Fatalf("malicious usage = %d pages, want 11968", epc)
 	}
 }
 

@@ -187,4 +187,5 @@ func (tb *Testbed) Close() {
 	for _, kl := range tb.Kubelets {
 		kl.Stop()
 	}
+	tb.DB.Close()
 }

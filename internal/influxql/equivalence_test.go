@@ -1,0 +1,257 @@
+package influxql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// refSample is the unit of the reference executor below: one tagged,
+// timestamped value, exactly as the pre-streaming executor materialised
+// them.
+type refSample struct {
+	tags  tsdb.Tags
+	time  time.Time
+	field string
+	value float64
+}
+
+// refRun is the old materializing executor, kept verbatim as the
+// behavioural oracle: flatten every point of every series into one
+// slice, filter, then group with per-group value slices. The streaming
+// executor must be observationally identical to it.
+func refRun(db *tsdb.DB, q *Query) (Result, error) {
+	var samples []refSample
+	if q.Source.Sub != nil {
+		inner, err := refRun(db, q.Source.Sub)
+		if err != nil {
+			return Result{}, err
+		}
+		now := db.Now()
+		for _, row := range inner.Rows {
+			samples = append(samples, refSample{
+				tags:  tsdb.Tags(row.Tags).Clone(),
+				time:  now,
+				field: row.Field,
+				value: row.Value,
+			})
+		}
+	} else {
+		for _, s := range db.Series(q.Source.Measurement) {
+			for _, p := range s.Points {
+				samples = append(samples, refSample{tags: s.Tags, time: p.Time, field: "value", value: p.Value})
+			}
+		}
+	}
+
+	now := db.Now()
+	kept := samples[:0]
+	for _, s := range samples {
+		keep := true
+		for _, c := range q.Where {
+			ok, err := refEvalCondition(c, s, now)
+			if err != nil {
+				return Result{}, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			kept = append(kept, s)
+		}
+	}
+
+	type group struct {
+		tags   tsdb.Tags
+		values []float64
+		last   refSample
+	}
+	groups := make(map[string]*group)
+	for _, s := range kept {
+		if s.field != q.Field.Arg {
+			return Result{}, fmt.Errorf("%w: %q (source provides %q)", ErrUnknownField, q.Field.Arg, s.field)
+		}
+		key := groupKey(q.GroupBy, s.tags)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{tags: projectTags(q.GroupBy, s.tags)}
+			groups[key] = g
+		}
+		g.values = append(g.values, s.value)
+		if s.time.After(g.last.time) || len(g.values) == 1 {
+			g.last = s
+		}
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	res := Result{Rows: make([]Row, 0, len(keys))}
+	for _, k := range keys {
+		g := groups[k]
+		v, err := refFold(q.Field.Func, g.values, g.last.value)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Rows = append(res.Rows, Row{Tags: g.tags, Field: q.Field.OutName(), Value: v})
+	}
+	return res, nil
+}
+
+func refEvalCondition(c Condition, s refSample, now time.Time) (bool, error) {
+	switch {
+	case c.IsTime:
+		return compareTime(s.time, c.Op, now.Add(-c.Offset))
+	case c.IsTag:
+		v := s.tags[c.Subject]
+		if c.Op == OpEq {
+			return v == c.Str, nil
+		}
+		return v != c.Str, nil
+	default:
+		if c.Subject != s.field {
+			return false, fmt.Errorf("%w: %q (source provides %q)", ErrUnknownField, c.Subject, s.field)
+		}
+		return compareFloat(s.value, c.Op, c.Number)
+	}
+}
+
+func refFold(fn AggFunc, values []float64, last float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, nil
+	}
+	switch fn {
+	case AggSum:
+		var sum float64
+		for _, v := range values {
+			sum += v
+		}
+		return sum, nil
+	case AggMax:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	case AggMin:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case AggMean:
+		var sum float64
+		for _, v := range values {
+			sum += v
+		}
+		return sum / float64(len(values)), nil
+	case AggCount:
+		return float64(len(values)), nil
+	case AggLast:
+		return last, nil
+	default:
+		return 0, fmt.Errorf("influxql: unsupported aggregation %q", fn)
+	}
+}
+
+func resultsEqual(a, b Result) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.Field != rb.Field || ra.Value != rb.Value || len(ra.Tags) != len(rb.Tags) {
+			return false
+		}
+		for k, v := range ra.Tags {
+			if rb.Tags[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestStreamingMatchesMaterializingExecutor drives randomized databases
+// and queries through both executors and requires bit-identical results.
+// Values are small integers so float folds are exact in either
+// evaluation order.
+func TestStreamingMatchesMaterializingExecutor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	aggs := []string{"SUM", "MAX", "MIN", "MEAN", "COUNT", "LAST"}
+	for trial := 0; trial < 200; trial++ {
+		clk := clock.NewSim()
+		db := tsdb.New(clk, tsdb.WithGCInterval(0))
+		start := clk.Now()
+		clk.Advance(2 * time.Minute)
+		now := clk.Now()
+
+		nPoints := rng.Intn(300)
+		for i := 0; i < nPoints; i++ {
+			tags := tsdb.Tags{
+				"pod_name": fmt.Sprintf("p%d", rng.Intn(6)),
+				"nodename": fmt.Sprintf("n%d", rng.Intn(3)),
+			}
+			at := start.Add(time.Duration(rng.Int63n(int64(2 * time.Minute))))
+			db.Write("m", tags, float64(rng.Intn(8)), at) // zeros included
+		}
+		_ = now
+
+		agg := aggs[rng.Intn(len(aggs))]
+		window := time.Duration(5+rng.Intn(115)) * time.Second
+		inner := fmt.Sprintf(`SELECT %s(value) AS v FROM "m"`, agg)
+		var conds []string
+		if rng.Intn(2) == 0 {
+			conds = append(conds, "value <> 0")
+		}
+		if rng.Intn(4) == 0 {
+			conds = append(conds, fmt.Sprintf("nodename = 'n%d'", rng.Intn(3)))
+		}
+		conds = append(conds, fmt.Sprintf("time >= now() - %ds", int(window.Seconds())))
+		inner += " WHERE " + conds[0]
+		for _, c := range conds[1:] {
+			inner += " AND " + c
+		}
+		switch rng.Intn(3) {
+		case 1:
+			inner += " GROUP BY pod_name"
+		case 2:
+			inner += " GROUP BY pod_name, nodename"
+		}
+		query := inner
+		if rng.Intn(2) == 0 {
+			query = `SELECT SUM(v) AS total FROM (` + inner + `) GROUP BY nodename`
+		}
+
+		q, err := Parse(query)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, query, err)
+		}
+		got, gotErr := Run(db, q)
+		want, wantErr := refRun(db, q)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d: error mismatch: streaming=%v reference=%v (query %q)",
+				trial, gotErr, wantErr, query)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if !resultsEqual(got, want) {
+			t.Fatalf("trial %d: query %q\nstreaming: %+v\nreference: %+v",
+				trial, query, got.Rows, want.Rows)
+		}
+	}
+}

@@ -46,101 +46,189 @@ func Execute(db *tsdb.DB, query string) (Result, error) {
 	return Run(db, q)
 }
 
-// sample is the internal unit flowing between query stages: a tagged,
-// timestamped value under a field name.
-type sample struct {
-	tags  tsdb.Tags
-	time  time.Time
-	field string
-	value float64
-}
-
 // Run executes a parsed query against the database.
+//
+// Execution is streaming: raw-measurement sources are read through the
+// tsdb windowed scan with the time predicates pushed down as the scan
+// bounds, tag predicates evaluated once per series, and the remaining
+// point predicates applied as points flow into per-group running
+// aggregates. A query therefore allocates O(groups), never O(points).
 func Run(db *tsdb.DB, q *Query) (Result, error) {
-	samples, err := evalSource(db, q.Source)
-	if err != nil {
+	agg := newAggregator(q)
+	if q.Source.Sub != nil {
+		if err := runSub(db, q, agg); err != nil {
+			return Result{}, err
+		}
+		return agg.result()
+	}
+	if err := runScan(db, q, agg); err != nil {
 		return Result{}, err
 	}
-	samples, err = applyWhere(db, q.Where, samples)
+	return agg.result()
+}
+
+// runSub evaluates a subquery source: every inner row becomes one sample
+// stamped at now(), filtered by the outer WHERE and folded into agg.
+func runSub(db *tsdb.DB, q *Query, agg *aggregator) error {
+	inner, err := Run(db, q.Source.Sub)
 	if err != nil {
-		return Result{}, err
-	}
-	return aggregate(q, samples)
-}
-
-func evalSource(db *tsdb.DB, src Source) ([]sample, error) {
-	if src.Sub != nil {
-		inner, err := Run(db, src.Sub)
-		if err != nil {
-			return nil, err
-		}
-		now := db.Now()
-		out := make([]sample, 0, len(inner.Rows))
-		for _, row := range inner.Rows {
-			out = append(out, sample{
-				tags:  tsdb.Tags(row.Tags).Clone(),
-				time:  now,
-				field: row.Field,
-				value: row.Value,
-			})
-		}
-		return out, nil
-	}
-	var out []sample
-	for _, s := range db.Series(src.Measurement) {
-		for _, p := range s.Points {
-			out = append(out, sample{
-				tags:  s.Tags,
-				time:  p.Time,
-				field: "value",
-				value: p.Value,
-			})
-		}
-	}
-	return out, nil
-}
-
-func applyWhere(db *tsdb.DB, conds []Condition, in []sample) ([]sample, error) {
-	if len(conds) == 0 {
-		return in, nil
+		return err
 	}
 	now := db.Now()
-	out := in[:0]
-	for _, s := range in {
+	for _, row := range inner.Rows {
 		keep := true
-		for _, c := range conds {
-			ok, err := evalCondition(c, s, now)
+		for _, c := range q.Where {
+			ok, err := evalRowCondition(c, row, now)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !ok {
 				keep = false
 				break
 			}
 		}
-		if keep {
-			out = append(out, s)
+		if !keep {
+			continue
 		}
+		if row.Field != q.Field.Arg {
+			return fmt.Errorf("%w: %q (source provides %q)", ErrUnknownField, q.Field.Arg, row.Field)
+		}
+		agg.observe(tsdb.Tags(row.Tags), now, row.Value)
 	}
-	return out, nil
+	return nil
 }
 
-func evalCondition(c Condition, s sample, now time.Time) (bool, error) {
+// runScan evaluates a raw-measurement source through the tsdb scan.
+func runScan(db *tsdb.DB, q *Query, agg *aggregator) error {
+	now := db.Now()
+	from, to, residual, empty, err := pushdownWindow(q.Where, now)
+	if err != nil {
+		return err
+	}
+	if empty {
+		return nil
+	}
+	var scanErr error
+	db.Scan(q.Source.Measurement, from, to, func(tags tsdb.Tags, pts []tsdb.Point) bool {
+		for _, c := range residual {
+			if !c.IsTag {
+				continue
+			}
+			v := tags[c.Subject]
+			if keep := (c.Op == OpEq) == (v == c.Str); !keep {
+				return true // next series
+			}
+		}
+		var g *groupState
+		for i := range pts {
+			p := &pts[i]
+			keep := true
+			for _, c := range residual {
+				switch {
+				case c.IsTag:
+					// Handled once per series above.
+				case c.IsTime:
+					ok, err := compareTime(p.Time, c.Op, now.Add(-c.Offset))
+					if err != nil {
+						scanErr = err
+						return false
+					}
+					keep = keep && ok
+				default:
+					if c.Subject != "value" {
+						scanErr = fmt.Errorf("%w: %q (source provides %q)", ErrUnknownField, c.Subject, "value")
+						return false
+					}
+					ok, err := compareFloat(p.Value, c.Op, c.Number)
+					if err != nil {
+						scanErr = err
+						return false
+					}
+					keep = keep && ok
+				}
+				if !keep {
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+			if q.Field.Arg != "value" {
+				scanErr = fmt.Errorf("%w: %q (source provides %q)", ErrUnknownField, q.Field.Arg, "value")
+				return false
+			}
+			if g == nil {
+				g = agg.group(tags) // one key build + lookup per series
+			}
+			g.observe(p.Time, p.Value)
+		}
+		return true
+	})
+	return scanErr
+}
+
+// pushdownWindow folds range-style time conditions into inclusive scan
+// bounds [from, to] (zero = unbounded) and returns the conditions that
+// still need per-series or per-point evaluation. empty reports a
+// provably empty window (from after to).
+func pushdownWindow(conds []Condition, now time.Time) (from, to time.Time, residual []Condition, empty bool, err error) {
+	tightenFrom := func(t time.Time) {
+		if from.IsZero() || t.After(from) {
+			from = t
+		}
+	}
+	tightenTo := func(t time.Time) {
+		if to.IsZero() || t.Before(to) {
+			to = t
+		}
+	}
+	for _, c := range conds {
+		if !c.IsTime {
+			residual = append(residual, c)
+			continue
+		}
+		threshold := now.Add(-c.Offset)
+		switch c.Op {
+		case OpGte:
+			tightenFrom(threshold)
+		case OpGt:
+			tightenFrom(threshold.Add(time.Nanosecond))
+		case OpLte:
+			tightenTo(threshold)
+		case OpLt:
+			tightenTo(threshold.Add(-time.Nanosecond))
+		case OpEq:
+			tightenFrom(threshold)
+			tightenTo(threshold)
+		case OpNeq:
+			residual = append(residual, c)
+		default:
+			return from, to, nil, false, fmt.Errorf("influxql: unsupported time operator %q", c.Op)
+		}
+	}
+	if !from.IsZero() && !to.IsZero() && from.After(to) {
+		return from, to, nil, true, nil
+	}
+	return from, to, residual, false, nil
+}
+
+// evalRowCondition applies one WHERE conjunct to a subquery output row
+// (whose implicit timestamp is now()).
+func evalRowCondition(c Condition, row Row, now time.Time) (bool, error) {
 	switch {
 	case c.IsTime:
-		threshold := now.Add(-c.Offset)
-		return compareTime(s.time, c.Op, threshold)
+		return compareTime(now, c.Op, now.Add(-c.Offset))
 	case c.IsTag:
-		v := s.tags[c.Subject]
+		v := row.Tags[c.Subject]
 		if c.Op == OpEq {
 			return v == c.Str, nil
 		}
 		return v != c.Str, nil
 	default:
-		if c.Subject != s.field {
-			return false, fmt.Errorf("%w: %q (source provides %q)", ErrUnknownField, c.Subject, s.field)
+		if c.Subject != row.Field {
+			return false, fmt.Errorf("%w: %q (source provides %q)", ErrUnknownField, c.Subject, row.Field)
 		}
-		return compareFloat(s.value, c.Op, c.Number)
+		return compareFloat(row.Value, c.Op, c.Number)
 	}
 }
 
@@ -182,52 +270,107 @@ func compareFloat(v float64, op CompareOp, x float64) (bool, error) {
 	}
 }
 
-// aggregate groups samples by the GROUP BY tags and folds each group with
-// the aggregation function.
-func aggregate(q *Query, samples []sample) (Result, error) {
-	type group struct {
-		tags   tsdb.Tags
-		values []float64
-		last   sample
-	}
-	groups := make(map[string]*group)
-	for _, s := range samples {
-		if s.field != q.Field.Arg {
-			return Result{}, fmt.Errorf("%w: %q (source provides %q)",
-				ErrUnknownField, q.Field.Arg, s.field)
-		}
-		key := groupKey(q.GroupBy, s.tags)
-		g, ok := groups[key]
-		if !ok {
-			g = &group{tags: projectTags(q.GroupBy, s.tags)}
-			groups[key] = g
-		}
-		g.values = append(g.values, s.value)
-		if s.time.After(g.last.time) || len(g.values) == 1 {
-			g.last = s
-		}
-	}
+// aggregator folds samples into per-group running state so memory stays
+// proportional to the number of output rows.
+type aggregator struct {
+	q      *Query
+	groups map[string]*groupState
+}
 
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
+// groupState carries every running statistic any supported aggregation
+// needs; fold picks the right one at result time.
+type groupState struct {
+	tags     tsdb.Tags
+	count    int64
+	sum      float64
+	max      float64
+	min      float64
+	last     float64
+	lastTime time.Time
+}
+
+func newAggregator(q *Query) *aggregator {
+	return &aggregator{q: q, groups: make(map[string]*groupState)}
+}
+
+// group resolves (or creates) the group for a tag set.
+func (a *aggregator) group(tags tsdb.Tags) *groupState {
+	key := groupKey(a.q.GroupBy, tags)
+	g, ok := a.groups[key]
+	if !ok {
+		g = &groupState{tags: projectTags(a.q.GroupBy, tags)}
+		a.groups[key] = g
+	}
+	return g
+}
+
+// observe folds one sample into the group for its tags.
+func (a *aggregator) observe(tags tsdb.Tags, t time.Time, v float64) {
+	a.group(tags).observe(t, v)
+}
+
+// observe folds one sample into the running state. The first sample
+// seeds LAST; afterwards a strictly later timestamp wins, matching
+// InfluxQL's LAST over unordered inputs.
+func (g *groupState) observe(t time.Time, v float64) {
+	g.count++
+	if g.count == 1 {
+		g.sum, g.max, g.min, g.last, g.lastTime = v, v, v, v, t
+		return
+	}
+	g.sum += v
+	if v > g.max {
+		g.max = v
+	}
+	if v < g.min {
+		g.min = v
+	}
+	if t.After(g.lastTime) {
+		g.last, g.lastTime = v, t
+	}
+}
+
+// result renders the groups as rows ordered by group key.
+func (a *aggregator) result() (Result, error) {
+	keys := make([]string, 0, len(a.groups))
+	for k := range a.groups {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 
 	res := Result{Rows: make([]Row, 0, len(keys))}
 	for _, k := range keys {
-		g := groups[k]
-		v, err := fold(q.Field.Func, g.values, g.last.value)
+		g := a.groups[k]
+		v, err := g.fold(a.q.Field.Func)
 		if err != nil {
 			return Result{}, err
 		}
 		res.Rows = append(res.Rows, Row{
 			Tags:  g.tags,
-			Field: q.Field.OutName(),
+			Field: a.q.Field.OutName(),
 			Value: v,
 		})
 	}
 	return res, nil
+}
+
+func (g *groupState) fold(fn AggFunc) (float64, error) {
+	switch fn {
+	case AggSum:
+		return g.sum, nil
+	case AggMax:
+		return g.max, nil
+	case AggMin:
+		return g.min, nil
+	case AggMean:
+		return g.sum / float64(g.count), nil
+	case AggCount:
+		return float64(g.count), nil
+	case AggLast:
+		return g.last, nil
+	default:
+		return 0, fmt.Errorf("influxql: unsupported aggregation %q", fn)
+	}
 }
 
 func groupKey(groupBy []string, tags tsdb.Tags) string {
@@ -247,46 +390,4 @@ func projectTags(groupBy []string, tags tsdb.Tags) tsdb.Tags {
 		out[k] = tags[k]
 	}
 	return out
-}
-
-func fold(fn AggFunc, values []float64, last float64) (float64, error) {
-	if len(values) == 0 {
-		return 0, nil
-	}
-	switch fn {
-	case AggSum:
-		var sum float64
-		for _, v := range values {
-			sum += v
-		}
-		return sum, nil
-	case AggMax:
-		m := values[0]
-		for _, v := range values[1:] {
-			if v > m {
-				m = v
-			}
-		}
-		return m, nil
-	case AggMin:
-		m := values[0]
-		for _, v := range values[1:] {
-			if v < m {
-				m = v
-			}
-		}
-		return m, nil
-	case AggMean:
-		var sum float64
-		for _, v := range values {
-			sum += v
-		}
-		return sum / float64(len(values)), nil
-	case AggCount:
-		return float64(len(values)), nil
-	case AggLast:
-		return last, nil
-	default:
-		return 0, fmt.Errorf("influxql: unsupported aggregation %q", fn)
-	}
 }

@@ -164,6 +164,41 @@ func (p *Probe) Scrape() {
 	}
 }
 
+// PodNode identifies one collected series: the (pod_name, nodename) pair
+// Listing 1 groups by.
+type PodNode struct {
+	Pod  string
+	Node string
+}
+
+// WindowPeak reads the trailing window of a measurement through the tsdb
+// scan path and returns the peak non-zero value per (pod, node) series —
+// the inner query of Listing 1 computed without materialising any points.
+// It is the collectors' read-side companion: probes and Heapster write
+// one series per (pod, node), and this folds each series' window in
+// place.
+func WindowPeak(db *tsdb.DB, measurement string, window time.Duration) map[PodNode]float64 {
+	out := make(map[PodNode]float64)
+	from := db.Now().Add(-window)
+	db.Scan(measurement, from, time.Time{}, func(tags tsdb.Tags, pts []tsdb.Point) bool {
+		key := PodNode{Pod: tags[TagPod], Node: tags[TagNode]}
+		peak, seen := 0.0, false
+		for _, p := range pts {
+			if p.Value == 0 {
+				continue
+			}
+			if !seen || p.Value > peak {
+				peak, seen = p.Value, true
+			}
+		}
+		if seen {
+			out[key] = peak
+		}
+		return true
+	})
+	return out
+}
+
 // DaemonSet deploys probes across the cluster the way the paper does
 // (§V-C): one probe per SGX-enabled node, where "the distinction between
 // standard and SGX-enabled cluster nodes is made by checking for the EPC

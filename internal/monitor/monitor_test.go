@@ -127,3 +127,31 @@ func TestProbeStartStop(t *testing.T) {
 		t.Fatalf("points = %+v", series)
 	}
 }
+
+func TestWindowPeakMatchesListing1Inner(t *testing.T) {
+	clk := clock.NewSim()
+	db := tsdb.New(clk)
+	p := NewProbe(clk, db, &fakeSource{node: "sgx-1", stats: []kubelet.PodStat{
+		{PodName: "job-1", EPCBytes: 4 * resource.MiB},
+		{PodName: "idle", EPCBytes: 0},
+	}}, 0)
+	p.Scrape()
+	clk.Advance(10 * time.Second)
+	p.Scrape()
+
+	// A stale peak outside the window must not surface.
+	db.Write(MeasurementEPC, tsdb.Tags{TagPod: "job-1", TagNode: "sgx-1"},
+		float64(100*resource.MiB), clk.Now().Add(-time.Minute))
+
+	peaks := WindowPeak(db, MeasurementEPC, 25*time.Second)
+	if got := peaks[PodNode{Pod: "job-1", Node: "sgx-1"}]; got != float64(4*resource.MiB) {
+		t.Fatalf("job-1 peak = %v, want %d", got, 4*resource.MiB)
+	}
+	// Zero-valued series are filtered like Listing 1's value <> 0.
+	if _, ok := peaks[PodNode{Pod: "idle", Node: "sgx-1"}]; ok {
+		t.Fatal("idle (all-zero) series surfaced a peak")
+	}
+	if len(peaks) != 1 {
+		t.Fatalf("peaks = %v, want only job-1", peaks)
+	}
+}

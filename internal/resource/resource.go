@@ -73,6 +73,15 @@ func (l List) Add(other List) List {
 	return out
 }
 
+// AddInPlace accumulates other into l element-wise without allocating.
+// Hot paths (per-pod accounting in every scheduler pass) use it instead
+// of Add; l must be a writable map.
+func (l List) AddInPlace(other List) {
+	for k, v := range other {
+		l[k] += v
+	}
+}
+
 // Sub returns a new List holding l - other, element-wise. Quantities may
 // go negative; use Fits to test satisfiability instead.
 func (l List) Sub(other List) List {

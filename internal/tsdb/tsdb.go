@@ -8,6 +8,15 @@
 // (pod_name, nodename); each series is an append-mostly list of
 // timestamped float64 samples of a single field called "value", matching
 // how Heapster writes metrics.
+//
+// Layout: series are indexed per measurement and every series keeps its
+// points time-ordered, so sliding-window reads binary-search the window
+// bounds and visit points in place (Scan) instead of copying the whole
+// keyspace. Retention is enforced three ways: points are pruned on write,
+// reads clamp their window to the retention cutoff so expired points are
+// never observed, and a clock-driven garbage-collection sweep deletes
+// whole series whose newest point has aged out — so series of terminated
+// pods do not accumulate over a long replay.
 package tsdb
 
 import (
@@ -66,19 +75,34 @@ type SeriesData struct {
 // suffice.
 const DefaultRetention = 10 * time.Minute
 
+// DefaultGCInterval is how often the background sweep looks for series
+// whose newest point has aged out of retention.
+const DefaultGCInterval = time.Minute
+
 // DB is the in-memory time-series database.
 type DB struct {
-	clk       clock.Clock
-	retention time.Duration
+	clk        clock.Clock
+	retention  time.Duration
+	gcInterval time.Duration
 
-	mu     sync.Mutex
-	series map[string]*seriesEntry
+	mu           sync.Mutex
+	measurements map[string]*measurementIndex
+	nSeries      int
+	stopGC       func()
+}
+
+// measurement groups the series of one measurement name. entries is kept
+// sorted by canonical tag key so reads are deterministic without sorting
+// per query; series creation (rare relative to writes) pays the insertion.
+type measurementIndex struct {
+	byKey   map[string]*seriesEntry
+	entries []*seriesEntry
 }
 
 type seriesEntry struct {
-	measurement string
-	tags        Tags
-	points      []Point
+	key    string // canonical tags
+	tags   Tags
+	points []Point // time-ordered
 }
 
 // Option configures the DB.
@@ -89,17 +113,40 @@ func WithRetention(d time.Duration) Option {
 	return func(db *DB) { db.retention = d }
 }
 
-// New creates an empty database.
+// WithGCInterval overrides the series garbage-collection period; a
+// non-positive value disables the background sweep (SweepNow still works).
+func WithGCInterval(d time.Duration) Option {
+	return func(db *DB) { db.gcInterval = d }
+}
+
+// New creates an empty database and starts its retention sweep on the
+// given clock. Call Close to stop the sweep.
 func New(clk clock.Clock, opts ...Option) *DB {
 	db := &DB{
-		clk:       clk,
-		retention: DefaultRetention,
-		series:    make(map[string]*seriesEntry),
+		clk:          clk,
+		retention:    DefaultRetention,
+		gcInterval:   DefaultGCInterval,
+		measurements: make(map[string]*measurementIndex),
 	}
 	for _, o := range opts {
 		o(db)
 	}
+	if db.gcInterval > 0 {
+		db.stopGC = clock.Periodic(clk, db.gcInterval, func() { db.SweepNow() })
+	}
 	return db
+}
+
+// Close stops the background retention sweep. The database remains
+// readable and writable.
+func (db *DB) Close() {
+	db.mu.Lock()
+	stop := db.stopGC
+	db.stopGC = nil
+	db.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
 }
 
 // Now exposes the database clock; the query engine evaluates now()
@@ -107,18 +154,35 @@ func New(clk clock.Clock, opts ...Option) *DB {
 func (db *DB) Now() time.Time { return db.clk.Now() }
 
 // Write appends a sample to the series identified by measurement and
-// tags, stamped at time t. Out-of-order writes are tolerated (points are
-// kept sorted by insertion; queries do not rely on order).
+// tags, stamped at time t. Out-of-order writes are tolerated: the point
+// is inserted at its time-ordered position.
 func (db *DB) Write(measurement string, tags Tags, value float64, t time.Time) {
-	key := measurement + "|" + tags.canonical()
+	key := tags.canonical()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	e, ok := db.series[key]
+	m, ok := db.measurements[measurement]
 	if !ok {
-		e = &seriesEntry{measurement: measurement, tags: tags.Clone()}
-		db.series[key] = e
+		m = &measurementIndex{byKey: make(map[string]*seriesEntry)}
+		db.measurements[measurement] = m
 	}
-	e.points = append(e.points, Point{Time: t, Value: value})
+	e, ok := m.byKey[key]
+	if !ok {
+		e = &seriesEntry{key: key, tags: tags.Clone()}
+		m.byKey[key] = e
+		i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].key >= key })
+		m.entries = append(m.entries, nil)
+		copy(m.entries[i+1:], m.entries[i:])
+		m.entries[i] = e
+		db.nSeries++
+	}
+	if n := len(e.points); n == 0 || !t.Before(e.points[n-1].Time) {
+		e.points = append(e.points, Point{Time: t, Value: value})
+	} else {
+		i := sort.Search(n, func(i int) bool { return e.points[i].Time.After(t) })
+		e.points = append(e.points, Point{})
+		copy(e.points[i+1:], e.points[i:])
+		e.points[i] = Point{Time: t, Value: value}
+	}
 	db.pruneLocked(e)
 }
 
@@ -128,39 +192,82 @@ func (db *DB) WriteNow(measurement string, tags Tags, value float64) {
 }
 
 // pruneLocked discards points older than the retention window, relative
-// to the clock. Caller must hold db.mu.
+// to the clock. Points are time-ordered, so the expired run is a prefix.
+// Caller must hold db.mu.
 func (db *DB) pruneLocked(e *seriesEntry) {
 	cutoff := db.clk.Now().Add(-db.retention)
-	i := 0
-	for i < len(e.points) && e.points[i].Time.Before(cutoff) {
-		i++
-	}
+	i := sort.Search(len(e.points), func(i int) bool { return !e.points[i].Time.Before(cutoff) })
 	if i > 0 {
 		e.points = append(e.points[:0], e.points[i:]...)
 	}
 }
 
-// Series returns copies of every series in the measurement, ordered
-// deterministically by canonical tags.
-func (db *DB) Series(measurement string) []SeriesData {
+// window returns the in-place sub-slice of e's points in [from, to]. A
+// zero from/to leaves that side unbounded; the retention cutoff always
+// applies as a lower bound so reads never observe expired points.
+func (e *seriesEntry) window(cutoff, from, to time.Time) []Point {
+	if from.Before(cutoff) {
+		from = cutoff
+	}
+	pts := e.points
+	lo := sort.Search(len(pts), func(i int) bool { return !pts[i].Time.Before(from) })
+	hi := len(pts)
+	if !to.IsZero() {
+		hi = sort.Search(len(pts), func(i int) bool { return pts[i].Time.After(to) })
+	}
+	if lo >= hi {
+		return nil
+	}
+	return pts[lo:hi]
+}
+
+// Scan visits, in place and in canonical series order, every series of
+// the measurement holding at least one point in [from, to]. A zero from
+// or to leaves that bound open; expired points are never visited. fn
+// receives the series tags and the time-ordered window slice; returning
+// false stops the scan. The callback runs under the database lock: it
+// must not retain either argument past its return nor call back into the
+// DB.
+func (db *DB) Scan(measurement string, from, to time.Time, fn func(tags Tags, points []Point) bool) {
+	cutoff := db.clk.Now().Add(-db.retention)
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	keys := make([]string, 0, len(db.series))
-	for key, e := range db.series {
-		if e.measurement == measurement {
-			keys = append(keys, key)
+	m, ok := db.measurements[measurement]
+	if !ok {
+		return
+	}
+	for _, e := range m.entries {
+		if pts := e.window(cutoff, from, to); len(pts) > 0 {
+			if !fn(e.tags, pts) {
+				return
+			}
 		}
 	}
-	sort.Strings(keys)
-	out := make([]SeriesData, 0, len(keys))
-	for _, key := range keys {
-		e := db.series[key]
-		pts := make([]Point, len(e.points))
-		copy(pts, e.points)
+}
+
+// Series returns copies of every live series in the measurement, ordered
+// deterministically by canonical tags. Expired points are excluded even
+// if no write has pruned them yet.
+func (db *DB) Series(measurement string) []SeriesData {
+	cutoff := db.clk.Now().Add(-db.retention)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, ok := db.measurements[measurement]
+	if !ok {
+		return nil
+	}
+	out := make([]SeriesData, 0, len(m.entries))
+	for _, e := range m.entries {
+		pts := e.window(cutoff, time.Time{}, time.Time{})
+		if len(pts) == 0 {
+			continue
+		}
+		cp := make([]Point, len(pts))
+		copy(cp, pts)
 		out = append(out, SeriesData{
-			Measurement: e.measurement,
+			Measurement: measurement,
 			Tags:        e.tags.Clone(),
-			Points:      pts,
+			Points:      cp,
 		})
 	}
 	return out
@@ -170,13 +277,9 @@ func (db *DB) Series(measurement string) []SeriesData {
 func (db *DB) Measurements() []string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	seen := make(map[string]bool)
-	for _, e := range db.series {
-		seen[e.measurement] = true
-	}
-	out := make([]string, 0, len(seen))
-	for m := range seen {
-		out = append(out, m)
+	out := make([]string, 0, len(db.measurements))
+	for name := range db.measurements {
+		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
@@ -186,5 +289,36 @@ func (db *DB) Measurements() []string {
 func (db *DB) SeriesCount() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return len(db.series)
+	return db.nSeries
+}
+
+// SweepNow garbage-collects every series whose newest point has aged out
+// of retention — the fate of series belonging to terminated pods, which
+// no write will ever prune again. It returns the number of series
+// deleted. The background sweep calls this every GC interval.
+func (db *DB) SweepNow() int {
+	cutoff := db.clk.Now().Add(-db.retention)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	deleted := 0
+	for name, m := range db.measurements {
+		kept := m.entries[:0]
+		for _, e := range m.entries {
+			if n := len(e.points); n == 0 || e.points[n-1].Time.Before(cutoff) {
+				delete(m.byKey, e.key)
+				deleted++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		for i := len(kept); i < len(m.entries); i++ {
+			m.entries[i] = nil
+		}
+		m.entries = kept
+		if len(m.entries) == 0 {
+			delete(db.measurements, name)
+		}
+	}
+	db.nSeries -= deleted
+	return deleted
 }

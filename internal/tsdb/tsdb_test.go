@@ -82,6 +82,150 @@ func TestTagsCanonicalOrderIndependent(t *testing.T) {
 	}
 }
 
+func TestOutOfOrderWritesKeptTimeOrdered(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk)
+	base := clk.Now()
+	for _, offset := range []time.Duration{5 * time.Second, time.Second, 3 * time.Second, 3 * time.Second, 2 * time.Second} {
+		db.Write("m", Tags{"k": "v"}, offset.Seconds(), base.Add(offset))
+	}
+	s := db.Series("m")
+	if len(s) != 1 {
+		t.Fatalf("series = %d, want 1", len(s))
+	}
+	prev := time.Time{}
+	for _, p := range s[0].Points {
+		if p.Time.Before(prev) {
+			t.Fatalf("points not time-ordered: %v", s[0].Points)
+		}
+		prev = p.Time
+	}
+	if len(s[0].Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(s[0].Points))
+	}
+}
+
+func TestScanWindowSlicing(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk)
+	base := clk.Now()
+	for i := 0; i < 10; i++ {
+		db.Write("m", Tags{"k": "v"}, float64(i), base.Add(time.Duration(i)*time.Second))
+	}
+	clk.Advance(10 * time.Second)
+
+	var got []float64
+	db.Scan("m", base.Add(3*time.Second), base.Add(6*time.Second), func(tags Tags, pts []Point) bool {
+		for _, p := range pts {
+			got = append(got, p.Value)
+		}
+		return true
+	})
+	want := []float64{3, 4, 5, 6} // inclusive bounds
+	if len(got) != len(want) {
+		t.Fatalf("window values = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window values = %v, want %v", got, want)
+		}
+	}
+
+	// Open bounds: zero from/to cover everything still retained.
+	count := 0
+	db.Scan("m", time.Time{}, time.Time{}, func(tags Tags, pts []Point) bool {
+		count = len(pts)
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("open scan saw %d points, want 10", count)
+	}
+
+	// Unknown measurement: no visits.
+	db.Scan("nothing", time.Time{}, time.Time{}, func(Tags, []Point) bool {
+		t.Fatal("visited unknown measurement")
+		return false
+	})
+}
+
+func TestScanStopsWhenCallbackReturnsFalse(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk)
+	db.WriteNow("m", Tags{"k": "a"}, 1)
+	db.WriteNow("m", Tags{"k": "b"}, 2)
+	visits := 0
+	db.Scan("m", time.Time{}, time.Time{}, func(Tags, []Point) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("visits = %d, want 1", visits)
+	}
+}
+
+func TestReadsNeverObserveExpiredPoints(t *testing.T) {
+	clk := clock.NewSim()
+	// GC disabled: only the read-side clamp can hide the stale point.
+	db := New(clk, WithRetention(time.Minute), WithGCInterval(0))
+	db.WriteNow("m", Tags{"k": "v"}, 1)
+	clk.Advance(2 * time.Minute)
+
+	if s := db.Series("m"); len(s) != 0 {
+		t.Fatalf("Series returned expired points: %+v", s)
+	}
+	db.Scan("m", time.Time{}, time.Time{}, func(tags Tags, pts []Point) bool {
+		t.Fatalf("Scan visited expired points: %v", pts)
+		return false
+	})
+	// The idle series itself is still resident until a sweep runs.
+	if got := db.SeriesCount(); got != 1 {
+		t.Fatalf("SeriesCount = %d, want 1 before sweep", got)
+	}
+	if deleted := db.SweepNow(); deleted != 1 {
+		t.Fatalf("SweepNow = %d, want 1", deleted)
+	}
+	if got := db.SeriesCount(); got != 0 {
+		t.Fatalf("SeriesCount = %d, want 0 after sweep", got)
+	}
+}
+
+func TestBackgroundSweepCollectsIdleSeries(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk, WithRetention(time.Minute))
+	defer db.Close()
+	db.WriteNow("m", Tags{"pod": "a"}, 1)
+	db.WriteNow("m", Tags{"pod": "b"}, 2)
+	db.WriteNow("other", Tags{"pod": "a"}, 3)
+	if got := db.SeriesCount(); got != 3 {
+		t.Fatalf("SeriesCount = %d, want 3", got)
+	}
+	// No further writes: the clock-driven sweep must reclaim everything
+	// once retention has elapsed.
+	clk.Advance(3 * time.Minute)
+	if got := db.SeriesCount(); got != 0 {
+		t.Fatalf("SeriesCount = %d, want 0 after retention + sweep", got)
+	}
+	if ms := db.Measurements(); len(ms) != 0 {
+		t.Fatalf("Measurements = %v, want none", ms)
+	}
+}
+
+func TestSweepKeepsActiveSeries(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk, WithRetention(time.Minute), WithGCInterval(0))
+	db.WriteNow("m", Tags{"pod": "idle"}, 1)
+	clk.Advance(50 * time.Second)
+	db.WriteNow("m", Tags{"pod": "active"}, 2)
+	clk.Advance(30 * time.Second) // idle now 80s old, active 30s old
+	if deleted := db.SweepNow(); deleted != 1 {
+		t.Fatalf("SweepNow = %d, want 1", deleted)
+	}
+	s := db.Series("m")
+	if len(s) != 1 || s[0].Tags["pod"] != "active" {
+		t.Fatalf("surviving series = %+v, want pod=active", s)
+	}
+}
+
 func TestExplicitTimestampWrite(t *testing.T) {
 	clk := clock.NewSim()
 	db := New(clk)
