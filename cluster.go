@@ -211,7 +211,7 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
-	c.sched.Stop()
+	c.sched.Close()
 	c.heapster.Stop()
 	c.probes.Stop()
 	for _, kl := range c.kubelets {

@@ -3,6 +3,14 @@
 // queue of pending jobs (§IV, step Ì), and the notification hub that
 // kubelets and schedulers subscribe to.
 //
+// Watchers attach either with Subscribe (events only) or with the
+// informer-style ListAndWatch, which atomically couples a consistent
+// snapshot to the event stream: every event carries a monotonically
+// increasing resource version, so a consumer building a cache from the
+// snapshot discards anything already reflected in it and stays exactly
+// consistent without quiescing the server. Callbacks are synchronous on
+// the mutating goroutine, which keeps simulated runs deterministic.
+//
 // The paper's components "interact with [Kubernetes] using its public API"
 // (§V); this package provides that API for the simulated cluster.
 package apiserver
@@ -48,27 +56,69 @@ const (
 )
 
 // WatchEvent is delivered to subscribers on state changes. Pod/Node are
-// deep copies and safe to retain.
+// deep copies and safe to retain. Rev is the server's resource version at
+// the mutation: revisions increase by one per event, so a cache built from
+// a ListAndWatch snapshot can discard events already reflected in it
+// (Rev <= Snapshot.Rev) without racing concurrent mutations.
 type WatchEvent struct {
 	Type WatchEventType
+	Rev  int64
 	Pod  *api.Pod
 	Node *api.Node
+}
+
+// Snapshot is a consistent point-in-time copy of the cluster state, as
+// returned by ListAndWatch. Rev is the resource version of the last
+// mutation included in it.
+type Snapshot struct {
+	Rev   int64
+	Nodes []*api.Node // sorted by name
+	Pods  []*api.Pod  // sorted by name
+	// Pending holds the queued pod names in FCFS submission order,
+	// across all schedulers.
+	Pending []string
 }
 
 // maxEvents bounds the retained event log.
 const maxEvents = 16384
 
+// subscriber is one registered watch callback. The subscriber slice is
+// kept ordered by id (ids are assigned monotonically and appended), so
+// delivery order is deterministic without sorting per event.
+type subscriber struct {
+	id int
+	fn func(WatchEvent)
+}
+
 // Server is the in-memory API server.
 type Server struct {
 	clk clock.Clock
 
+	// notifyMu serializes each mutation together with the delivery of
+	// its watch event, so subscribers always observe events in resource-
+	// version order even under concurrent mutators (without it, a
+	// goroutine preempted between releasing mu and notifying could let a
+	// later mutation's event overtake its own). It is held across
+	// callbacks: watch callbacks must therefore never mutate the server
+	// synchronously — schedule follow-up mutations via the clock instead,
+	// as the kubelet does.
+	notifyMu sync.Mutex
+
 	mu      sync.Mutex
 	nodes   map[string]*api.Node
 	pods    map[string]*api.Pod
-	pending []string // pod names in FCFS submission order (§IV)
 	nextUID int64
+	rev     int64 // resource version, incremented per watch event
 
-	subs   map[int]func(WatchEvent)
+	// pending is the FCFS submission queue (§IV). Removed entries are
+	// tombstoned ("") and compacted when they outnumber live ones, and
+	// pendingIdx maps pod name → queue position, so a bind removes its
+	// pod in O(1) amortized instead of scanning the queue.
+	pending     []string
+	pendingIdx  map[string]int
+	pendingDead int
+
+	subs   []subscriber // ordered by id
 	nextID int
 
 	events []api.Event
@@ -77,42 +127,91 @@ type Server struct {
 // New creates an empty API server.
 func New(clk clock.Clock) *Server {
 	return &Server{
-		clk:   clk,
-		nodes: make(map[string]*api.Node),
-		pods:  make(map[string]*api.Pod),
-		subs:  make(map[int]func(WatchEvent)),
+		clk:        clk,
+		nodes:      make(map[string]*api.Node),
+		pods:       make(map[string]*api.Pod),
+		pendingIdx: make(map[string]int),
 	}
 }
 
 // Subscribe registers a synchronous watch callback and returns an
 // unsubscribe function. Callbacks run on the goroutine performing the
-// mutation, after the server lock is released, preserving deterministic
-// ordering under the simulation clock.
+// mutation, after the server state lock is released, and events arrive
+// in resource-version order. Callbacks must not synchronously mutate the
+// server (use clock.AfterFunc for follow-ups): delivery holds the
+// mutation-ordering lock.
 func (s *Server) Subscribe(fn func(WatchEvent)) (unsubscribe func()) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.subscribeLocked(fn)
+}
+
+func (s *Server) subscribeLocked(fn func(WatchEvent)) (unsubscribe func()) {
 	id := s.nextID
 	s.nextID++
-	s.subs[id] = fn
-	s.mu.Unlock()
+	s.subs = append(s.subs, subscriber{id: id, fn: fn})
 	return func() {
 		s.mu.Lock()
-		delete(s.subs, id)
-		s.mu.Unlock()
+		defer s.mu.Unlock()
+		i := sort.Search(len(s.subs), func(i int) bool { return s.subs[i].id >= id })
+		if i < len(s.subs) && s.subs[i].id == id {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+		}
 	}
 }
 
+// ListAndWatch atomically snapshots the cluster state and registers fn
+// for every subsequent event — the informer handshake: a cache can build
+// itself from the snapshot and stay current by applying events, without
+// racing mutations that happen in between. Events whose Rev is at or
+// below Snapshot.Rev are already reflected in the snapshot and must be
+// discarded by the consumer (delivery of an in-flight event can overlap
+// the handshake). The callback contract is the same as Subscribe's.
+func (s *Server) ListAndWatch(fn func(WatchEvent)) (Snapshot, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{Rev: s.rev}
+	names := make([]string, 0, len(s.nodes))
+	for name := range s.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap.Nodes = make([]*api.Node, 0, len(names))
+	for _, name := range names {
+		snap.Nodes = append(snap.Nodes, s.nodes[name].Clone())
+	}
+	names = names[:0]
+	for name := range s.pods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap.Pods = make([]*api.Pod, 0, len(names))
+	for _, name := range names {
+		snap.Pods = append(snap.Pods, s.pods[name].Clone())
+	}
+	snap.Pending = make([]string, 0, len(s.pendingIdx))
+	for _, name := range s.pending {
+		if name != "" {
+			snap.Pending = append(snap.Pending, name)
+		}
+	}
+	return snap, s.subscribeLocked(fn)
+}
+
+// newEvent stamps the next resource version on an event. Caller must hold
+// s.mu.
+func (s *Server) newEvent(t WatchEventType) WatchEvent {
+	s.rev++
+	return WatchEvent{Type: t, Rev: s.rev}
+}
+
 // notify snapshots subscribers under the lock, then invokes them without
-// it.
+// it, in registration order.
 func (s *Server) notify(ev WatchEvent) {
 	s.mu.Lock()
-	ids := make([]int, 0, len(s.subs))
-	for id := range s.subs {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	fns := make([]func(WatchEvent), 0, len(ids))
-	for _, id := range ids {
-		fns = append(fns, s.subs[id])
+	fns := make([]func(WatchEvent), len(s.subs))
+	for i, sub := range s.subs {
+		fns[i] = sub.fn
 	}
 	s.mu.Unlock()
 	for _, fn := range fns {
@@ -145,6 +244,8 @@ func (s *Server) Events() []api.Event {
 
 // RegisterNode adds a node to the cluster.
 func (s *Server) RegisterNode(n *api.Node) error {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	if _, ok := s.nodes[n.Name]; ok {
 		s.mu.Unlock()
@@ -153,7 +254,8 @@ func (s *Server) RegisterNode(n *api.Node) error {
 	stored := n.Clone()
 	s.nodes[n.Name] = stored
 	s.recordEvent("node/"+n.Name, "Registered", stored.Allocatable.String())
-	ev := WatchEvent{Type: NodeRegistered, Node: stored.Clone()}
+	ev := s.newEvent(NodeRegistered)
+	ev.Node = stored.Clone()
 	s.mu.Unlock()
 	s.notify(ev)
 	return nil
@@ -162,6 +264,8 @@ func (s *Server) RegisterNode(n *api.Node) error {
 // UpdateNode replaces a node's stored state (e.g. when the device plugin
 // extends its allocatable resources, §V-A).
 func (s *Server) UpdateNode(n *api.Node) error {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	if _, ok := s.nodes[n.Name]; !ok {
 		s.mu.Unlock()
@@ -170,7 +274,8 @@ func (s *Server) UpdateNode(n *api.Node) error {
 	stored := n.Clone()
 	s.nodes[n.Name] = stored
 	s.recordEvent("node/"+n.Name, "Updated", stored.Allocatable.String())
-	ev := WatchEvent{Type: NodeUpdated, Node: stored.Clone()}
+	ev := s.newEvent(NodeUpdated)
+	ev.Node = stored.Clone()
 	s.mu.Unlock()
 	s.notify(ev)
 	return nil
@@ -207,6 +312,8 @@ func (s *Server) ListNodes() []*api.Node {
 // CreatePod submits a pod: it is stamped, assigned a UID if absent, marked
 // Pending and appended to the FCFS queue (§IV step Ë).
 func (s *Server) CreatePod(p *api.Pod) error {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	if _, ok := s.pods[p.Name]; ok {
 		s.mu.Unlock()
@@ -220,9 +327,11 @@ func (s *Server) CreatePod(p *api.Pod) error {
 	stored.Status.Phase = api.PodPending
 	stored.Status.SubmittedAt = s.clk.Now()
 	s.pods[stored.Name] = stored
+	s.pendingIdx[stored.Name] = len(s.pending)
 	s.pending = append(s.pending, stored.Name)
 	s.recordEvent("pod/"+stored.Name, "Created", "queued as pending")
-	ev := WatchEvent{Type: PodCreated, Pod: stored.Clone()}
+	ev := s.newEvent(PodCreated)
+	ev.Pod = stored.Clone()
 	s.mu.Unlock()
 	s.notify(ev)
 	return nil
@@ -265,12 +374,12 @@ func (s *Server) ListPods(filter func(*api.Pod) bool) []*api.Pod {
 func (s *Server) PendingPods(schedulerName string) []*api.Pod {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*api.Pod, 0, len(s.pending))
+	out := make([]*api.Pod, 0, len(s.pendingIdx))
 	for _, name := range s.pending {
-		p, ok := s.pods[name]
-		if !ok {
+		if name == "" {
 			continue
 		}
+		p := s.pods[name]
 		if schedulerName != "" && p.Spec.SchedulerName != schedulerName {
 			continue
 		}
@@ -303,10 +412,10 @@ func (s *Server) VisitPending(schedulerName string, fn func(*api.Pod) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, name := range s.pending {
-		p, ok := s.pods[name]
-		if !ok {
+		if name == "" {
 			continue
 		}
+		p := s.pods[name]
 		if schedulerName != "" && p.Spec.SchedulerName != schedulerName {
 			continue
 		}
@@ -320,13 +429,15 @@ func (s *Server) VisitPending(schedulerName string, fn func(*api.Pod) bool) {
 func (s *Server) PendingCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pending)
+	return len(s.pendingIdx)
 }
 
 // Bind assigns a pending pod to a node (§IV step Í: "the scheduler
 // communicates the computed job-node assignments to the orchestrator").
 // The pod leaves the pending queue; kubelets learn about it via PodBound.
 func (s *Server) Bind(podName, nodeName string) error {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	p, ok := s.pods[podName]
 	if !ok {
@@ -349,20 +460,41 @@ func (s *Server) Bind(podName, nodeName string) error {
 	p.Status.ScheduledAt = s.clk.Now()
 	s.removePending(podName)
 	s.recordEvent("pod/"+podName, "Bound", "assigned to node "+nodeName)
-	ev := WatchEvent{Type: PodBound, Pod: p.Clone()}
+	ev := s.newEvent(PodBound)
+	ev.Pod = p.Clone()
 	s.mu.Unlock()
 	s.notify(ev)
 	return nil
 }
 
-// removePending drops a pod from the FCFS queue. Caller must hold s.mu.
+// removePending drops a pod from the FCFS queue: its slot is tombstoned
+// in O(1) via the name index, and the queue is compacted once tombstones
+// outnumber live entries, so a pass binding k pods costs O(k) amortized
+// instead of O(k·pending). Caller must hold s.mu.
 func (s *Server) removePending(podName string) {
-	for i, name := range s.pending {
-		if name == podName {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			return
-		}
+	i, ok := s.pendingIdx[podName]
+	if !ok {
+		return
 	}
+	s.pending[i] = ""
+	delete(s.pendingIdx, podName)
+	s.pendingDead++
+	if s.pendingDead <= len(s.pending)/2 {
+		return
+	}
+	live := s.pending[:0]
+	for _, name := range s.pending {
+		if name == "" {
+			continue
+		}
+		s.pendingIdx[name] = len(live)
+		live = append(live, name)
+	}
+	for i := len(live); i < len(s.pending); i++ {
+		s.pending[i] = ""
+	}
+	s.pending = live
+	s.pendingDead = 0
 }
 
 // MarkRunning transitions a bound pod to Running, stamping StartedAt.
@@ -383,6 +515,8 @@ func (s *Server) MarkFailed(podName, reason string) error {
 }
 
 func (s *Server) transition(podName string, phase api.PodPhase, event, reason string) error {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	p, ok := s.pods[podName]
 	if !ok {
@@ -410,7 +544,8 @@ func (s *Server) transition(podName string, phase api.PodPhase, event, reason st
 	p.Status.Phase = phase
 	p.Status.Reason = reason
 	s.recordEvent("pod/"+podName, event, reason)
-	ev := WatchEvent{Type: PodUpdated, Pod: p.Clone()}
+	ev := s.newEvent(PodUpdated)
+	ev.Pod = p.Clone()
 	s.mu.Unlock()
 	s.notify(ev)
 	return nil

@@ -404,3 +404,231 @@ func TestVisitPodsSeesLiveState(t *testing.T) {
 		t.Fatalf("bound pods seen = %d, want 1", bound)
 	}
 }
+
+// TestListAndWatchHandshake: the snapshot must reflect everything that
+// happened before it, carry the matching resource version, and events
+// delivered afterwards must all be newer than it.
+func TestListAndWatchHandshake(t *testing.T) {
+	clk := clock.NewSim()
+	s := New(clk)
+	if err := s.RegisterNode(testNode("n1", true)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.CreatePod(testPod(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Bind("p0", "n1"); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []WatchEvent
+	snap, unsub := s.ListAndWatch(func(ev WatchEvent) { events = append(events, ev) })
+	defer unsub()
+
+	if snap.Rev != 5 { // 1 node + 3 creates + 1 bind
+		t.Fatalf("snapshot rev = %d, want 5", snap.Rev)
+	}
+	if len(snap.Nodes) != 1 || snap.Nodes[0].Name != "n1" {
+		t.Fatalf("snapshot nodes = %v", snap.Nodes)
+	}
+	if len(snap.Pods) != 3 {
+		t.Fatalf("snapshot pods = %d, want 3", len(snap.Pods))
+	}
+	if snap.Pods[0].Spec.NodeName != "n1" {
+		t.Fatal("snapshot missed the bind")
+	}
+	if len(snap.Pending) != 2 || snap.Pending[0] != "p1" || snap.Pending[1] != "p2" {
+		t.Fatalf("snapshot pending = %v, want [p1 p2]", snap.Pending)
+	}
+	if len(events) != 0 {
+		t.Fatalf("events before any mutation: %v", events)
+	}
+
+	if err := s.MarkRunning("p0"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Type != PodUpdated || events[0].Rev != snap.Rev+1 {
+		t.Fatalf("post-handshake events = %+v", events)
+	}
+	// Mutating snapshot contents must not reach stored state.
+	snap.Nodes[0].Ready = false
+	if n, _ := s.GetNode("n1"); !n.Ready {
+		t.Fatal("snapshot aliased stored node")
+	}
+}
+
+// TestEventRevisionsMonotonic: every event carries a strictly increasing
+// resource version.
+func TestEventRevisionsMonotonic(t *testing.T) {
+	s := New(clock.NewSim())
+	var revs []int64
+	unsub := s.Subscribe(func(ev WatchEvent) { revs = append(revs, ev.Rev) })
+	defer unsub()
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.CreatePod(testPod(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Bind(fmt.Sprintf("p%d", i), "n1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(revs) != 7 {
+		t.Fatalf("revs = %v, want 7 events", revs)
+	}
+	for i, r := range revs {
+		if r != int64(i+1) {
+			t.Fatalf("revs = %v, want 1..7", revs)
+		}
+	}
+}
+
+// TestNotifyDeliversInRegistrationOrder: delivery follows registration
+// order, stays stable across unsubscribes, and needs no per-event sort.
+func TestNotifyDeliversInRegistrationOrder(t *testing.T) {
+	s := New(clock.NewSim())
+	var order []string
+	sub := func(tag string) func() {
+		return s.Subscribe(func(WatchEvent) { order = append(order, tag) })
+	}
+	unsubA := sub("a")
+	unsubB := sub("b")
+	defer sub("c")()
+	defer unsubA()
+
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(order); got != "[a b c]" {
+		t.Fatalf("delivery order = %v", order)
+	}
+	unsubB()
+	unsubB() // double-unsubscribe is a no-op
+	order = nil
+	if err := s.CreatePod(testPod("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(order); got != "[a c]" {
+		t.Fatalf("delivery order after unsubscribe = %v", order)
+	}
+}
+
+// TestPendingQueueIndexAndCompaction: removals from the FCFS queue are
+// index-based with tombstone compaction; order and counts must survive
+// arbitrary interleavings of creates, binds and failures.
+func TestPendingQueueIndexAndCompaction(t *testing.T) {
+	clk := clock.NewSim()
+	s := New(clk)
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := s.CreatePod(testPod(fmt.Sprintf("pod-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain from the front (FCFS order, as the scheduler binds), forcing
+	// several compactions, with fresh arrivals interleaved.
+	for i := 0; i < n; i += 2 {
+		if err := s.Bind(fmt.Sprintf("pod-%03d", i), "n1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n/2; i += 2 {
+		if err := s.MarkFailed(fmt.Sprintf("pod-%03d", i), "chaos"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.CreatePod(testPod(fmt.Sprintf("late-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantCount := n/2 - n/4 + 5
+	if got := s.PendingCount(); got != wantCount {
+		t.Fatalf("PendingCount = %d, want %d", got, wantCount)
+	}
+	var got []string
+	s.VisitPending("", func(p *api.Pod) bool {
+		got = append(got, p.Name)
+		return true
+	})
+	var want []string
+	for i := n/2 + 1; i < n; i += 2 {
+		want = append(want, fmt.Sprintf("pod-%03d", i))
+	}
+	for i := 0; i < 5; i++ {
+		want = append(want, fmt.Sprintf("late-%d", i))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pending = %v\nwant %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pending[%d] = %s, want %s (FCFS order lost)", i, got[i], want[i])
+		}
+	}
+	if listed := s.PendingPods(""); len(listed) != len(want) || listed[0].Name != want[0] {
+		t.Fatalf("PendingPods diverged from VisitPending: %d items", len(listed))
+	}
+}
+
+// TestConcurrentMutatorsDeliverInRevOrder: with parallel mutators, every
+// subscriber must still observe events in strictly increasing resource-
+// version order — the informer contract a cache's rev gate depends on.
+func TestConcurrentMutatorsDeliverInRevOrder(t *testing.T) {
+	clk := clock.NewSim()
+	s := New(clk)
+	if err := s.RegisterNode(testNode("n1", true)); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var revs []int64
+	unsub := s.Subscribe(func(ev WatchEvent) {
+		mu.Lock()
+		revs = append(revs, ev.Rev)
+		mu.Unlock()
+	})
+	defer unsub()
+
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("ord-%d-%d", w, i)
+				if err := s.CreatePod(testPod(name)); err != nil {
+					t.Errorf("create %s: %v", name, err)
+					return
+				}
+				if err := s.Bind(name, "n1"); err != nil {
+					t.Errorf("bind %s: %v", name, err)
+					return
+				}
+				if err := s.MarkSucceeded(name); err != nil {
+					t.Errorf("finish %s: %v", name, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(revs) != workers*perWorker*3 {
+		t.Fatalf("events = %d, want %d", len(revs), workers*perWorker*3)
+	}
+	for i := 1; i < len(revs); i++ {
+		if revs[i] <= revs[i-1] {
+			t.Fatalf("event %d rev %d after rev %d: delivery out of order", i, revs[i], revs[i-1])
+		}
+	}
+}

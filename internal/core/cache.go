@@ -1,0 +1,333 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/monitor"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// ClusterCache is the scheduler's event-driven view of the cluster. It
+// builds itself once from an apiserver.ListAndWatch snapshot and then
+// applies watch events — adding a pod's fused usage to its node on bind,
+// removing it on terminal transitions, re-fusing on metric and maturity
+// changes — instead of re-deriving every node from every pod and every
+// series each pass the way BuildView does. Snapshot therefore costs
+// O(schedulable nodes), independent of how many pods are bound, and a
+// pass over a mostly-idle 10k-pod cluster no longer pays for the 10k.
+//
+// Three inputs can move a node's fused usage between passes without any
+// API-server event:
+//
+//   - a metric write changes a pod's window peak — the WindowMax
+//     aggregator's change callback re-fuses the pod immediately;
+//   - a pod's peak ages out of the sliding window — Snapshot runs the
+//     aggregator's expiry-heap Refresh first, which fires the same
+//     callback for exactly the series that decayed;
+//   - a young pod matures past the metrics lag and stops being charged
+//     max(measured, requested) — pods register their maturity instant in
+//     a min-heap that Snapshot drains up to now.
+//
+// All callbacks are synchronous on the mutating goroutine, so under the
+// simulation clock the cache is deterministic; BuildView remains the
+// from-scratch reference implementation it is property-tested against.
+type ClusterCache struct {
+	clk        clock.Clock
+	agg        *monitor.WindowMax // nil when usage-aware scheduling is off
+	lag        time.Duration
+	useMetrics bool
+
+	mu       sync.Mutex
+	rev      int64 // latest applied resource version (events at or below are dropped)
+	nodes    map[string]*cachedNode
+	names    []string // node names, sorted
+	pods     map[string]*cachedPod
+	maturity matHeap
+	unsub    func()
+}
+
+// cachedNode is the incrementally maintained per-node state.
+type cachedNode struct {
+	name        string
+	sgx         bool
+	schedulable bool // Ready && !Unschedulable
+	allocatable resource.List
+	memUsed     int64 // fused memory bytes of live bound pods
+	epcUsed     int64 // fused EPC pages of live bound pods
+	reqEPC      int64 // requested EPC pages of live bound pods (device accounting)
+}
+
+// cachedPod tracks one live bound pod and its current fused contribution
+// to its node, so a later transition can subtract exactly what was added.
+type cachedPod struct {
+	name      string
+	node      string
+	reqMem    int64
+	reqEPC    int64
+	startedAt time.Time
+	memBytes  int64 // fused contribution currently charged to the node
+	epcPages  int64
+}
+
+// newClusterCache performs the informer handshake against the API server
+// and primes the cache from the snapshot. The aggregator (when metrics
+// are on) must already be backfilled; the caller wires its change
+// callback to onMetric afterwards.
+func newClusterCache(clk clock.Clock, srv *apiserver.Server, agg *monitor.WindowMax, lag time.Duration, useMetrics bool) *ClusterCache {
+	c := &ClusterCache{
+		clk:        clk,
+		agg:        agg,
+		lag:        lag,
+		useMetrics: useMetrics,
+		nodes:      make(map[string]*cachedNode),
+		pods:       make(map[string]*cachedPod),
+	}
+	// Events arriving while the snapshot is being applied block on c.mu;
+	// anything already reflected in the snapshot is dropped by the rev
+	// gate when it is delivered.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap, unsub := srv.ListAndWatch(c.onEvent)
+	c.unsub = unsub
+	c.rev = snap.Rev
+	for _, n := range snap.Nodes {
+		c.upsertNodeLocked(n)
+	}
+	now := clk.Now()
+	for _, p := range snap.Pods {
+		c.addPodLocked(p, now)
+	}
+	return c
+}
+
+// Close detaches the cache from the API server watch.
+func (c *ClusterCache) Close() {
+	if c.unsub != nil {
+		c.unsub()
+		c.unsub = nil
+	}
+}
+
+// Refresh drains the time-driven state: expired window peaks re-announce
+// through the aggregator's expiry heap and matured pods re-fuse. It must
+// run periodically even when there is nothing to schedule — the expiry
+// and maturity heaps are only emptied here, so skipping it on idle passes
+// would let them (and decayed series) grow for as long as metrics flow.
+// Cost is O(entries that actually expired since the last call).
+func (c *ClusterCache) Refresh() {
+	if c.agg != nil {
+		c.agg.Refresh()
+	}
+	now := c.clk.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refreshMaturityLocked(now)
+}
+
+// Snapshot brings the time-dependent state current (window decay,
+// maturity transitions) and copies the schedulable nodes into a
+// ClusterView the pass may mutate freely. Cost is O(nodes copied) plus
+// the series that actually decayed since the last call.
+func (c *ClusterCache) Snapshot() *ClusterView {
+	c.Refresh()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	view := &ClusterView{Nodes: make([]*NodeView, 0, len(c.names))}
+	for _, name := range c.names {
+		cn := c.nodes[name]
+		if !cn.schedulable {
+			continue
+		}
+		view.Nodes = append(view.Nodes, &NodeView{
+			Name:        cn.name,
+			SGX:         cn.sgx,
+			Allocatable: cn.allocatable.Clone(),
+			Used:        resource.List{resource.Memory: cn.memUsed, resource.EPCPages: cn.epcUsed},
+			FreeDevices: cn.allocatable.Get(resource.EPCPages) - cn.reqEPC,
+		})
+	}
+	return view
+}
+
+// onEvent applies one watch event. Events at or below the snapshot's
+// resource version are already reflected and dropped.
+func (c *ClusterCache) onEvent(ev apiserver.WatchEvent) {
+	now := c.clk.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ev.Rev <= c.rev {
+		return
+	}
+	c.rev = ev.Rev
+	switch ev.Type {
+	case apiserver.NodeRegistered, apiserver.NodeUpdated:
+		c.upsertNodeLocked(ev.Node)
+	case apiserver.PodCreated:
+		// Still pending: no node to account against yet.
+	case apiserver.PodBound:
+		c.addPodLocked(ev.Pod, now)
+	case apiserver.PodUpdated:
+		c.podUpdatedLocked(ev.Pod, now)
+	}
+}
+
+// onMetric is the WindowMax change callback: a (pod, node) window peak
+// moved, so re-fuse that pod if it is live and the series matches the
+// node it actually runs on (stale series from before a drain change
+// nothing, per Listing 1's GROUP BY pod_name, nodename).
+func (c *ClusterCache) onMetric(_, pod, node string, _ float64, _ bool) {
+	now := c.clk.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, ok := c.pods[pod]
+	if !ok || cp.node != node {
+		return
+	}
+	c.fusePodLocked(cp, now)
+}
+
+// upsertNodeLocked creates or updates a node's static fields; maintained
+// usage sums carry over across updates.
+func (c *ClusterCache) upsertNodeLocked(n *api.Node) {
+	cn, ok := c.nodes[n.Name]
+	if !ok {
+		cn = &cachedNode{name: n.Name}
+		c.nodes[n.Name] = cn
+		i := sort.SearchStrings(c.names, n.Name)
+		c.names = append(c.names, "")
+		copy(c.names[i+1:], c.names[i:])
+		c.names[i] = n.Name
+	}
+	cn.allocatable = n.Allocatable.Clone()
+	cn.sgx = n.HasSGX()
+	cn.schedulable = n.Ready && !n.Unschedulable
+}
+
+// addPodLocked starts tracking a live bound pod and charges its node.
+func (c *ClusterCache) addPodLocked(p *api.Pod, now time.Time) {
+	if p.Spec.NodeName == "" || p.IsTerminal() {
+		return
+	}
+	if _, ok := c.pods[p.Name]; ok {
+		return
+	}
+	cn, ok := c.nodes[p.Spec.NodeName]
+	if !ok {
+		// Bind validates the node, and node events precede pod events
+		// referencing them; untracked nodes would also be invisible to
+		// BuildView.
+		return
+	}
+	req := p.TotalRequests()
+	cp := &cachedPod{
+		name:      p.Name,
+		node:      p.Spec.NodeName,
+		reqMem:    req.Get(resource.Memory),
+		reqEPC:    req.Get(resource.EPCPages),
+		startedAt: p.Status.StartedAt,
+	}
+	c.pods[p.Name] = cp
+	cn.reqEPC += cp.reqEPC
+	c.fusePodLocked(cp, now)
+	c.pushMaturityLocked(cp, now)
+}
+
+// podUpdatedLocked handles status transitions of a tracked pod.
+func (c *ClusterCache) podUpdatedLocked(p *api.Pod, now time.Time) {
+	cp, ok := c.pods[p.Name]
+	if p.IsTerminal() {
+		if !ok {
+			return // failed while still pending: never charged
+		}
+		cn := c.nodes[cp.node]
+		cn.reqEPC -= cp.reqEPC
+		cn.memUsed -= cp.memBytes
+		cn.epcUsed -= cp.epcPages
+		delete(c.pods, p.Name)
+		return
+	}
+	if !ok {
+		c.addPodLocked(p, now) // robustness: bound pods normally enter via PodBound
+		return
+	}
+	if !cp.startedAt.Equal(p.Status.StartedAt) {
+		cp.startedAt = p.Status.StartedAt
+		c.pushMaturityLocked(cp, now)
+	}
+	c.fusePodLocked(cp, now)
+}
+
+// fusePodLocked recomputes a pod's fused usage at the current instant —
+// the same measured-vs-requested fusion BuildView applies per pass — and
+// moves the delta into its node's sums.
+func (c *ClusterCache) fusePodLocked(cp *cachedPod, now time.Time) {
+	var measuredMem, measuredEPC float64
+	if c.useMetrics && c.agg != nil {
+		if v, ok := c.agg.Max(monitor.MeasurementMemory, cp.name, cp.node); ok {
+			measuredMem = v
+		}
+		if v, ok := c.agg.Max(monitor.MeasurementEPC, cp.name, cp.node); ok {
+			measuredEPC = v
+		}
+	}
+	memBytes, epcPages := fuseUsage(cp.reqMem, cp.reqEPC, measuredMem, measuredEPC,
+		cp.startedAt, now, c.lag, c.useMetrics)
+	cn := c.nodes[cp.node]
+	cn.memUsed += memBytes - cp.memBytes
+	cn.epcUsed += epcPages - cp.epcPages
+	cp.memBytes, cp.epcPages = memBytes, epcPages
+}
+
+// pushMaturityLocked registers the instant a started pod stops being
+// young (request-floored); Snapshot re-fuses it then even if no metric
+// event fires in between.
+func (c *ClusterCache) pushMaturityLocked(cp *cachedPod, now time.Time) {
+	if !c.useMetrics || cp.startedAt.IsZero() {
+		return
+	}
+	matureAt := cp.startedAt.Add(c.lag)
+	if !matureAt.After(now) {
+		return // already mature; fuseUsage saw that
+	}
+	heap.Push(&c.maturity, matEntry{at: matureAt, pod: cp.name})
+}
+
+// refreshMaturityLocked re-fuses every pod whose maturity instant has
+// passed. Entries are lazy: pods that terminated or restarted with a new
+// StartedAt are skipped.
+func (c *ClusterCache) refreshMaturityLocked(now time.Time) {
+	for len(c.maturity) > 0 && !c.maturity[0].at.After(now) {
+		ent := heap.Pop(&c.maturity).(matEntry)
+		cp, ok := c.pods[ent.pod]
+		if !ok || cp.startedAt.IsZero() || !cp.startedAt.Add(c.lag).Equal(ent.at) {
+			continue
+		}
+		c.fusePodLocked(cp, now)
+	}
+}
+
+// matEntry schedules one pod's young→mature re-fusion.
+type matEntry struct {
+	at  time.Time
+	pod string
+}
+
+type matHeap []matEntry
+
+func (h matHeap) Len() int           { return len(h) }
+func (h matHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h matHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *matHeap) Push(x any)        { *h = append(*h, x.(matEntry)) }
+func (h *matHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

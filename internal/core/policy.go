@@ -46,28 +46,22 @@ type Binpack struct{}
 func (Binpack) Name() string { return "binpack" }
 
 // Select implements Policy: first feasible node in the fixed order.
+// Standard jobs take the first non-SGX candidate (name order), resorting
+// to an SGX node only when no other choice exists (§IV); it runs once per
+// pending pod per pass, so it scans in place instead of materialising the
+// reordered list.
 func (Binpack) Select(pod *api.Pod, candidates []*NodeView, _ *ClusterView) (string, bool) {
 	if len(candidates) == 0 {
 		return "", false
 	}
-	ordered := make([]*NodeView, 0, len(candidates))
-	if pod.IsSGX() {
-		ordered = append(ordered, candidates...)
-	} else {
-		// Standard jobs: non-SGX nodes first (in name order), SGX nodes
-		// at the end of the list (§IV).
+	if !pod.IsSGX() {
 		for _, c := range candidates {
 			if !c.SGX {
-				ordered = append(ordered, c)
-			}
-		}
-		for _, c := range candidates {
-			if c.SGX {
-				ordered = append(ordered, c)
+				return c.Name, true
 			}
 		}
 	}
-	return ordered[0].Name, true
+	return candidates[0].Name, true
 }
 
 // Spread implements the §IV spread strategy: "the main goal of the spread

@@ -24,14 +24,25 @@ const (
 	DefaultWindow = 25 * time.Second
 )
 
-// perPodEPCQuery and perPodMemQuery are the inner query of Listing 1 and
-// its Heapster twin: per-(pod, node) peak usage over the sliding window.
-// The per-node totals of Listing 1 are the GROUP BY nodename sum of these
-// rows, which the scheduler folds together with request data per §IV.
-const (
-	perPodEPCQuery = `SELECT MAX(value) AS epc FROM "sgx/epc" WHERE value <> 0 AND time >= now() - 25s GROUP BY pod_name, nodename`
-	perPodMemQuery = `SELECT MAX(value) AS mem FROM "memory/usage" WHERE value <> 0 AND time >= now() - 25s GROUP BY pod_name, nodename`
-)
+// perPodPeakQuery builds the inner query of Listing 1 (and its Heapster
+// twin) through the influxql AST: per-(pod, node) peak non-zero usage
+// over the sliding window. Building the AST directly — instead of
+// substituting the window into a query string — means the window term is
+// set structurally, so rewording the query can never silently keep a
+// default window. The per-node totals of Listing 1 are the GROUP BY
+// nodename sum of these rows, which the scheduler folds together with
+// request data per §IV.
+func perPodPeakQuery(measurement, alias string, window time.Duration) *influxql.Query {
+	return &influxql.Query{
+		Field:  influxql.Field{Func: influxql.AggMax, Arg: "value", Alias: alias},
+		Source: influxql.Source{Measurement: measurement},
+		Where: []influxql.Condition{
+			{Subject: "value", Op: influxql.OpNeq, Number: 0},
+			{Subject: "time", Op: influxql.OpGte, Offset: window, IsTime: true},
+		},
+		GroupBy: []string{monitor.TagPod, monitor.TagNode},
+	}
+}
 
 // Config parameterises a Scheduler.
 type Config struct {
@@ -69,8 +80,20 @@ type Scheduler struct {
 	db  *tsdb.DB
 	cfg Config
 
+	// epcQuery/memQuery drive the InfluxQL reference read path
+	// (BuildView); the scheduling pass itself reads the event-driven
+	// cache fed by the streaming aggregator.
 	epcQuery *influxql.Query
 	memQuery *influxql.Query
+
+	agg   *monitor.WindowMax // nil when UseMetrics is off
+	cache *ClusterCache
+
+	// passMu serializes scheduling passes; the buffers below are reused
+	// across passes so a steady-state pass allocates next to nothing.
+	passMu     sync.Mutex
+	pendingBuf []api.Pod
+	pairBuf    []reqPair
 
 	mu    sync.Mutex
 	stop  func()
@@ -98,55 +121,28 @@ func New(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Config) (*Sche
 	if cfg.UseMetrics && db == nil {
 		return nil, fmt.Errorf("core: UseMetrics requires a metrics database")
 	}
-	if cfg.Window%time.Millisecond != 0 {
-		return nil, fmt.Errorf("core: window %v has sub-millisecond precision", cfg.Window)
+	if cfg.UseMetrics && cfg.Window > db.Retention() {
+		// Beyond retention the InfluxQL reference path clamps to the
+		// retention cutoff while the streaming aggregator would not; the
+		// two read paths must never be able to diverge.
+		return nil, fmt.Errorf("core: window %v exceeds metrics retention %v", cfg.Window, db.Retention())
 	}
 	s := &Scheduler{clk: clk, srv: srv, db: db, cfg: cfg}
+	s.epcQuery = perPodPeakQuery(monitor.MeasurementEPC, "epc", cfg.Window)
+	s.memQuery = perPodPeakQuery(monitor.MeasurementMemory, "mem", cfg.Window)
 
-	var err error
-	if s.epcQuery, err = influxql.Parse(windowed(perPodEPCQuery, cfg.Window)); err != nil {
-		return nil, fmt.Errorf("core: parsing EPC query: %w", err)
+	// Wire the event-driven read path: the streaming window-max
+	// aggregator backfills from the database and rides its write path;
+	// the cluster cache performs the informer handshake and re-fuses
+	// pods as their window peaks move.
+	if cfg.UseMetrics {
+		s.agg = monitor.NewWindowMax(clk, db, cfg.Window, monitor.MeasurementEPC, monitor.MeasurementMemory)
 	}
-	if s.memQuery, err = influxql.Parse(windowed(perPodMemQuery, cfg.Window)); err != nil {
-		return nil, fmt.Errorf("core: parsing memory query: %w", err)
+	s.cache = newClusterCache(clk, srv, s.agg, cfg.MetricsLag, cfg.UseMetrics)
+	if s.agg != nil {
+		s.agg.SetOnChange(s.cache.onMetric)
 	}
 	return s, nil
-}
-
-// windowed rewrites the default 25 s window when configured differently.
-func windowed(q string, w time.Duration) string {
-	if w == DefaultWindow {
-		return q
-	}
-	return replaceWindow(q, w)
-}
-
-func replaceWindow(q string, w time.Duration) string {
-	// The queries embed exactly one "- 25s" window term.
-	const def = "now() - 25s"
-	out := ""
-	for i := 0; i+len(def) <= len(q); i++ {
-		if q[i:i+len(def)] == def {
-			out = q[:i] + "now() - " + formatWindow(w) + q[i+len(def):]
-			break
-		}
-	}
-	if out == "" {
-		return q
-	}
-	return out
-}
-
-// formatWindow renders w as an exact InfluxQL duration literal. Whole
-// seconds keep the paper's "25s" shape; fractional windows render at
-// millisecond precision instead of being truncated (a 1500ms window used
-// to become "1s" and 500ms became "0s"). New rejects sub-millisecond
-// remainders, so this loses nothing.
-func formatWindow(w time.Duration) string {
-	if w%time.Second == 0 {
-		return fmt.Sprintf("%ds", w/time.Second)
-	}
-	return fmt.Sprintf("%dms", w/time.Millisecond)
 }
 
 // Name returns the scheduler identity.
@@ -180,38 +176,78 @@ func (s *Scheduler) Stop() {
 	}
 }
 
+// Close stops the loop and detaches the scheduler's cluster cache and
+// metrics aggregator from their event sources. The scheduler is unusable
+// afterwards.
+func (s *Scheduler) Close() {
+	s.Stop()
+	s.cache.Close()
+	if s.agg != nil {
+		s.agg.Close()
+	}
+}
+
+// Cache exposes the event-driven cluster cache (for tests and
+// benchmarks).
+func (s *Scheduler) Cache() *ClusterCache { return s.cache }
+
 // ScheduleOnce runs a single §IV pass: snapshot the FCFS pending queue,
-// fetch node state and usage metrics, filter infeasible job-node
-// combinations, place with the policy, and bind. It returns the number
-// of pods bound.
+// take the cluster cache's O(nodes) snapshot of node state and fused
+// usage, filter infeasible job-node combinations, place with the policy,
+// and bind. It returns the number of pods bound. Pass cost scales with
+// pending pods and nodes, not with the total number of bound pods — the
+// cache absorbed that per-pod work when the pods' events arrived.
 //
 // The pending walk takes shallow pod snapshots under the API server lock
 // (one struct copy each — specs are immutable after creation, so the
 // copies are consistent) and releases it before any policy work, so a
 // slow placement pass never stalls concurrent schedulers or kubelets.
 func (s *Scheduler) ScheduleOnce() int {
+	s.passMu.Lock()
+	defer s.passMu.Unlock()
 	s.mu.Lock()
 	s.stats.Passes++
 	s.mu.Unlock()
 
-	var pending []api.Pod
+	pending := s.pendingBuf[:0]
 	s.srv.VisitPending(s.cfg.Name, func(pod *api.Pod) bool {
 		pending = append(pending, *pod)
 		return true
 	})
+	s.pendingBuf = pending
 	if len(pending) == 0 {
+		// Nothing to place, but still drain time-driven cache state: the
+		// aggregator's expiry heap and the maturity heap are only emptied
+		// by a refresh, and idle is the steady state between job waves —
+		// an idle scheduler must not let them grow while metrics flow.
+		s.cache.Refresh()
 		return 0
 	}
 
-	view := s.BuildView()
+	view := s.cache.Snapshot()
 	bound, unschedulable := 0, 0
 	candidates := make([]*NodeView, 0, len(view.Nodes))
 	for i := range pending {
 		pod := &pending[i]
 		req := pod.TotalRequests()
+		// Extract the requested quantities once per pod: the feasibility
+		// filter runs per (pod, node), and walking a slice there beats
+		// re-iterating the request map for every node.
+		pairs := s.pairBuf[:0]
+		epcPages := int64(0)
+		for k, q := range req {
+			if q <= 0 {
+				continue
+			}
+			pairs = append(pairs, reqPair{name: k, qty: q})
+			if k == resource.EPCPages {
+				epcPages = q
+			}
+		}
+		s.pairBuf = pairs
 		candidates = candidates[:0]
 		for _, n := range view.Nodes {
-			if n.Fits(req) {
+			if n.fitsPairs(pairs, epcPages) {
 				candidates = append(candidates, n)
 			}
 		}
@@ -240,11 +276,14 @@ func (s *Scheduler) ScheduleOnce() int {
 	return bound
 }
 
-// BuildView snapshots schedulable nodes, charging each with the fused
-// usage of its live pods (measured usage × declared requests per §IV:
-// "it takes their memory allocation requests into account ... At the same
-// time, it fetches accurate, up-to-date metrics about memory usage across
-// all nodes").
+// BuildView snapshots schedulable nodes from scratch, charging each with
+// the fused usage of its live pods (measured usage × declared requests
+// per §IV: "it takes their memory allocation requests into account ... At
+// the same time, it fetches accurate, up-to-date metrics about memory
+// usage across all nodes"). It walks every pod and runs the Listing 1
+// queries through the InfluxQL engine — O(cluster) per call — and is kept
+// as the reference implementation the event-driven ClusterCache is
+// property-tested against; the scheduling pass itself uses the cache.
 func (s *Scheduler) BuildView() *ClusterView {
 	measuredEPC, measuredMem := s.queryUsage()
 	now := s.clk.Now()

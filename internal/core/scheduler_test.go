@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
 	"github.com/sgxorch/sgxorch/internal/api"
 	"github.com/sgxorch/sgxorch/internal/apiserver"
 	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/influxql"
 	"github.com/sgxorch/sgxorch/internal/isgx"
 	"github.com/sgxorch/sgxorch/internal/kubelet"
 	"github.com/sgxorch/sgxorch/internal/machine"
@@ -84,7 +86,7 @@ func newTestCluster(t *testing.T, spec clusterSpec) *testCluster {
 	sched.Start()
 
 	t.Cleanup(func() {
-		sched.Stop()
+		sched.Close()
 		h.Stop()
 		ds.Stop()
 		for _, kl := range kls {
@@ -278,7 +280,7 @@ func TestMultipleSchedulersCoexist(t *testing.T) {
 			t.Fatal(err)
 		}
 		s.Start()
-		t.Cleanup(s.Stop)
+		t.Cleanup(s.Close)
 		return s
 	}
 	a := mk("sched-a", Binpack{})
@@ -325,7 +327,7 @@ func TestSchedulerConfigValidation(t *testing.T) {
 	}
 }
 
-func TestCustomWindowRewritesQueries(t *testing.T) {
+func TestCustomWindowBuildsExactOffset(t *testing.T) {
 	clk := clock.NewSim()
 	srv := apiserver.New(clk)
 	db := tsdb.New(clk)
@@ -345,7 +347,31 @@ func TestCustomWindowRewritesQueries(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Fatalf("window not rewritten: %+v", s.epcQuery.Where)
+		t.Fatalf("window not applied: %+v", s.epcQuery.Where)
+	}
+}
+
+// TestBuiltQueriesMatchListing1 pins the AST-built default queries to the
+// paper's Listing 1 text: constructing them structurally must be
+// observationally identical to parsing the inner query verbatim.
+func TestBuiltQueriesMatchListing1(t *testing.T) {
+	cases := []struct {
+		query string
+		built *influxql.Query
+	}{
+		{`SELECT MAX(value) AS epc FROM "sgx/epc" WHERE value <> 0 AND time >= now() - 25s GROUP BY pod_name, nodename`,
+			perPodPeakQuery(monitor.MeasurementEPC, "epc", DefaultWindow)},
+		{`SELECT MAX(value) AS mem FROM "memory/usage" WHERE value <> 0 AND time >= now() - 25s GROUP BY pod_name, nodename`,
+			perPodPeakQuery(monitor.MeasurementMemory, "mem", DefaultWindow)},
+	}
+	for _, tc := range cases {
+		parsed, err := influxql.Parse(tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parsed, tc.built) {
+			t.Fatalf("built query diverges from Listing 1:\nbuilt:  %+v\nparsed: %+v", tc.built, parsed)
+		}
 	}
 }
 
@@ -405,57 +431,32 @@ func TestUsageKeyedByPodAndNode(t *testing.T) {
 	}
 }
 
-func TestReplaceWindowFormatsExactly(t *testing.T) {
-	cases := []struct {
-		w    time.Duration
-		want string
-	}{
-		{40 * time.Second, "now() - 40s"},
-		{1500 * time.Millisecond, "now() - 1500ms"},
-		{500 * time.Millisecond, "now() - 500ms"},
-		{2 * time.Minute, "now() - 120s"},
-	}
-	for _, tc := range cases {
-		got := replaceWindow(`... time >= now() - 25s ...`, tc.w)
-		want := "... time >= " + tc.want + " ..."
-		if got != want {
-			t.Errorf("replaceWindow(%v) = %q, want %q", tc.w, got, want)
+// TestSubSecondWindowsBuildExactOffsets: windows that used to be
+// truncated (or rejected) by the string-substitution path are now carried
+// exactly as structural offsets.
+func TestSubSecondWindowsBuildExactOffsets(t *testing.T) {
+	for _, w := range []time.Duration{1500 * time.Millisecond, 500 * time.Millisecond, 1500 * time.Microsecond} {
+		clk := clock.NewSim()
+		srv := apiserver.New(clk)
+		db := tsdb.New(clk)
+		s, err := New(clk, srv, db, Config{
+			Name: "s", Policy: Binpack{}, UseMetrics: true, Window: w,
+		})
+		if err != nil {
+			t.Fatalf("window %v: %v", w, err)
 		}
-	}
-}
-
-func TestSubSecondWindowParsesToExactOffset(t *testing.T) {
-	clk := clock.NewSim()
-	srv := apiserver.New(clk)
-	db := tsdb.New(clk)
-	s, err := New(clk, srv, db, Config{
-		Name: "s", Policy: Binpack{}, UseMetrics: true, Window: 1500 * time.Millisecond,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	found := false
-	for _, c := range s.epcQuery.Where {
-		if c.IsTime {
-			if c.Offset != 1500*time.Millisecond {
-				t.Fatalf("window offset = %v, want 1.5s", c.Offset)
+		found := false
+		for _, c := range s.epcQuery.Where {
+			if c.IsTime {
+				if c.Offset != w {
+					t.Fatalf("window offset = %v, want %v", c.Offset, w)
+				}
+				found = true
 			}
-			found = true
 		}
-	}
-	if !found {
-		t.Fatal("no time condition in rewritten query")
-	}
-}
-
-func TestSubMillisecondWindowRejected(t *testing.T) {
-	clk := clock.NewSim()
-	srv := apiserver.New(clk)
-	db := tsdb.New(clk)
-	if _, err := New(clk, srv, db, Config{
-		Name: "s", Policy: Binpack{}, UseMetrics: true, Window: 1500 * time.Microsecond,
-	}); err == nil {
-		t.Fatal("sub-millisecond window accepted")
+		if !found {
+			t.Fatal("no time condition in built query")
+		}
 	}
 }
 
@@ -520,5 +521,21 @@ func TestSchedulerRoutesAroundDrainedNode(t *testing.T) {
 		if p.Spec.NodeName != "sgx-2" {
 			t.Fatalf("after-%d on %q, want sgx-2 (sgx-1 drained)", i, p.Spec.NodeName)
 		}
+	}
+}
+
+func TestWindowBeyondRetentionRejected(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	db := tsdb.New(clk, tsdb.WithRetention(time.Minute))
+	if _, err := New(clk, srv, db, Config{
+		Name: "s", Policy: Binpack{}, UseMetrics: true, Window: 2 * time.Minute,
+	}); err == nil {
+		t.Fatal("window beyond retention accepted: streaming and InfluxQL paths could diverge")
+	}
+	if _, err := New(clk, srv, db, Config{
+		Name: "s", Policy: Binpack{}, UseMetrics: true, Window: time.Minute,
+	}); err != nil {
+		t.Fatalf("window equal to retention rejected: %v", err)
 	}
 }

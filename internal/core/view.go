@@ -66,6 +66,31 @@ func (v *NodeView) Fits(req resource.List) bool {
 	return true
 }
 
+// reqPair is one requested (resource, quantity) extracted from a pod's
+// request map once per pod, so the per-(pod, node) feasibility check
+// walks a slice instead of re-iterating the map.
+type reqPair struct {
+	name resource.Name
+	qty  int64
+}
+
+// fitsPairs is Fits over pre-extracted request pairs (epcPages is the
+// EPCPages quantity among them, zero if absent). Both must stay
+// behaviourally identical.
+func (v *NodeView) fitsPairs(pairs []reqPair, epcPages int64) bool {
+	if epcPages > 0 {
+		if !v.SGX || epcPages > v.FreeDevices {
+			return false
+		}
+	}
+	for _, p := range pairs {
+		if v.Allocatable.Get(p.name)-v.Used.Get(p.name) < p.qty {
+			return false
+		}
+	}
+	return true
+}
+
 // LoadFraction returns this node's utilisation of the given resource in
 // [0, 1+]; nodes without the resource report 1 when asked about usage of
 // something they cannot hold (they are excluded from spread's stddev by
@@ -121,18 +146,26 @@ func (c *ClusterView) sortNodes() {
 // active pod per pass, and the caller folds the result straight into the
 // node's usage accumulators.
 func podUsage(p *api.Pod, req resource.List, measuredMem, measuredEPCBytes float64, now time.Time, lag time.Duration, useMetrics bool) (memBytes, epcPages int64) {
+	return fuseUsage(req.Get(resource.Memory), req.Get(resource.EPCPages),
+		measuredMem, measuredEPCBytes, p.Status.StartedAt, now, lag, useMetrics)
+}
+
+// fuseUsage is the scalar core of podUsage, shared with the event-driven
+// ClusterCache so both paths apply bit-identical fusion — the equivalence
+// property the cache is tested against depends on it.
+func fuseUsage(reqMem, reqEPC int64, measuredMem, measuredEPCBytes float64, startedAt, now time.Time, lag time.Duration, useMetrics bool) (memBytes, epcPages int64) {
 	if !useMetrics {
-		return req.Get(resource.Memory), req.Get(resource.EPCPages)
+		return reqMem, reqEPC
 	}
 	memBytes = int64(measuredMem)
 	epcPages = resource.PagesForBytes(int64(measuredEPCBytes))
-	young := p.Status.StartedAt.IsZero() || now.Sub(p.Status.StartedAt) < lag
+	young := startedAt.IsZero() || now.Sub(startedAt) < lag
 	if young {
-		if r := req.Get(resource.Memory); r > memBytes {
-			memBytes = r
+		if reqMem > memBytes {
+			memBytes = reqMem
 		}
-		if r := req.Get(resource.EPCPages); r > epcPages {
-			epcPages = r
+		if reqEPC > epcPages {
+			epcPages = reqEPC
 		}
 	}
 	return memBytes, epcPages

@@ -181,7 +181,7 @@ func (tb *Testbed) SGXNodeNames() []string {
 
 // Close stops every component.
 func (tb *Testbed) Close() {
-	tb.Scheduler.Stop()
+	tb.Scheduler.Close()
 	tb.heapster.Stop()
 	tb.probes.Stop()
 	for _, kl := range tb.Kubelets {

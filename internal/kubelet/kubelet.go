@@ -9,6 +9,7 @@ package kubelet
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -152,9 +153,16 @@ func (k *Kubelet) Stop() {
 	unsub := k.unsubscribe
 	k.unsubscribe = nil
 	wasStarted := k.started
+	// Abort in pod-name order: the failure events a drain emits must be
+	// deterministic for identical runs to replay identically.
+	names := make([]string, 0, len(k.pods))
+	for name := range k.pods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var running []*stress.Execution
-	for _, e := range k.pods {
-		running = append(running, e.executions...)
+	for _, name := range names {
+		running = append(running, k.pods[name].executions...)
 	}
 	k.mu.Unlock()
 	if unsub != nil {
@@ -350,9 +358,9 @@ func (k *Kubelet) fail(pod *api.Pod, entry *podEntry, reason string) {
 }
 
 // PodStats reports per-pod usage for this node's pods — the stats
-// endpoint Heapster and the SGX probe scrape (§V-C). Pod order is
-// deterministic (tracked pods sorted by name is unnecessary here because
-// callers re-tag by pod name).
+// endpoint Heapster and the SGX probe scrape (§V-C) — sorted by pod name
+// so the metric write order, and with it the streaming aggregator's event
+// order, is identical across identical runs.
 func (k *Kubelet) PodStats() []PodStat {
 	k.mu.Lock()
 	type ref struct {
@@ -364,6 +372,7 @@ func (k *Kubelet) PodStats() []PodStat {
 		refs = append(refs, ref{name: name, cgroup: e.cgroup})
 	}
 	k.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].name < refs[j].name })
 
 	out := make([]PodStat, 0, len(refs))
 	for _, r := range refs {

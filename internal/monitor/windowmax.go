@@ -1,0 +1,310 @@
+package monitor
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// WindowMax is a streaming sliding-window-max aggregator: it keeps the
+// peak non-zero value of the trailing window continuously current for
+// every (measurement, pod_name, nodename) series — the inner query of
+// Listing 1 (MAX(value) WHERE value <> 0 AND time >= now() - 25s GROUP BY
+// pod_name, nodename) computed incrementally instead of re-scanned per
+// scheduling pass.
+//
+// It subscribes to the database write path (tsdb.OnWrite) and maintains a
+// monotonic deque per series: times non-decreasing, values strictly
+// decreasing front to back, so the front is always the window max and
+// each point is pushed and popped at most once — O(1) amortized per
+// sample. Zero-valued samples are skipped, mirroring Listing 1's
+// value <> 0 filter. Out-of-order samples take a rare O(deque) insertion
+// path that preserves the invariant.
+//
+// Because the max also changes when the peak ages out of the window with
+// no write in between, series register their front's expiry instant in a
+// min-heap; Refresh pops only the series whose front actually expired, so
+// keeping the whole keyspace current costs O(expired · log series), not
+// O(series). The change callback (SetOnChange) fires on every observable
+// max transition — from writes and from expiry — which is what lets a
+// consumer (the scheduler's ClusterCache) maintain derived sums
+// incrementally.
+//
+// The window must not exceed the database retention period: retention
+// clamping happens on the InfluxQL read path but not here.
+type WindowMax struct {
+	clk    clock.Clock
+	window time.Duration
+	keep   map[string]bool // tracked measurements
+
+	mu       sync.Mutex
+	series   map[wmKey]*wmSeries
+	expiry   expiryHeap
+	onChange func(measurement, pod, node string, max float64, ok bool)
+
+	unsubscribe func()
+}
+
+// wmKey identifies one aggregated series the way Listing 1's GROUP BY
+// pod_name, nodename intends; points sharing (pod, node) fold into one
+// deque regardless of the underlying tsdb series.
+type wmKey struct {
+	measurement string
+	pod, node   string
+}
+
+type wmPoint struct {
+	t time.Time
+	v float64
+}
+
+// wmSeries holds one monotonic deque. Popped-front slack is reclaimed
+// when the slice reallocates on append.
+type wmSeries struct {
+	dq []wmPoint
+}
+
+// wmChange is one observable max transition, collected under the lock
+// and delivered after it is released.
+type wmChange struct {
+	key wmKey
+	max float64
+	ok  bool
+}
+
+// NewWindowMax creates an aggregator for the given measurements, attaches
+// it to the database write path, and backfills the current window from
+// the stored points so its view starts consistent. Call Close to detach.
+func NewWindowMax(clk clock.Clock, db *tsdb.DB, window time.Duration, measurements ...string) *WindowMax {
+	w := &WindowMax{
+		clk:    clk,
+		window: window,
+		keep:   make(map[string]bool, len(measurements)),
+		series: make(map[wmKey]*wmSeries),
+	}
+	for _, m := range measurements {
+		w.keep[m] = true
+	}
+	// Subscribe before backfilling: a write racing the handshake is then
+	// observed twice (once live, once by the scan), which the deque
+	// absorbs, instead of being missed entirely.
+	w.unsubscribe = db.OnWrite(w.onWrite)
+	now := clk.Now()
+	for _, m := range measurements {
+		db.Scan(m, now.Add(-window), time.Time{}, func(tags tsdb.Tags, pts []tsdb.Point) bool {
+			w.mu.Lock()
+			for _, p := range pts {
+				w.observeLocked(m, tags[TagPod], tags[TagNode], p.Value, p.Time, now)
+			}
+			w.mu.Unlock()
+			return true
+		})
+	}
+	return w
+}
+
+// Close detaches the aggregator from the database write path.
+func (w *WindowMax) Close() {
+	if w.unsubscribe != nil {
+		w.unsubscribe()
+		w.unsubscribe = nil
+	}
+}
+
+// Window returns the sliding window length.
+func (w *WindowMax) Window() time.Duration { return w.window }
+
+// SetOnChange registers the single change callback. It runs on the
+// goroutine that triggered the transition (a metric write or a Refresh),
+// with the aggregator lock released; it may call Max but must not call
+// Refresh or Close.
+func (w *WindowMax) SetOnChange(fn func(measurement, pod, node string, max float64, ok bool)) {
+	w.mu.Lock()
+	w.onChange = fn
+	w.mu.Unlock()
+}
+
+// Max returns the current window peak for one series, or ok=false when no
+// non-zero sample lies in the window. It is a pure read: expired front
+// entries are skipped, not evicted, so it is safe to call from the change
+// callback.
+func (w *WindowMax) Max(measurement, pod, node string) (float64, bool) {
+	cutoff := w.clk.Now().Add(-w.window)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.series[wmKey{measurement: measurement, pod: pod, node: node}]
+	if !ok {
+		return 0, false
+	}
+	// Values decrease front to back, so the first unexpired entry is the
+	// window max.
+	for _, p := range s.dq {
+		if !p.t.Before(cutoff) {
+			return p.v, true
+		}
+	}
+	return 0, false
+}
+
+// SeriesCount returns the number of live aggregated series (for tests).
+func (w *WindowMax) SeriesCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.series)
+}
+
+// Refresh evicts every front entry that has aged out of the window and
+// fires the change callback for each affected series. Only series whose
+// registered expiry has passed are touched. Consumers call it once per
+// scheduling pass, before reading.
+func (w *WindowMax) Refresh() {
+	now := w.clk.Now()
+	cutoff := now.Add(-w.window)
+	var changes []wmChange
+	w.mu.Lock()
+	for len(w.expiry) > 0 && w.expiry[0].at.Before(now) {
+		ent := heap.Pop(&w.expiry).(expiryEntry)
+		s, ok := w.series[ent.key]
+		if !ok || len(s.dq) == 0 || !s.dq[0].t.Add(w.window).Equal(ent.at) {
+			// Stale entry: the front changed after this was pushed, and
+			// that transition already announced itself and registered a
+			// fresh expiry.
+			continue
+		}
+		for len(s.dq) > 0 && s.dq[0].t.Before(cutoff) {
+			s.dq = s.dq[1:]
+		}
+		if len(s.dq) == 0 {
+			delete(w.series, ent.key)
+			changes = append(changes, wmChange{key: ent.key})
+			continue
+		}
+		heap.Push(&w.expiry, expiryEntry{at: s.dq[0].t.Add(w.window), key: ent.key})
+		changes = append(changes, wmChange{key: ent.key, max: s.dq[0].v, ok: true})
+	}
+	fn := w.onChange
+	w.mu.Unlock()
+	w.fire(fn, changes)
+}
+
+// onWrite is the tsdb write-path hook.
+func (w *WindowMax) onWrite(measurement string, tags tsdb.Tags, value float64, t time.Time) {
+	if !w.keep[measurement] {
+		return
+	}
+	now := w.clk.Now()
+	w.mu.Lock()
+	change, changed := w.observeLocked(measurement, tags[TagPod], tags[TagNode], value, t, now)
+	fn := w.onChange
+	w.mu.Unlock()
+	if changed {
+		w.fire(fn, []wmChange{change})
+	}
+}
+
+func (w *WindowMax) fire(fn func(string, string, string, float64, bool), changes []wmChange) {
+	if fn == nil {
+		return
+	}
+	for _, c := range changes {
+		fn(c.key.measurement, c.key.pod, c.key.node, c.max, c.ok)
+	}
+}
+
+// observeLocked folds one sample into its deque and reports whether the
+// observable max changed. The comparison is against the pre-eviction
+// front — the value last announced for this series — so a peak that ages
+// out exactly when a smaller sample arrives is still reported as a drop.
+// Caller must hold w.mu.
+func (w *WindowMax) observeLocked(measurement, pod, node string, v float64, t, now time.Time) (wmChange, bool) {
+	if v == 0 {
+		return wmChange{}, false // Listing 1: WHERE value <> 0
+	}
+	cutoff := now.Add(-w.window)
+	if t.Before(cutoff) {
+		return wmChange{}, false // already outside the window
+	}
+	key := wmKey{measurement: measurement, pod: pod, node: node}
+	s, ok := w.series[key]
+	if !ok {
+		s = &wmSeries{}
+		w.series[key] = s
+	}
+	var oldFront wmPoint
+	hadFront := len(s.dq) > 0
+	if hadFront {
+		oldFront = s.dq[0]
+	}
+	// Expired fronts are invisible to Max already; drop them quietly.
+	for len(s.dq) > 0 && s.dq[0].t.Before(cutoff) {
+		s.dq = s.dq[1:]
+	}
+	s.insert(wmPoint{t: t, v: v})
+	front := s.dq[0] // insert on an emptied deque appends, so dq is never empty here
+	if hadFront && front == oldFront {
+		return wmChange{}, false
+	}
+	heap.Push(&w.expiry, expiryEntry{at: front.t.Add(w.window), key: key})
+	return wmChange{key: key, max: front.v, ok: true}, true
+}
+
+// insert adds a point to the monotonic deque. The common case — samples
+// arriving in time order — pops dominated entries off the back and
+// appends, O(1) amortized. An out-of-order sample is placed at its
+// time-ordered position after discarding the earlier entries it
+// dominates, unless a later entry already dominates it.
+func (s *wmSeries) insert(p wmPoint) {
+	n := len(s.dq)
+	if n == 0 || !p.t.Before(s.dq[n-1].t) {
+		for len(s.dq) > 0 && s.dq[len(s.dq)-1].v <= p.v {
+			s.dq = s.dq[:len(s.dq)-1]
+		}
+		s.dq = append(s.dq, p)
+		return
+	}
+	// Out-of-order: i is the first entry strictly later than p.
+	i := 0
+	for i < n && !s.dq[i].t.After(p.t) {
+		i++
+	}
+	if s.dq[i].v >= p.v {
+		return // a later-or-equal-time entry dominates p
+	}
+	j := i
+	for j > 0 && s.dq[j-1].v <= p.v {
+		j-- // p dominates these earlier entries
+	}
+	if j == i {
+		s.dq = append(s.dq, wmPoint{})
+		copy(s.dq[j+1:], s.dq[j:])
+		s.dq[j] = p
+		return
+	}
+	copy(s.dq[j+1:], s.dq[i:])
+	s.dq = s.dq[:n-(i-j)+1]
+	s.dq[j] = p
+}
+
+// expiryEntry schedules one series' front for eviction. Entries are lazy:
+// a front change leaves the old entry in the heap to be skipped later.
+type expiryEntry struct {
+	at  time.Time
+	key wmKey
+}
+
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

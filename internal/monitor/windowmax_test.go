@@ -1,0 +1,207 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+func wmDB() (*clock.Sim, *tsdb.DB) {
+	clk := clock.NewSim()
+	return clk, tsdb.New(clk, tsdb.WithGCInterval(0))
+}
+
+func wmTags(pod, node string) tsdb.Tags {
+	return tsdb.Tags{TagPod: pod, TagNode: node}
+}
+
+func TestWindowMaxTracksWrites(t *testing.T) {
+	clk, db := wmDB()
+	w := NewWindowMax(clk, db, 25*time.Second, MeasurementEPC)
+	defer w.Close()
+
+	if _, ok := w.Max(MeasurementEPC, "p", "n"); ok {
+		t.Fatal("empty aggregator reported a max")
+	}
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 5)
+	clk.Advance(5 * time.Second)
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 3)
+	if v, ok := w.Max(MeasurementEPC, "p", "n"); !ok || v != 5 {
+		t.Fatalf("max = %v, %v; want 5", v, ok)
+	}
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 9)
+	if v, _ := w.Max(MeasurementEPC, "p", "n"); v != 9 {
+		t.Fatalf("max after larger sample = %v, want 9", v)
+	}
+	// Zero samples mirror Listing 1's value <> 0 filter.
+	db.WriteNow(MeasurementEPC, wmTags("z", "n"), 0)
+	if _, ok := w.Max(MeasurementEPC, "z", "n"); ok {
+		t.Fatal("zero-only series reported a max")
+	}
+}
+
+// TestWindowMaxDecay: the peak must fall — and eventually disappear —
+// purely from the passage of time, with Refresh announcing each step.
+func TestWindowMaxDecay(t *testing.T) {
+	clk, db := wmDB()
+	w := NewWindowMax(clk, db, 25*time.Second, MeasurementEPC)
+	defer w.Close()
+	var announced []string
+	w.SetOnChange(func(_, pod, node string, max float64, ok bool) {
+		announced = append(announced, fmt.Sprintf("%s/%s=%v,%v", pod, node, max, ok))
+	})
+
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 10) // t=0
+	clk.Advance(10 * time.Second)
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 4) // t=10
+	announced = nil
+
+	clk.Advance(20 * time.Second) // t=30: the 10 at t=0 is out of [5, 30]
+	w.Refresh()
+	if v, ok := w.Max(MeasurementEPC, "p", "n"); !ok || v != 4 {
+		t.Fatalf("max after peak decay = %v, %v; want 4", v, ok)
+	}
+	if len(announced) != 1 || announced[0] != "p/n=4,true" {
+		t.Fatalf("decay announcements = %v", announced)
+	}
+
+	clk.Advance(time.Minute) // everything out of window
+	w.Refresh()
+	if _, ok := w.Max(MeasurementEPC, "p", "n"); ok {
+		t.Fatal("fully decayed series still reports a max")
+	}
+	if len(announced) != 2 || announced[1] != "p/n=0,false" {
+		t.Fatalf("final announcements = %v", announced)
+	}
+	if w.SeriesCount() != 0 {
+		t.Fatalf("series not reclaimed: %d", w.SeriesCount())
+	}
+}
+
+// TestWindowMaxMaxIsCurrentWithoutRefresh: Max must skip expired entries
+// even before Refresh evicts them.
+func TestWindowMaxMaxIsCurrentWithoutRefresh(t *testing.T) {
+	clk, db := wmDB()
+	w := NewWindowMax(clk, db, 25*time.Second, MeasurementEPC)
+	defer w.Close()
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 10)
+	clk.Advance(10 * time.Second)
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 4)
+	clk.Advance(20 * time.Second)
+	if v, ok := w.Max(MeasurementEPC, "p", "n"); !ok || v != 4 {
+		t.Fatalf("max without refresh = %v, %v; want 4", v, ok)
+	}
+}
+
+func TestWindowMaxBackfill(t *testing.T) {
+	clk, db := wmDB()
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 7)
+	clk.Advance(10 * time.Second)
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 2)
+	db.WriteNow(MeasurementMemory, wmTags("p", "n"), 11)
+	clk.Advance(40 * time.Second)
+	db.WriteNow(MeasurementEPC, wmTags("q", "n"), 3)
+
+	// Created after the writes: the 7 and 11 have aged out of the window
+	// by now, the 3 has not.
+	w := NewWindowMax(clk, db, 25*time.Second, MeasurementEPC, MeasurementMemory)
+	defer w.Close()
+	if _, ok := w.Max(MeasurementEPC, "p", "n"); ok {
+		t.Fatal("expired backfill point visible")
+	}
+	if _, ok := w.Max(MeasurementMemory, "p", "n"); ok {
+		t.Fatal("expired memory backfill point visible")
+	}
+	if v, ok := w.Max(MeasurementEPC, "q", "n"); !ok || v != 3 {
+		t.Fatalf("backfilled max = %v, %v; want 3", v, ok)
+	}
+}
+
+// TestWindowMaxChangeAnnouncements: the callback fires exactly on
+// observable max transitions from the write path.
+func TestWindowMaxChangeAnnouncements(t *testing.T) {
+	clk, db := wmDB()
+	w := NewWindowMax(clk, db, 25*time.Second, MeasurementEPC)
+	defer w.Close()
+	fired := 0
+	w.SetOnChange(func(_, _, _ string, _ float64, _ bool) { fired++ })
+
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 5) // new series: change
+	if fired != 1 {
+		t.Fatalf("fired = %d after first sample", fired)
+	}
+	clk.Advance(time.Second)
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 3) // dominated: no change
+	if fired != 1 {
+		t.Fatalf("fired = %d after dominated sample", fired)
+	}
+	clk.Advance(time.Second)
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 8) // new peak: change
+	if fired != 2 {
+		t.Fatalf("fired = %d after new peak", fired)
+	}
+	db.WriteNow("unrelated/metric", wmTags("p", "n"), 99) // untracked measurement
+	if fired != 2 {
+		t.Fatalf("fired = %d after untracked measurement", fired)
+	}
+}
+
+// TestWindowMaxMatchesScanReference drives randomized in- and out-of-order
+// writes, zeros, and clock advances through the aggregator and requires
+// its view to match WindowPeak — the same inner-Listing-1 peak computed
+// from scratch through the tsdb scan — at every checkpoint.
+func TestWindowMaxMatchesScanReference(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		clk, db := wmDB()
+		window := time.Duration(5+rng.Intn(56)) * time.Second
+		w := NewWindowMax(clk, db, window, MeasurementEPC)
+		w.SetOnChange(func(string, string, string, float64, bool) {})
+
+		type key struct{ pod, node string }
+		seen := make(map[key]bool)
+		for op := 0; op < 120; op++ {
+			if rng.Intn(4) == 0 {
+				clk.Advance(time.Duration(rng.Intn(20000)) * time.Millisecond)
+			}
+			k := key{
+				pod:  fmt.Sprintf("p%d", rng.Intn(5)),
+				node: fmt.Sprintf("n%d", rng.Intn(3)),
+			}
+			seen[k] = true
+			v := float64(rng.Intn(8)) // zeros included
+			at := clk.Now().Add(-time.Duration(rng.Intn(90)) * time.Second)
+			db.Write(MeasurementEPC, wmTags(k.pod, k.node), v, at)
+
+			if op%10 == 0 {
+				w.Refresh()
+				want := WindowPeak(db, MeasurementEPC, window)
+				for k := range seen {
+					wantV, wantOK := want[PodNode{Pod: k.pod, Node: k.node}]
+					gotV, gotOK := w.Max(MeasurementEPC, k.pod, k.node)
+					if gotOK != wantOK || (wantOK && gotV != wantV) {
+						t.Fatalf("trial %d op %d series %v: max = %v,%v; scan reference = %v,%v",
+							trial, op, k, gotV, gotOK, wantV, wantOK)
+					}
+				}
+			}
+		}
+		w.Close()
+	}
+}
+
+// TestWindowMaxCloseDetaches: writes after Close must not reach the
+// aggregator.
+func TestWindowMaxCloseDetaches(t *testing.T) {
+	clk, db := wmDB()
+	w := NewWindowMax(clk, db, 25*time.Second, MeasurementEPC)
+	w.Close()
+	db.WriteNow(MeasurementEPC, wmTags("p", "n"), 5)
+	if _, ok := w.Max(MeasurementEPC, "p", "n"); ok {
+		t.Fatal("closed aggregator observed a write")
+	}
+}

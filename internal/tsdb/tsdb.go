@@ -79,6 +79,19 @@ const DefaultRetention = 10 * time.Minute
 // whose newest point has aged out of retention.
 const DefaultGCInterval = time.Minute
 
+// WriteObserver is a write-path subscription callback (see OnWrite). It
+// runs synchronously on the writing goroutine after the database lock is
+// released; tags are the writer's map and must not be retained or
+// mutated.
+type WriteObserver func(measurement string, tags Tags, value float64, t time.Time)
+
+// writeObserver is one registered observer; the slice is ordered by id
+// (ids are monotonic and appended), keeping delivery deterministic.
+type writeObserver struct {
+	id int
+	fn WriteObserver
+}
+
 // DB is the in-memory time-series database.
 type DB struct {
 	clk        clock.Clock
@@ -89,6 +102,8 @@ type DB struct {
 	measurements map[string]*measurementIndex
 	nSeries      int
 	stopGC       func()
+	observers    []writeObserver
+	nextObsID    int
 }
 
 // measurement groups the series of one measurement name. entries is kept
@@ -153,13 +168,41 @@ func (db *DB) Close() {
 // against it.
 func (db *DB) Now() time.Time { return db.clk.Now() }
 
+// Retention returns the retention window. Consumers computing their own
+// sliding windows (e.g. the streaming window-max aggregator) must keep
+// them within it: reads clamp to the retention cutoff, so a longer
+// window would observe points the database no longer serves.
+func (db *DB) Retention() time.Duration { return db.retention }
+
+// OnWrite registers a write-path observer: every Write (and WriteNow)
+// invokes fn after the point is stored, on the writing goroutine, with
+// the database lock released — the hook streaming aggregators build on to
+// stay continuously current without polling. It returns an unsubscribe
+// function. fn must not call back into the database.
+func (db *DB) OnWrite(fn WriteObserver) (unsubscribe func()) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id := db.nextObsID
+	db.nextObsID++
+	db.observers = append(db.observers, writeObserver{id: id, fn: fn})
+	return func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		for i, o := range db.observers {
+			if o.id == id {
+				db.observers = append(db.observers[:i], db.observers[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
 // Write appends a sample to the series identified by measurement and
 // tags, stamped at time t. Out-of-order writes are tolerated: the point
 // is inserted at its time-ordered position.
 func (db *DB) Write(measurement string, tags Tags, value float64, t time.Time) {
 	key := tags.canonical()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	m, ok := db.measurements[measurement]
 	if !ok {
 		m = &measurementIndex{byKey: make(map[string]*seriesEntry)}
@@ -184,6 +227,17 @@ func (db *DB) Write(measurement string, tags Tags, value float64, t time.Time) {
 		e.points[i] = Point{Time: t, Value: value}
 	}
 	db.pruneLocked(e)
+	var fns []WriteObserver
+	if len(db.observers) > 0 {
+		fns = make([]WriteObserver, len(db.observers))
+		for i, o := range db.observers {
+			fns[i] = o.fn
+		}
+	}
+	db.mu.Unlock()
+	for _, fn := range fns {
+		fn(measurement, tags, value, t)
+	}
 }
 
 // WriteNow appends a sample stamped with the database clock.

@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -234,5 +235,42 @@ func TestExplicitTimestampWrite(t *testing.T) {
 	s := db.Series("m")
 	if !s[0].Points[0].Time.Equal(past) {
 		t.Fatalf("point time = %v, want %v", s[0].Points[0].Time, past)
+	}
+}
+
+// TestOnWriteObservers: every write reaches registered observers in
+// registration order, after the point is stored; unsubscribing detaches.
+func TestOnWriteObservers(t *testing.T) {
+	clk := clock.NewSim()
+	db := New(clk, WithGCInterval(0))
+
+	var order []string
+	unsubA := db.OnWrite(func(m string, tags Tags, v float64, at time.Time) {
+		// The point must already be visible to reads.
+		if got := db.Series(m); len(got) == 0 {
+			t.Fatal("observer ran before the point was stored")
+		}
+		order = append(order, fmt.Sprintf("a:%s=%g@%s", m, v, tags["pod"]))
+	})
+	unsubB := db.OnWrite(func(m string, _ Tags, v float64, _ time.Time) {
+		order = append(order, fmt.Sprintf("b:%s=%g", m, v))
+	})
+
+	db.WriteNow("m", Tags{"pod": "p1"}, 3)
+	want := []string{"a:m=3@p1", "b:m=3"}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+
+	unsubA()
+	db.WriteNow("m", Tags{"pod": "p1"}, 4)
+	if len(order) != 3 || order[2] != "b:m=4" {
+		t.Fatalf("after unsubscribe A: %v", order)
+	}
+	unsubB()
+	unsubB() // double-unsubscribe is a no-op
+	db.WriteNow("m", Tags{"pod": "p1"}, 5)
+	if len(order) != 3 {
+		t.Fatalf("detached observers still notified: %v", order)
 	}
 }
