@@ -238,6 +238,11 @@ type JobSpec struct {
 	Name string
 	// Duration is the useful runtime of the workload.
 	Duration time.Duration
+	// Priority orders the pending queue (higher first, FCFS within a
+	// tier). When no node can host the job, the scheduler may preempt
+	// strictly lower-priority jobs to make room; equal priorities never
+	// preempt each other. Preempted jobs re-queue and reschedule.
+	Priority int32
 	// MemoryRequestBytes is the advertised standard memory.
 	MemoryRequestBytes int64
 	// EPCRequestBytes is the advertised enclave memory; a non-zero value
@@ -314,6 +319,7 @@ func (c *Cluster) SubmitJob(spec JobSpec) error {
 		Name: spec.Name,
 		Spec: api.PodSpec{
 			SchedulerName: schedulerName,
+			Priority:      spec.Priority,
 			Containers: []api.Container{{
 				Name:      "workload",
 				Resources: api.Requirements{Requests: requests, Limits: limits},
@@ -423,10 +429,20 @@ type SchedulerStats struct {
 	Passes        int
 	Bound         int
 	Unschedulable int
+	// Preemptions counts scheduling decisions that evicted lower-priority
+	// jobs to make room; Victims counts the jobs evicted by them.
+	Preemptions int
+	Victims     int
 }
 
 // SchedulerStats returns the scheduler's counters.
 func (c *Cluster) SchedulerStats() SchedulerStats {
 	s := c.sched.Stats()
-	return SchedulerStats{Passes: s.Passes, Bound: s.Bound, Unschedulable: s.Unschedulable}
+	return SchedulerStats{
+		Passes:        s.Passes,
+		Bound:         s.Bound,
+		Unschedulable: s.Unschedulable,
+		Preemptions:   s.Preemptions,
+		Victims:       s.Victims,
+	}
 }

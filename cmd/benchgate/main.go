@@ -1,0 +1,65 @@
+// Command benchgate turns benchstat output into a CI pass/fail signal: it
+// reads a benchstat comparison (old vs new) from stdin or a file and
+// exits non-zero when any benchmark shows a statistically significant
+// time/op regression beyond the threshold.
+//
+// benchstat only annotates a row with a delta percentage when the change
+// is significant at its configured alpha (insignificant rows show "~"),
+// so the gate trusts benchstat's statistics and applies the threshold on
+// top. Only time sections (sec/op in the current benchstat format,
+// time/op in the legacy one) are gated; allocation sections ride along in
+// the report but do not fail the build.
+//
+// Usage:
+//
+//	benchstat base.txt head.txt | benchgate -threshold 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"github.com/sgxorch/sgxorch/internal/benchgate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	threshold := flag.Float64("threshold", 20, "maximum tolerated significant time/op regression, in percent")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := benchgate.Check(string(data), *threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range report.Rows {
+		status := "ok"
+		if r.Regression {
+			status = fmt.Sprintf("REGRESSION > %.0f%%", *threshold)
+		}
+		fmt.Printf("%-60s %+.2f%%  %s\n", r.Name, r.DeltaPercent, status)
+	}
+	if len(report.Rows) == 0 {
+		fmt.Println("no significant time/op changes")
+	}
+	if report.Failed() {
+		log.Fatalf("%d benchmark(s) regressed beyond %.0f%%", len(report.Regressions()), *threshold)
+	}
+}

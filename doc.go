@@ -9,9 +9,10 @@
 // per-pod EPC limits inside a modified SGX driver model. The package
 // exposes:
 //
-//   - Cluster: assemble a cluster (standard + SGX nodes), submit jobs,
-//     and observe placements, waiting times and turnaround times; the
-//     simulated clock replays hours of cluster time in milliseconds.
+//   - Cluster: assemble a cluster (standard + SGX nodes), submit jobs —
+//     optionally with priorities — and observe placements, waiting times
+//     and turnaround times; the simulated clock replays hours of cluster
+//     time in milliseconds.
 //   - Policies: the paper's binpack and spread strategies plus a
 //     request-only baseline mirroring Kubernetes' default scheduler.
 //   - ReplayBorgTrace: replay the paper's Google Borg trace slice (663
@@ -52,4 +53,24 @@
 // costs O(pending pods + nodes), independent of total cluster size; the
 // InfluxQL-driven from-scratch BuildView remains as the reference
 // implementation the cache is property-tested against.
+//
+// Scheduling itself is a plugin framework (internal/core): a pipeline of
+// filter plugins (the §IV feasibility checks: SGX capability, EPC device
+// fit, resource saturation), candidate-narrowing pre-score plugins (the
+// SGX-last rule) and weighted score plugins (binpack, spread,
+// least-requested, usage-headroom, EPC-pressure). The paper's fixed
+// strategies are profiles over these plugins — bit-identical to their
+// original implementations, which the tests pin — and new behaviours
+// compose without touching the scheduling pass.
+//
+// Jobs carry a priority: the pending queue drains priority-then-FCFS,
+// and when a high-priority job finds no feasible node the scheduler
+// preempts a minimal set of strictly lower-priority jobs — fewest
+// victims, lowest priorities first, deterministic tie-breaks. Victims
+// are returned to the queue (not failed), their kubelet kills the
+// workload and releases devices synchronously, and the preemptor binds
+// in the same pass. Equal priorities never preempt each other, and a job
+// no victim set can accommodate evicts nothing. All of it is
+// delta-maintained in the cluster cache and covered by the cache≡rebuild
+// equivalence and run-to-run determinism property tests.
 package sgxorch

@@ -113,6 +113,12 @@ type PodSpec struct {
 	// NodeName is set by a scheduler binding.
 	NodeName   string
 	Containers []Container
+	// Priority orders the pending queue (higher schedules first; FCFS
+	// within a tier) and gates preemption: a pod may only evict strictly
+	// lower-priority pods, and equal priorities never preempt each other.
+	// The zero value is the default tier, mirroring Kubernetes'
+	// PriorityClass semantics.
+	Priority int32
 }
 
 // PodStatus is the system-maintained part of a pod.

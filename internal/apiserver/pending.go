@@ -1,0 +1,113 @@
+package apiserver
+
+import "sort"
+
+// pendingQueue is the server's persistent queue of unscheduled pods:
+// priority-then-FCFS (§IV's first-come first-served order, refined by
+// api.PodSpec.Priority tiers). Each priority holds its own FCFS bucket
+// with the tombstone-and-compact layout the plain FCFS queue used, so
+// enqueue and remove stay O(1) amortized and a full visit is O(live +
+// tiers). Pod names are unique across the whole queue.
+type pendingQueue struct {
+	prios   []int32 // distinct priorities present, sorted descending
+	buckets map[int32]*pendingBucket
+	idx     map[string]int32 // pod name → its bucket's priority
+}
+
+// pendingBucket is one priority tier's FCFS queue. Removed entries are
+// tombstoned ("") and compacted when they outnumber live ones.
+type pendingBucket struct {
+	names  []string
+	byName map[string]int
+	dead   int
+}
+
+func newPendingQueue() *pendingQueue {
+	return &pendingQueue{
+		buckets: make(map[int32]*pendingBucket),
+		idx:     make(map[string]int32),
+	}
+}
+
+// Len returns the number of queued pods.
+func (q *pendingQueue) Len() int { return len(q.idx) }
+
+// Push appends a pod at the tail of its priority tier.
+func (q *pendingQueue) Push(name string, prio int32) {
+	b, ok := q.buckets[prio]
+	if !ok {
+		b = &pendingBucket{byName: make(map[string]int)}
+		q.buckets[prio] = b
+		// Insert into the descending priority list.
+		i := sort.Search(len(q.prios), func(i int) bool { return q.prios[i] < prio })
+		q.prios = append(q.prios, 0)
+		copy(q.prios[i+1:], q.prios[i:])
+		q.prios[i] = prio
+	}
+	b.byName[name] = len(b.names)
+	b.names = append(b.names, name)
+	q.idx[name] = prio
+}
+
+// Remove drops a pod from the queue (no-op when absent): its slot is
+// tombstoned in O(1), the bucket compacted once tombstones outnumber live
+// entries, and emptied tiers are deleted so the tier list only holds
+// priorities actually queued.
+func (q *pendingQueue) Remove(name string) {
+	prio, ok := q.idx[name]
+	if !ok {
+		return
+	}
+	delete(q.idx, name)
+	b := q.buckets[prio]
+	b.names[b.byName[name]] = ""
+	delete(b.byName, name)
+	b.dead++
+	if len(b.byName) == 0 {
+		delete(q.buckets, prio)
+		i := sort.Search(len(q.prios), func(i int) bool { return q.prios[i] <= prio })
+		q.prios = append(q.prios[:i], q.prios[i+1:]...)
+		return
+	}
+	if b.dead <= len(b.names)/2 {
+		return
+	}
+	live := b.names[:0]
+	for _, n := range b.names {
+		if n == "" {
+			continue
+		}
+		b.byName[n] = len(live)
+		live = append(live, n)
+	}
+	for i := len(live); i < len(b.names); i++ {
+		b.names[i] = ""
+	}
+	b.names = live
+	b.dead = 0
+}
+
+// Visit calls fn for every queued pod name in priority-then-FCFS order;
+// returning false stops the walk.
+func (q *pendingQueue) Visit(fn func(name string) bool) {
+	for _, prio := range q.prios {
+		for _, name := range q.buckets[prio].names {
+			if name == "" {
+				continue
+			}
+			if !fn(name) {
+				return
+			}
+		}
+	}
+}
+
+// Snapshot returns the queued names in priority-then-FCFS order.
+func (q *pendingQueue) Snapshot() []string {
+	out := make([]string, 0, len(q.idx))
+	q.Visit(func(name string) bool {
+		out = append(out, name)
+		return true
+	})
+	return out
+}

@@ -1,7 +1,9 @@
 // Package apiserver is the in-process equivalent of the Kubernetes API
-// server: the source of truth for nodes and pods, the persistent FCFS
-// queue of pending jobs (§IV, step Ì), and the notification hub that
-// kubelets and schedulers subscribe to.
+// server: the source of truth for nodes and pods, the persistent queue of
+// pending jobs (§IV, step Ì — FCFS, refined into priority tiers by
+// api.PodSpec.Priority), and the notification hub that kubelets and
+// schedulers subscribe to. Preempt returns a bound pod to the queue so
+// higher-priority work can take its place.
 //
 // Watchers attach either with Subscribe (events only) or with the
 // informer-style ListAndWatch, which atomically couples a consistent
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/sgxorch/sgxorch/internal/api"
 	"github.com/sgxorch/sgxorch/internal/clock"
@@ -110,13 +113,11 @@ type Server struct {
 	nextUID int64
 	rev     int64 // resource version, incremented per watch event
 
-	// pending is the FCFS submission queue (§IV). Removed entries are
-	// tombstoned ("") and compacted when they outnumber live ones, and
-	// pendingIdx maps pod name → queue position, so a bind removes its
-	// pod in O(1) amortized instead of scanning the queue.
-	pending     []string
-	pendingIdx  map[string]int
-	pendingDead int
+	// pending is the submission queue (§IV), ordered priority-then-FCFS:
+	// higher api.PodSpec.Priority tiers drain first, first-come
+	// first-served within a tier. Binds remove their pod in O(1)
+	// amortized.
+	pending *pendingQueue
 
 	subs   []subscriber // ordered by id
 	nextID int
@@ -127,10 +128,10 @@ type Server struct {
 // New creates an empty API server.
 func New(clk clock.Clock) *Server {
 	return &Server{
-		clk:        clk,
-		nodes:      make(map[string]*api.Node),
-		pods:       make(map[string]*api.Pod),
-		pendingIdx: make(map[string]int),
+		clk:     clk,
+		nodes:   make(map[string]*api.Node),
+		pods:    make(map[string]*api.Pod),
+		pending: newPendingQueue(),
 	}
 }
 
@@ -189,12 +190,7 @@ func (s *Server) ListAndWatch(fn func(WatchEvent)) (Snapshot, func()) {
 	for _, name := range names {
 		snap.Pods = append(snap.Pods, s.pods[name].Clone())
 	}
-	snap.Pending = make([]string, 0, len(s.pendingIdx))
-	for _, name := range s.pending {
-		if name != "" {
-			snap.Pending = append(snap.Pending, name)
-		}
-	}
+	snap.Pending = s.pending.Snapshot()
 	return snap, s.subscribeLocked(fn)
 }
 
@@ -327,8 +323,7 @@ func (s *Server) CreatePod(p *api.Pod) error {
 	stored.Status.Phase = api.PodPending
 	stored.Status.SubmittedAt = s.clk.Now()
 	s.pods[stored.Name] = stored
-	s.pendingIdx[stored.Name] = len(s.pending)
-	s.pending = append(s.pending, stored.Name)
+	s.pending.Push(stored.Name, stored.Spec.Priority)
 	s.recordEvent("pod/"+stored.Name, "Created", "queued as pending")
 	ev := s.newEvent(PodCreated)
 	ev.Pod = stored.Clone()
@@ -367,24 +362,22 @@ func (s *Server) ListPods(filter func(*api.Pod) bool) []*api.Pod {
 	return out
 }
 
-// PendingPods returns the queued pods for the given scheduler in FCFS
-// submission order (§IV: "the orchestrator keeps a persistent queue of
-// pending jobs ... applying a first-come first-served priority"). An empty
-// schedulerName matches every pod.
+// PendingPods returns the queued pods for the given scheduler in
+// priority-then-FCFS order (§IV: "the orchestrator keeps a persistent
+// queue of pending jobs ... applying a first-come first-served priority";
+// api.PodSpec.Priority refines it into tiers). An empty schedulerName
+// matches every pod.
 func (s *Server) PendingPods(schedulerName string) []*api.Pod {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*api.Pod, 0, len(s.pendingIdx))
-	for _, name := range s.pending {
-		if name == "" {
-			continue
-		}
+	out := make([]*api.Pod, 0, s.pending.Len())
+	s.pending.Visit(func(name string) bool {
 		p := s.pods[name]
-		if schedulerName != "" && p.Spec.SchedulerName != schedulerName {
-			continue
+		if schedulerName == "" || p.Spec.SchedulerName == schedulerName {
+			out = append(out, p.Clone())
 		}
-		out = append(out, p.Clone())
-	}
+		return true
+	})
 	return out
 }
 
@@ -404,32 +397,28 @@ func (s *Server) VisitPods(fn func(*api.Pod) bool) {
 	}
 }
 
-// VisitPending calls fn for the given scheduler's queued pods in FCFS
-// submission order under the server lock, without copying. The same
-// read-only, no-retain, no-reentrancy contract as VisitPods applies; an
-// empty schedulerName matches every pod. Returning false stops the walk.
+// VisitPending calls fn for the given scheduler's queued pods in
+// priority-then-FCFS order under the server lock, without copying. The
+// same read-only, no-retain, no-reentrancy contract as VisitPods applies;
+// an empty schedulerName matches every pod. Returning false stops the
+// walk.
 func (s *Server) VisitPending(schedulerName string, fn func(*api.Pod) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, name := range s.pending {
-		if name == "" {
-			continue
-		}
+	s.pending.Visit(func(name string) bool {
 		p := s.pods[name]
 		if schedulerName != "" && p.Spec.SchedulerName != schedulerName {
-			continue
+			return true
 		}
-		if !fn(p) {
-			return
-		}
-	}
+		return fn(p)
+	})
 }
 
 // PendingCount returns the number of queued pods across all schedulers.
 func (s *Server) PendingCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pendingIdx)
+	return s.pending.Len()
 }
 
 // Bind assigns a pending pod to a node (§IV step Í: "the scheduler
@@ -467,34 +456,10 @@ func (s *Server) Bind(podName, nodeName string) error {
 	return nil
 }
 
-// removePending drops a pod from the FCFS queue: its slot is tombstoned
-// in O(1) via the name index, and the queue is compacted once tombstones
-// outnumber live entries, so a pass binding k pods costs O(k) amortized
-// instead of O(k·pending). Caller must hold s.mu.
+// removePending drops a pod from the pending queue (see pendingQueue for
+// the amortized O(1) layout). Caller must hold s.mu.
 func (s *Server) removePending(podName string) {
-	i, ok := s.pendingIdx[podName]
-	if !ok {
-		return
-	}
-	s.pending[i] = ""
-	delete(s.pendingIdx, podName)
-	s.pendingDead++
-	if s.pendingDead <= len(s.pending)/2 {
-		return
-	}
-	live := s.pending[:0]
-	for _, name := range s.pending {
-		if name == "" {
-			continue
-		}
-		s.pendingIdx[name] = len(live)
-		live = append(live, name)
-	}
-	for i := len(live); i < len(s.pending); i++ {
-		s.pending[i] = ""
-	}
-	s.pending = live
-	s.pendingDead = 0
+	s.pending.Remove(podName)
 }
 
 // MarkRunning transitions a bound pod to Running, stamping StartedAt.
@@ -544,6 +509,49 @@ func (s *Server) transition(podName string, phase api.PodPhase, event, reason st
 	p.Status.Phase = phase
 	p.Status.Reason = reason
 	s.recordEvent("pod/"+podName, event, reason)
+	ev := s.newEvent(PodUpdated)
+	ev.Pod = p.Clone()
+	s.mu.Unlock()
+	s.notify(ev)
+	return nil
+}
+
+// Preempt returns a bound, non-terminal pod to the pending queue: its
+// binding is cleared and it re-enters its priority tier at the tail, to be
+// scheduled again later. The kubelet holding the pod reacts to the update
+// by killing the workload and releasing its resources — this is the §IV
+// eviction path priority scheduling uses to make room for more important
+// pods. Scheduling timestamps are reset so waiting/turnaround metrics
+// describe the eventual successful run.
+func (s *Server) Preempt(podName, reason string) error {
+	if reason == "" {
+		reason = "Preempted"
+	} else {
+		reason = "Preempted: " + reason
+	}
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
+	s.mu.Lock()
+	p, ok := s.pods[podName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pod %s", ErrNotFound, podName)
+	}
+	if p.IsTerminal() {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pod %s already terminal (%s)", ErrConflict, podName, p.Status.Phase)
+	}
+	if p.Spec.NodeName == "" {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pod %s is not bound", ErrConflict, podName)
+	}
+	p.Spec.NodeName = ""
+	p.Status.Phase = api.PodPending
+	p.Status.Reason = reason
+	p.Status.ScheduledAt = time.Time{}
+	p.Status.StartedAt = time.Time{}
+	s.pending.Push(podName, p.Spec.Priority)
+	s.recordEvent("pod/"+podName, "Preempted", reason)
 	ev := s.newEvent(PodUpdated)
 	ev.Pod = p.Clone()
 	s.mu.Unlock()

@@ -1,0 +1,91 @@
+// Package benchgate parses benchstat comparison output and decides
+// whether a change regressed the gated time/op metrics beyond a
+// threshold. It understands both the current benchstat table layout
+// ("sec/op" column headers, "~" for insignificant rows) and the legacy
+// one ("old time/op  new time/op  delta").
+package benchgate
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Row is one significant time/op delta extracted from the comparison.
+type Row struct {
+	Name         string
+	DeltaPercent float64
+	Regression   bool // true when DeltaPercent exceeds the threshold
+}
+
+// Report is the gate's verdict over one benchstat output.
+type Report struct {
+	Rows []Row
+}
+
+// Failed reports whether any gated benchmark regressed.
+func (r Report) Failed() bool { return len(r.Regressions()) > 0 }
+
+// Regressions returns the offending rows.
+func (r Report) Regressions() []Row {
+	var out []Row
+	for _, row := range r.Rows {
+		if row.Regression {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// deltaRe matches benchstat's significant-delta annotation: a signed
+// percentage followed by the p-value clause, e.g. "+23.45% (p=0.000
+// n=10)". Insignificant rows carry "~" instead and never match.
+var deltaRe = regexp.MustCompile(`([+-]\d+(?:\.\d+)?)%\s+\(p=`)
+
+// Check parses benchstat output and applies the regression threshold (in
+// percent) to every significant time/op delta. Deltas in other units
+// (B/op, allocs/op) are ignored: allocation shifts are reported by
+// benchstat for humans, but only wall-time regressions gate the build.
+func Check(benchstatOutput string, thresholdPercent float64) (Report, error) {
+	var rep Report
+	inTime := false
+	sc := bufio.NewScanner(strings.NewReader(benchstatOutput))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Section headers name the unit. The current format prints "│
+		// sec/op │" column headers; the legacy format prints "old
+		// time/op" once per section.
+		switch {
+		case strings.Contains(line, "sec/op") || strings.Contains(line, "time/op"):
+			inTime = true
+			continue
+		case strings.Contains(line, "B/op") || strings.Contains(line, "alloc/op") ||
+			strings.Contains(line, "allocs/op"):
+			inTime = false
+			continue
+		}
+		if !inTime {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 || fields[0] == "geomean" {
+			continue
+		}
+		m := deltaRe.FindStringSubmatch(line)
+		if m == nil {
+			continue // insignificant ("~"), a bare header, or unrelated text
+		}
+		delta, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Name:         fields[0],
+			DeltaPercent: delta,
+			Regression:   delta > thresholdPercent,
+		})
+	}
+	return rep, sc.Err()
+}

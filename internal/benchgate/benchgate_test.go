@@ -1,0 +1,122 @@
+package benchgate
+
+import "testing"
+
+// currentFormat is benchstat output as produced by golang.org/x/perf's
+// current benchstat: per-unit sections with box-drawing headers, "~" for
+// insignificant rows, a geomean footer.
+const currentFormat = `goos: linux
+goarch: amd64
+pkg: github.com/sgxorch/sgxorch
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+                                       │  base.txt   │              head.txt               │
+                                       │   sec/op    │   sec/op     vs base                │
+SchedulerPass                            144.2µ ± 1%   205.3µ ± 2%  +42.37% (p=0.000 n=10)
+SchedulerPassScaling/bound=1000          101.1µ ± 1%   103.0µ ± 1%        ~ (p=0.123 n=10)
+SchedulerPassScaling/bound=10000         110.3µ ± 2%   118.1µ ± 1%   +7.07% (p=0.002 n=10)
+InfluxQLListing1                         215.2µ ± 1%   180.0µ ± 1%  -16.36% (p=0.000 n=10)
+geomean                                  138.5µ        152.9µ       +10.41%
+                                       │   base.txt   │               head.txt               │
+                                       │     B/op     │     B/op      vs base                │
+SchedulerPass                            2.372Ki ± 0%   2.402Ki ± 0%  +25.00% (p=0.000 n=10)
+geomean                                  2.372Ki        2.402Ki        +1.26%
+`
+
+// legacyFormat is the pre-v0.4 benchstat table.
+const legacyFormat = `name                  old time/op    new time/op    delta
+SchedulerPass            144µs ± 1%     205µs ± 2%  +42.37%  (p=0.000 n=10+10)
+SchedulerPassScaling     101µs ± 1%     103µs ± 1%     ~     (p=0.123 n=10+10)
+
+name                  old alloc/op   new alloc/op   delta
+SchedulerPass           2.37kB ± 0%    2.40kB ± 0%  +25.00%  (p=0.000 n=10+10)
+`
+
+func TestCheckCurrentFormat(t *testing.T) {
+	rep, err := Check(currentFormat, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three significant sec/op rows; the B/op +25% must not be gated and
+	// the "~" row must be skipped.
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d (%+v), want 3", len(rep.Rows), rep.Rows)
+	}
+	if !rep.Failed() {
+		t.Fatal("42%% regression not flagged")
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "SchedulerPass" || regs[0].DeltaPercent != 42.37 {
+		t.Fatalf("regressions = %+v, want only SchedulerPass +42.37%%", regs)
+	}
+	// Improvements and small significant deltas pass.
+	for _, r := range rep.Rows {
+		if r.Name != "SchedulerPass" && r.Regression {
+			t.Fatalf("%s flagged at threshold 20: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestCheckThresholdBoundary(t *testing.T) {
+	rep, err := Check(currentFormat, 7.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The threshold is strict: exactly-at-threshold deltas pass.
+	for _, r := range rep.Regressions() {
+		if r.Name == "SchedulerPassScaling/bound=10000" {
+			t.Fatalf("at-threshold delta flagged: %+v", r)
+		}
+	}
+	rep, err = Check(currentFormat, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions()) != 2 {
+		t.Fatalf("regressions at 7%% = %+v, want 2", rep.Regressions())
+	}
+}
+
+func TestCheckLegacyFormat(t *testing.T) {
+	rep, err := Check(legacyFormat, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Name != "SchedulerPass" {
+		t.Fatalf("rows = %+v, want the one significant time/op delta", rep.Rows)
+	}
+	if !rep.Failed() {
+		t.Fatal("legacy-format regression not flagged")
+	}
+}
+
+func TestCheckNoSignificantChanges(t *testing.T) {
+	const quiet = `       │ base.txt │           head.txt           │
+       │  sec/op  │   sec/op    vs base          │
+Pass     144.2µ ± 1%   144.9µ ± 2%  ~ (p=0.529 n=10)
+geomean  144.2µ        144.9µ       +0.49%
+`
+	rep, err := Check(quiet, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 0 || rep.Failed() {
+		t.Fatalf("quiet comparison produced %+v", rep)
+	}
+}
+
+func TestCheckImprovementNeverFails(t *testing.T) {
+	const faster = `       │ base.txt │           head.txt            │
+       │  sec/op  │   sec/op    vs base           │
+Pass     205.3µ ± 1%   144.2µ ± 1%  -29.76% (p=0.000 n=10)
+`
+	rep, err := Check(faster, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("improvement flagged as regression: %+v", rep)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].DeltaPercent != -29.76 {
+		t.Fatalf("rows = %+v", rep.Rows)
+	}
+}

@@ -50,6 +50,13 @@ type ClusterCache struct {
 	pods     map[string]*cachedPod
 	maturity matHeap
 	unsub    func()
+	// prioCount counts live bound pods per priority tier and prios keeps
+	// the occupied tiers sorted ascending; the preemption planner
+	// consults them to skip victim searches in O(1) when no strictly
+	// lower tier is occupied anywhere (the common priority-free case —
+	// this gate runs once per unschedulable pod per pass).
+	prioCount map[int32]int
+	prios     []int32
 }
 
 // cachedNode is the incrementally maintained per-node state.
@@ -61,6 +68,10 @@ type cachedNode struct {
 	memUsed     int64 // fused memory bytes of live bound pods
 	epcUsed     int64 // fused EPC pages of live bound pods
 	reqEPC      int64 // requested EPC pages of live bound pods (device accounting)
+	// pods indexes the live bound pods charged to this node, so the
+	// preemption planner enumerates victims in O(node pods) instead of
+	// scanning the cluster.
+	pods map[string]*cachedPod
 }
 
 // cachedPod tracks one live bound pod and its current fused contribution
@@ -68,6 +79,7 @@ type cachedNode struct {
 type cachedPod struct {
 	name      string
 	node      string
+	priority  int32
 	reqMem    int64
 	reqEPC    int64
 	startedAt time.Time
@@ -87,6 +99,7 @@ func newClusterCache(clk clock.Clock, srv *apiserver.Server, agg *monitor.Window
 		useMetrics: useMetrics,
 		nodes:      make(map[string]*cachedNode),
 		pods:       make(map[string]*cachedPod),
+		prioCount:  make(map[int32]int),
 	}
 	// Events arriving while the snapshot is being applied block on c.mu;
 	// anything already reflected in the snapshot is dropped by the rev
@@ -197,7 +210,7 @@ func (c *ClusterCache) onMetric(_, pod, node string, _ float64, _ bool) {
 func (c *ClusterCache) upsertNodeLocked(n *api.Node) {
 	cn, ok := c.nodes[n.Name]
 	if !ok {
-		cn = &cachedNode{name: n.Name}
+		cn = &cachedNode{name: n.Name, pods: make(map[string]*cachedPod)}
 		c.nodes[n.Name] = cn
 		i := sort.SearchStrings(c.names, n.Name)
 		c.names = append(c.names, "")
@@ -228,28 +241,34 @@ func (c *ClusterCache) addPodLocked(p *api.Pod, now time.Time) {
 	cp := &cachedPod{
 		name:      p.Name,
 		node:      p.Spec.NodeName,
+		priority:  p.Spec.Priority,
 		reqMem:    req.Get(resource.Memory),
 		reqEPC:    req.Get(resource.EPCPages),
 		startedAt: p.Status.StartedAt,
 	}
 	c.pods[p.Name] = cp
+	cn.pods[p.Name] = cp
+	if c.prioCount[cp.priority]++; c.prioCount[cp.priority] == 1 {
+		i := sort.Search(len(c.prios), func(i int) bool { return c.prios[i] >= cp.priority })
+		c.prios = append(c.prios, 0)
+		copy(c.prios[i+1:], c.prios[i:])
+		c.prios[i] = cp.priority
+	}
 	cn.reqEPC += cp.reqEPC
 	c.fusePodLocked(cp, now)
 	c.pushMaturityLocked(cp, now)
 }
 
-// podUpdatedLocked handles status transitions of a tracked pod.
+// podUpdatedLocked handles status transitions of a tracked pod. Terminal
+// transitions and preemptions (the pod returns to the queue with its
+// binding cleared) both remove the pod's charge from its node.
 func (c *ClusterCache) podUpdatedLocked(p *api.Pod, now time.Time) {
 	cp, ok := c.pods[p.Name]
-	if p.IsTerminal() {
+	if p.IsTerminal() || p.Spec.NodeName == "" {
 		if !ok {
-			return // failed while still pending: never charged
+			return // failed or preempted while never charged
 		}
-		cn := c.nodes[cp.node]
-		cn.reqEPC -= cp.reqEPC
-		cn.memUsed -= cp.memBytes
-		cn.epcUsed -= cp.epcPages
-		delete(c.pods, p.Name)
+		c.removePodLocked(cp)
 		return
 	}
 	if !ok {
@@ -261,6 +280,22 @@ func (c *ClusterCache) podUpdatedLocked(p *api.Pod, now time.Time) {
 		c.pushMaturityLocked(cp, now)
 	}
 	c.fusePodLocked(cp, now)
+}
+
+// removePodLocked stops tracking a live bound pod, subtracting exactly
+// what it was charged.
+func (c *ClusterCache) removePodLocked(cp *cachedPod) {
+	cn := c.nodes[cp.node]
+	cn.reqEPC -= cp.reqEPC
+	cn.memUsed -= cp.memBytes
+	cn.epcUsed -= cp.epcPages
+	delete(cn.pods, cp.name)
+	delete(c.pods, cp.name)
+	if c.prioCount[cp.priority]--; c.prioCount[cp.priority] <= 0 {
+		delete(c.prioCount, cp.priority)
+		i := sort.Search(len(c.prios), func(i int) bool { return c.prios[i] >= cp.priority })
+		c.prios = append(c.prios[:i], c.prios[i+1:]...)
+	}
 }
 
 // fusePodLocked recomputes a pod's fused usage at the current instant —
@@ -310,6 +345,62 @@ func (c *ClusterCache) refreshMaturityLocked(now time.Time) {
 		}
 		c.fusePodLocked(cp, now)
 	}
+}
+
+// victimInfo describes one live bound pod as preemption material: its
+// priority and the exact charges the cache would release if it left.
+type victimInfo struct {
+	name     string
+	priority int32
+	memBytes int64 // fused memory currently charged to the node
+	epcPages int64 // fused EPC pages currently charged to the node
+	reqEPC   int64 // device items the pod's departure returns
+}
+
+// minPriority returns the lowest priority tier occupied by a live bound
+// pod (ok=false when none are bound) — the O(1) gate that lets scheduling
+// passes skip victim searches entirely in priority-free workloads. The
+// scheduler reads it once per pass rather than per pod, so the pass pays
+// one lock, not one per unschedulable pod.
+func (c *ClusterCache) minPriority() (prio int32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.prios) == 0 {
+		return 0, false
+	}
+	return c.prios[0], true
+}
+
+// victimsBelow appends node's live bound pods with priority strictly below
+// prio to buf and returns it sorted by (priority ascending, name
+// ascending) — the deterministic eviction-preference order: cheapest
+// victims first, stable across runs.
+func (c *ClusterCache) victimsBelow(node string, prio int32, buf []victimInfo) []victimInfo {
+	c.mu.Lock()
+	cn, ok := c.nodes[node]
+	if !ok {
+		c.mu.Unlock()
+		return buf
+	}
+	for _, cp := range cn.pods {
+		if cp.priority < prio {
+			buf = append(buf, victimInfo{
+				name:     cp.name,
+				priority: cp.priority,
+				memBytes: cp.memBytes,
+				epcPages: cp.epcPages,
+				reqEPC:   cp.reqEPC,
+			})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].priority != buf[j].priority {
+			return buf[i].priority < buf[j].priority
+		}
+		return buf[i].name < buf[j].name
+	})
+	return buf
 }
 
 // matEntry schedules one pod's young→mature re-fusion.

@@ -49,10 +49,10 @@ func viewString(v *ClusterView) string {
 }
 
 // TestClusterCacheMatchesBuildView is the refactor's guard: it drives
-// randomized submit/bind/run/finish/evict/drain/metric/advance sequences
-// through the API server and database and requires the incrementally
-// maintained cache snapshot to match a from-scratch BuildView (InfluxQL
-// reference path) exactly, at every checkpoint. Metric values are whole
+// randomized submit/bind/run/finish/evict/preempt/drain/metric/advance
+// sequences through the API server and database and requires the
+// incrementally maintained cache snapshot to match a from-scratch
+// BuildView (InfluxQL reference path) exactly, at every checkpoint. Metric values are whole
 // bytes so both paths' float64→int64 conversions are exact.
 func TestClusterCacheMatchesBuildView(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
@@ -101,6 +101,7 @@ func TestClusterCacheMatchesBuildView(t *testing.T) {
 				Name: name,
 				Spec: api.PodSpec{
 					SchedulerName: schedName,
+					Priority:      int32(rng.Intn(3)),
 					Containers: []api.Container{{
 						Name:      "main",
 						Resources: api.Requirements{Requests: req},
@@ -161,7 +162,9 @@ func TestClusterCacheMatchesBuildView(t *testing.T) {
 				_ = srv.MarkFailed(pods[rng.Intn(len(pods))], "chaos")
 			case r < 67:
 				_ = srv.Evict(pods[rng.Intn(len(pods))], "test")
-			case r < 75: // node churn: drain, undrain, cordon, device growth
+			case r < 72: // preemption: a bound pod returns to the queue
+				_ = srv.Preempt(pods[rng.Intn(len(pods))], "chaos")
+			case r < 78: // node churn: drain, undrain, cordon, device growth
 				n, err := srv.GetNode(nodeNames[rng.Intn(len(nodeNames))])
 				if err != nil {
 					break
@@ -177,7 +180,7 @@ func TestClusterCacheMatchesBuildView(t *testing.T) {
 					}
 				}
 				_ = srv.UpdateNode(n)
-			case r < 90:
+			case r < 92:
 				writeMetric()
 			case r < 95:
 				s.ScheduleOnce()

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"math"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// This file implements the scheduler's plugin framework: a Kubernetes-style
+// pipeline of filter plugins (hard feasibility, §IV's hardware and
+// saturation checks), pre-score plugins (candidate-narrowing preferences,
+// §IV's "only resort to SGX-enabled nodes ... when no other choice is
+// possible") and weighted score plugins (placement quality). The paper's
+// fixed binpack/spread strategies are expressed as profiles over these
+// plugins, so new placement behaviours (usage-headroom, EPC-pressure,
+// priority tiers) compose without touching the scheduling pass.
+
+// PodInfo carries one pending pod together with its request data,
+// extracted once per pod per pass so the per-(pod, node) plugin calls walk
+// slices and scalars instead of re-iterating the request map.
+type PodInfo struct {
+	Pod *api.Pod
+	// Pairs are the pod's positive resource requests.
+	Pairs []ReqPair
+	// EPCPages is the requested EPC page count among Pairs (0 if none).
+	EPCPages int64
+	// SGX reports whether the pod requests EPC (EPCPages > 0).
+	SGX bool
+	// Priority is the pod's scheduling priority (Spec.Priority).
+	Priority int32
+}
+
+// ReqPair is one requested (resource, quantity), extracted from the
+// request map once per pod.
+type ReqPair struct {
+	Name resource.Name
+	Qty  int64
+}
+
+// NewPodInfo extracts a pod's request data. The scheduler reuses a pairs
+// buffer across pods via fillPodInfo; pass nil when convenience beats
+// allocation.
+func NewPodInfo(pod *api.Pod, buf []ReqPair) *PodInfo {
+	info := &PodInfo{}
+	fillPodInfo(info, pod, pod.TotalRequests(), buf)
+	return info
+}
+
+// fillPodInfo populates info in place from a pre-summed request list,
+// reusing buf for the pairs.
+func fillPodInfo(info *PodInfo, pod *api.Pod, req resource.List, buf []ReqPair) {
+	*info = PodInfo{Pod: pod, Pairs: buf[:0], Priority: pod.Spec.Priority}
+	for k, q := range req {
+		if q <= 0 {
+			continue
+		}
+		info.Pairs = append(info.Pairs, ReqPair{Name: k, Qty: q})
+		if k == resource.EPCPages {
+			info.EPCPages = q
+		}
+	}
+	info.SGX = info.EPCPages > 0
+}
+
+// FilterPlugin decides hard feasibility of one (pod, node) combination.
+// Filters run for every candidate node each pass, so implementations must
+// not allocate.
+type FilterPlugin interface {
+	Name() string
+	Filter(pod *PodInfo, node *NodeView) bool
+}
+
+// PreScorePlugin narrows the feasible candidates by preference before
+// scoring. Returning nil means "no preference": the caller keeps the
+// full candidate list. Returning a non-nil slice — including a non-nil
+// empty one — replaces the candidates, so an empty non-nil result
+// declines every candidate and the profile reports the pod unplaceable.
+type PreScorePlugin interface {
+	Name() string
+	PreScore(pod *PodInfo, candidates []*NodeView) []*NodeView
+}
+
+// ScorePlugin rates one feasible candidate; higher is better. The node
+// with the greatest weighted score sum wins, ties broken by candidate
+// order (nodes arrive sorted by name, §IV's consistent order).
+type ScorePlugin interface {
+	Name() string
+	Score(pod *PodInfo, node *NodeView, view *ClusterView) float64
+}
+
+// WeightedScore attaches a weight to a score plugin; the node score is the
+// weight-scaled sum across plugins.
+type WeightedScore struct {
+	Plugin ScorePlugin
+	Weight float64
+}
+
+// Profile is one assembled scheduling pipeline. A Profile is itself a
+// Policy, so profiles plug into Config.Policy directly; the built-in
+// Binpack/Spread/LeastRequested values are thin wrappers over canned
+// profiles.
+type Profile struct {
+	name     string
+	filters  []FilterPlugin
+	preScore []PreScorePlugin
+	scores   []WeightedScore
+	// minScore rejects candidates scoring at or below it (LeastRequested's
+	// historical "-1.0 or worse declines" contract); defaults to -Inf.
+	minScore float64
+	// legacy, when set, replaces the pre-score/score stages with a plain
+	// Policy's Select — the adapter for policies predating the framework.
+	// Profiles are not safe for concurrent Select calls — each Scheduler
+	// owns its own pipeline, matching the one-pass-at-a-time passMu
+	// contract (pre-score plugins reuse narrowing buffers).
+	legacy Policy
+}
+
+// ProfileOpt configures a Profile.
+type ProfileOpt func(*Profile)
+
+// WithFilters appends extra filter plugins after the default §IV
+// feasibility set (SGX capability, EPC device fit, resource saturation).
+func WithFilters(filters ...FilterPlugin) ProfileOpt {
+	return func(p *Profile) { p.filters = append(p.filters, filters...) }
+}
+
+// WithPreScore appends candidate-narrowing preference plugins.
+func WithPreScore(plugins ...PreScorePlugin) ProfileOpt {
+	return func(p *Profile) { p.preScore = append(p.preScore, plugins...) }
+}
+
+// WithScores appends weighted score plugins.
+func WithScores(scores ...WeightedScore) ProfileOpt {
+	return func(p *Profile) { p.scores = append(p.scores, scores...) }
+}
+
+// WithMinScore rejects candidates whose weighted score sum is at or below
+// min.
+func WithMinScore(min float64) ProfileOpt {
+	return func(p *Profile) { p.minScore = min }
+}
+
+// NewProfile assembles a pipeline. Every profile starts from the default
+// §IV feasibility filter; options append preferences and scores.
+func NewProfile(name string, opts ...ProfileOpt) *Profile {
+	p := &Profile{
+		name:     name,
+		filters:  []FilterPlugin{DefaultFeasibility{}},
+		minScore: math.Inf(-1),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *Profile) Name() string { return p.name }
+
+// Feasible runs the filter pipeline for one (pod, node) combination.
+func (p *Profile) Feasible(pod *PodInfo, node *NodeView) bool {
+	for _, f := range p.filters {
+		if !f.Filter(pod, node) {
+			return false
+		}
+	}
+	return true
+}
+
+// Select implements Policy over the framework pipeline: narrow by
+// preference, score, and pick the first candidate with the strictly
+// greatest weighted score above the profile's minimum. Candidates arrive
+// pre-filtered and sorted by node name.
+func (p *Profile) Select(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool) {
+	return p.selectInfo(NewPodInfo(pod, nil), candidates, view)
+}
+
+// selectInfo is Select for callers that already extracted the PodInfo.
+func (p *Profile) selectInfo(pod *PodInfo, candidates []*NodeView, view *ClusterView) (string, bool) {
+	if p.legacy != nil {
+		return p.legacy.Select(pod.Pod, candidates, view)
+	}
+	for _, ps := range p.preScore {
+		// nil = no preference; non-nil (even empty) replaces the list.
+		if narrowed := ps.PreScore(pod, candidates); narrowed != nil {
+			candidates = narrowed
+		}
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	best := ""
+	bestScore := p.minScore
+	for _, cand := range candidates {
+		score := 0.0
+		for _, ws := range p.scores {
+			score += ws.Weight * ws.Plugin.Score(pod, cand, view)
+		}
+		if score > bestScore {
+			best = cand.Name
+			bestScore = score
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return best, true
+}
+
+// --- Filter plugins (the §IV feasibility checks) ---
+
+// DefaultFeasibility bundles the three §IV feasibility checks — SGX
+// capability, EPC device fit, resource saturation — in one plugin. It is
+// behaviourally identical to chaining SGXCapabilityFilter, EPCFitFilter
+// and ResourceFitFilter, but costs one dynamic dispatch per (pod, node)
+// instead of three: the feasibility stage runs for every combination
+// every pass, and the fused form keeps the pass within its perf budget.
+type DefaultFeasibility struct{}
+
+// Name implements FilterPlugin.
+func (DefaultFeasibility) Name() string { return "default-feasibility" }
+
+// Filter implements FilterPlugin.
+func (DefaultFeasibility) Filter(pod *PodInfo, node *NodeView) bool {
+	if pod.EPCPages > 0 {
+		if !node.SGX || pod.EPCPages > node.FreeDevices {
+			return false
+		}
+	}
+	for _, pr := range pod.Pairs {
+		if node.Allocatable.Get(pr.Name)-node.Used.Get(pr.Name) < pr.Qty {
+			return false
+		}
+	}
+	return true
+}
+
+// SGXCapabilityFilter rejects SGX pods on nodes without EPC resources —
+// the hardware-compatibility dimension of the §IV filter.
+type SGXCapabilityFilter struct{}
+
+// Name implements FilterPlugin.
+func (SGXCapabilityFilter) Name() string { return "sgx-capability" }
+
+// Filter implements FilterPlugin.
+func (SGXCapabilityFilter) Filter(pod *PodInfo, node *NodeView) bool {
+	return !pod.SGX || node.SGX
+}
+
+// EPCFitFilter enforces the strict EPC page-item bound: the device plugin
+// admits by request accounting, so the scheduler must never over-commit
+// EPC items (§V-A).
+type EPCFitFilter struct{}
+
+// Name implements FilterPlugin.
+func (EPCFitFilter) Name() string { return "epc-fit" }
+
+// Filter implements FilterPlugin.
+func (EPCFitFilter) Filter(pod *PodInfo, node *NodeView) bool {
+	return pod.EPCPages <= 0 || pod.EPCPages <= node.FreeDevices
+}
+
+// ResourceFitFilter is the §IV saturation check: every requested quantity
+// must fit the node's usage-based headroom.
+type ResourceFitFilter struct{}
+
+// Name implements FilterPlugin.
+func (ResourceFitFilter) Name() string { return "resource-fit" }
+
+// Filter implements FilterPlugin.
+func (ResourceFitFilter) Filter(pod *PodInfo, node *NodeView) bool {
+	for _, pr := range pod.Pairs {
+		if node.Allocatable.Get(pr.Name)-node.Used.Get(pr.Name) < pr.Qty {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Pre-score plugins ---
+
+// SGXLastPreScore restricts standard pods to non-SGX candidates when any
+// exist: both paper policies "only resort to SGX-enabled nodes for non-SGX
+// jobs when no other choice is possible" (§IV).
+type SGXLastPreScore struct {
+	// buf is narrowing scratch reused across calls — the reason a
+	// Profile holding this plugin is not safe for concurrent Select
+	// calls (each Scheduler owns its own pipeline; direct Policy.Select
+	// callers go through the pools in policy.go).
+	buf []*NodeView
+}
+
+// Name implements PreScorePlugin.
+func (*SGXLastPreScore) Name() string { return "sgx-last" }
+
+// PreScore implements PreScorePlugin. This is a preference, not a hard
+// rule: with no non-SGX candidate it reports no preference (nil) and the
+// pod may use SGX hardware as the last resort.
+func (s *SGXLastPreScore) PreScore(pod *PodInfo, candidates []*NodeView) []*NodeView {
+	if pod.SGX {
+		return nil
+	}
+	nonSGX := s.buf[:0]
+	for _, c := range candidates {
+		if !c.SGX {
+			nonSGX = append(nonSGX, c)
+		}
+	}
+	s.buf = nonSGX
+	if len(nonSGX) == 0 {
+		return nil
+	}
+	return nonSGX
+}
+
+// MemoryCapacityPreScore drops candidates without memory capacity — the
+// request-only baseline cannot rank a node it cannot compute a memory
+// fraction for.
+type MemoryCapacityPreScore struct {
+	buf []*NodeView
+}
+
+// Name implements PreScorePlugin.
+func (*MemoryCapacityPreScore) Name() string { return "memory-capacity" }
+
+// PreScore implements PreScorePlugin. Unlike SGXLastPreScore this narrows
+// unconditionally: with no memory-capable candidate the empty result makes
+// the profile decline, preserving LeastRequested's historical contract.
+func (m *MemoryCapacityPreScore) PreScore(pod *PodInfo, candidates []*NodeView) []*NodeView {
+	capable := m.buf[:0]
+	for _, c := range candidates {
+		if c.Allocatable.Get(resource.Memory) > 0 {
+			capable = append(capable, c)
+		}
+	}
+	m.buf = capable
+	if len(capable) == len(candidates) {
+		return candidates
+	}
+	if len(capable) == 0 {
+		// An explicit decline: a non-nil empty slice (the reused buffer
+		// may still be nil on the first call) so the profile does not
+		// mistake it for "no preference".
+		return []*NodeView{}
+	}
+	return capable
+}
+
+// --- Score plugins ---
+
+// BinpackScore reproduces the §IV binpack strategy as a score: all nodes
+// tie, so the first candidate in the consistent by-name order wins —
+// "the scheduler always tries to fit as many jobs as possible on the same
+// node". Standard pods are steered off SGX hardware by SGXLastPreScore,
+// not here.
+type BinpackScore struct{}
+
+// Name implements ScorePlugin.
+func (BinpackScore) Name() string { return "binpack" }
+
+// Score implements ScorePlugin.
+func (BinpackScore) Score(*PodInfo, *NodeView, *ClusterView) float64 { return 0 }
+
+// SpreadScore reproduces the §IV spread strategy: the hypothetical
+// placement minimising the population standard deviation of load on the
+// pod's contended resource scores highest (score is the negated stddev).
+type SpreadScore struct{}
+
+// Name implements ScorePlugin.
+func (SpreadScore) Name() string { return "spread" }
+
+// Score implements ScorePlugin.
+func (SpreadScore) Score(pod *PodInfo, node *NodeView, view *ClusterView) float64 {
+	res := resource.Memory
+	if pod.SGX {
+		res = resource.EPCPages
+	}
+	var req int64
+	for _, pr := range pod.Pairs {
+		if pr.Name == res {
+			req = pr.Qty
+		}
+	}
+	return -hypotheticalStdDev(view, node.Name, res, req)
+}
+
+// LeastRequestedScore mirrors the request-only scoring of Kubernetes'
+// default scheduler: the free memory fraction after placement.
+type LeastRequestedScore struct{}
+
+// Name implements ScorePlugin.
+func (LeastRequestedScore) Name() string { return "least-requested" }
+
+// Score implements ScorePlugin.
+func (LeastRequestedScore) Score(pod *PodInfo, node *NodeView, _ *ClusterView) float64 {
+	capMem := node.Allocatable.Get(resource.Memory)
+	if capMem <= 0 {
+		return math.Inf(-1)
+	}
+	var req int64
+	for _, pr := range pod.Pairs {
+		if pr.Name == resource.Memory {
+			req = pr.Qty
+		}
+	}
+	free := capMem - node.Used.Get(resource.Memory) - req
+	return float64(free) / float64(capMem)
+}
+
+// UsageHeadroomScore rewards nodes with the most measured headroom on the
+// pod's contended resource. Used is the fused window-peak usage from
+// monitor.WindowMax, so this plugin makes the scheduler chase actual free
+// capacity rather than request accounting — the HEATS-style
+// heterogeneity-aware axis.
+type UsageHeadroomScore struct{}
+
+// Name implements ScorePlugin.
+func (UsageHeadroomScore) Name() string { return "usage-headroom" }
+
+// Score implements ScorePlugin.
+func (UsageHeadroomScore) Score(pod *PodInfo, node *NodeView, _ *ClusterView) float64 {
+	res := resource.Memory
+	if pod.SGX {
+		res = resource.EPCPages
+	}
+	alloc := node.Allocatable.Get(res)
+	if alloc <= 0 {
+		return 0
+	}
+	var req int64
+	for _, pr := range pod.Pairs {
+		if pr.Name == res {
+			req = pr.Qty
+		}
+	}
+	free := alloc - node.Used.Get(res) - req
+	if free < 0 {
+		free = 0
+	}
+	return float64(free) / float64(alloc)
+}
+
+// EPCPressureScore penalises placements on nodes whose scarce EPC is
+// already under measured pressure: standard pods score 0 everywhere (they
+// never touch EPC), SGX pods score the negated EPC load fraction. Pairing
+// it with UsageHeadroomScore keeps EPC hogs from concentrating.
+type EPCPressureScore struct{}
+
+// Name implements ScorePlugin.
+func (EPCPressureScore) Name() string { return "epc-pressure" }
+
+// Score implements ScorePlugin.
+func (EPCPressureScore) Score(pod *PodInfo, node *NodeView, _ *ClusterView) float64 {
+	if !pod.SGX || !node.SGX {
+		return 0
+	}
+	alloc := node.Allocatable.Get(resource.EPCPages)
+	if alloc <= 0 {
+		return 0
+	}
+	return -float64(node.Used.Get(resource.EPCPages)) / float64(alloc)
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/stats"
+)
+
+// The built-in policies were rewritten as plugin profiles; these tests pin
+// them to verbatim copies of the pre-framework implementations, so the
+// refactor is provably bit-identical on randomized inputs.
+
+// refPreferNonSGX is the pre-framework preferNonSGX, verbatim.
+func refPreferNonSGX(pod *api.Pod, candidates []*NodeView) []*NodeView {
+	if pod.IsSGX() {
+		return candidates
+	}
+	nonSGX := make([]*NodeView, 0, len(candidates))
+	for _, c := range candidates {
+		if !c.SGX {
+			nonSGX = append(nonSGX, c)
+		}
+	}
+	if len(nonSGX) > 0 {
+		return nonSGX
+	}
+	return candidates
+}
+
+// refBinpackSelect is the pre-framework Binpack.Select, verbatim.
+func refBinpackSelect(pod *api.Pod, candidates []*NodeView, _ *ClusterView) (string, bool) {
+	if len(candidates) == 0 {
+		return "", false
+	}
+	if !pod.IsSGX() {
+		for _, c := range candidates {
+			if !c.SGX {
+				return c.Name, true
+			}
+		}
+	}
+	return candidates[0].Name, true
+}
+
+// refSpreadSelect is the pre-framework Spread.Select, verbatim.
+func refSpreadSelect(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool) {
+	candidates = refPreferNonSGX(pod, candidates)
+	if len(candidates) == 0 {
+		return "", false
+	}
+	res := resource.Memory
+	if pod.IsSGX() {
+		res = resource.EPCPages
+	}
+	req := pod.TotalRequests()
+
+	best := ""
+	bestDev := 0.0
+	for _, cand := range candidates {
+		dev := hypotheticalStdDev(view, cand.Name, res, req.Get(res))
+		if best == "" || dev < bestDev {
+			best = cand.Name
+			bestDev = dev
+		}
+	}
+	return best, true
+}
+
+// refLeastRequestedSelect is the pre-framework LeastRequested.Select,
+// verbatim.
+func refLeastRequestedSelect(pod *api.Pod, candidates []*NodeView, _ *ClusterView) (string, bool) {
+	if len(candidates) == 0 {
+		return "", false
+	}
+	req := pod.TotalRequests()
+	best := ""
+	bestScore := -1.0
+	for _, c := range candidates {
+		capMem := c.Allocatable.Get(resource.Memory)
+		if capMem <= 0 {
+			continue
+		}
+		free := capMem - c.Used.Get(resource.Memory) - req.Get(resource.Memory)
+		score := float64(free) / float64(capMem)
+		if score > bestScore {
+			best = c.Name
+			bestScore = score
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return best, true
+}
+
+// randomView builds a random cluster view plus the feasible-candidate
+// subsets the scheduler would hand a policy.
+func randomView(rng *rand.Rand) *ClusterView {
+	view := &ClusterView{}
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		sgx := rng.Intn(2) == 0
+		alloc := resource.List{
+			resource.Memory: int64(1+rng.Intn(64)) * resource.GiB,
+			resource.CPU:    8000,
+		}
+		used := resource.List{resource.Memory: int64(rng.Intn(80)) * resource.GiB / 2}
+		free := int64(0)
+		if sgx {
+			alloc[resource.EPCPages] = int64(1000 + rng.Intn(30000))
+			used[resource.EPCPages] = int64(rng.Intn(30000))
+			free = alloc[resource.EPCPages] - int64(rng.Intn(10000))
+		}
+		if rng.Intn(8) == 0 {
+			alloc[resource.Memory] = 0 // exercise the capacity-less edge
+		}
+		view.Nodes = append(view.Nodes, &NodeView{
+			Name:        fmt.Sprintf("n%02d", i),
+			SGX:         sgx,
+			Allocatable: alloc,
+			Used:        used,
+			FreeDevices: free,
+		})
+	}
+	return view
+}
+
+func randomPolicyPod(rng *rand.Rand) *api.Pod {
+	req := resource.List{resource.Memory: int64(rng.Intn(8)) * resource.GiB}
+	if rng.Intn(2) == 0 {
+		req[resource.EPCPages] = int64(1 + rng.Intn(8000))
+	}
+	return &api.Pod{
+		Name: "p",
+		Spec: api.PodSpec{Containers: []api.Container{{
+			Resources: api.Requirements{Requests: req},
+		}}},
+	}
+}
+
+// TestProfilePoliciesMatchReferenceImplementations randomizes views,
+// candidate subsets and pods, and requires the profile-backed Selects to
+// agree exactly with the pre-framework code.
+func TestProfilePoliciesMatchReferenceImplementations(t *testing.T) {
+	type refFn func(*api.Pod, []*NodeView, *ClusterView) (string, bool)
+	cases := []struct {
+		policy Policy
+		ref    refFn
+	}{
+		{Binpack{}, refBinpackSelect},
+		{Spread{}, refSpreadSelect},
+		{LeastRequested{}, refLeastRequestedSelect},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		view := randomView(rng)
+		pod := randomPolicyPod(rng)
+		// Candidate subset in node order, as the filter stage produces.
+		candidates := make([]*NodeView, 0, len(view.Nodes))
+		for _, n := range view.Nodes {
+			if rng.Intn(3) > 0 {
+				candidates = append(candidates, n)
+			}
+		}
+		for _, tc := range cases {
+			gotName, gotOK := tc.policy.Select(pod, candidates, view)
+			wantName, wantOK := tc.ref(pod, candidates, view)
+			if gotName != wantName || gotOK != wantOK {
+				t.Fatalf("trial %d: %s diverged from reference: got (%q, %v), want (%q, %v)",
+					trial, tc.policy.Name(), gotName, gotOK, wantName, wantOK)
+			}
+		}
+	}
+}
+
+// TestDefaultFeasibilityMatchesFits pins the fused default filter to
+// NodeView.Fits on randomized inputs.
+func TestDefaultFeasibilityMatchesFits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		view := randomView(rng)
+		pod := randomPolicyPod(rng)
+		info := NewPodInfo(pod, nil)
+		req := pod.TotalRequests()
+		for _, n := range view.Nodes {
+			if got, want := (DefaultFeasibility{}).Filter(info, n), n.Fits(req); got != want {
+				t.Fatalf("trial %d node %s: DefaultFeasibility = %v, Fits = %v", trial, n.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestDefaultFeasibilityMatchesChainedFilters: the fused filter must equal
+// the three individual plugins chained.
+func TestDefaultFeasibilityMatchesChainedFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	chain := []FilterPlugin{SGXCapabilityFilter{}, EPCFitFilter{}, ResourceFitFilter{}}
+	for trial := 0; trial < 2000; trial++ {
+		view := randomView(rng)
+		info := NewPodInfo(randomPolicyPod(rng), nil)
+		for _, n := range view.Nodes {
+			want := true
+			for _, f := range chain {
+				if !f.Filter(info, n) {
+					want = false
+					break
+				}
+			}
+			if got := (DefaultFeasibility{}).Filter(info, n); got != want {
+				t.Fatalf("trial %d node %s: fused = %v, chained = %v", trial, n.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestLegacyPolicyAdapter: a policy that implements only Select still
+// works behind the default feasibility filters.
+type legacyLastNode struct{}
+
+func (legacyLastNode) Name() string { return "legacy-last" }
+func (legacyLastNode) Select(_ *api.Pod, candidates []*NodeView, _ *ClusterView) (string, bool) {
+	if len(candidates) == 0 {
+		return "", false
+	}
+	return candidates[len(candidates)-1].Name, true
+}
+
+func TestLegacyPolicyAdapter(t *testing.T) {
+	prof := profileFor(legacyLastNode{})
+	if prof.Name() != "legacy-last" {
+		t.Fatalf("profile name = %q", prof.Name())
+	}
+	view := &ClusterView{Nodes: []*NodeView{
+		nv("a", false, 100, 0, 0, 0),
+		nv("b", false, 100, 0, 0, 0),
+	}}
+	got, ok := prof.Select(stdPod(10), view.Nodes, view)
+	if !ok || got != "b" {
+		t.Fatalf("legacy adapter Select = (%q, %v), want (b, true)", got, ok)
+	}
+	// The adapter still applies the default feasibility filters.
+	info := NewPodInfo(stdPod(101), nil)
+	if prof.Feasible(info, view.Nodes[0]) {
+		t.Fatal("legacy adapter skipped the default feasibility filters")
+	}
+}
+
+// TestUsageAwareProfileScoring: the usage-aware profile places on the
+// node with the most measured headroom and penalises EPC pressure.
+func TestUsageAwareProfileScoring(t *testing.T) {
+	loaded := nv("a", false, 1000, 900, 0, 0)
+	idle := nv("b", false, 1000, 100, 0, 0)
+	view := &ClusterView{Nodes: []*NodeView{loaded, idle}}
+	got, ok := (UsageAware{}).Select(stdPod(50), view.Nodes, view)
+	if !ok || got != "b" {
+		t.Fatalf("usage-aware chose %q, want b (most headroom)", got)
+	}
+
+	// Two SGX nodes with equal device headroom but different measured EPC
+	// pressure: the cooler node wins.
+	hot := nv("a-sgx", true, 1000, 0, 10000, 9000)
+	cool := nv("b-sgx", true, 1000, 0, 10000, 1000)
+	hot.FreeDevices, cool.FreeDevices = 5000, 5000
+	view = &ClusterView{Nodes: []*NodeView{hot, cool}}
+	got, ok = (UsageAware{}).Select(sgxPodReq(1, 100), view.Nodes, view)
+	if !ok || got != "b-sgx" {
+		t.Fatalf("usage-aware chose %q, want b-sgx (less EPC pressure)", got)
+	}
+}
+
+// TestProfileComposition: custom profiles assemble filters, preferences
+// and weighted scores.
+func TestProfileComposition(t *testing.T) {
+	prof := NewProfile("custom",
+		WithPreScore(&SGXLastPreScore{}),
+		WithScores(
+			WeightedScore{Plugin: LeastRequestedScore{}, Weight: 2},
+			WeightedScore{Plugin: EPCPressureScore{}, Weight: 1},
+		),
+	)
+	if prof.Name() != "custom" {
+		t.Fatalf("name = %q", prof.Name())
+	}
+	a := nv("a", false, 1000, 800, 0, 0)
+	b := nv("b", false, 1000, 0, 0, 0)
+	view := &ClusterView{Nodes: []*NodeView{a, b}}
+	got, ok := prof.Select(stdPod(10), view.Nodes, view)
+	if !ok || got != "b" {
+		t.Fatalf("custom profile chose %q, want b", got)
+	}
+	// Profiles are Policies: they plug into a scheduler config directly.
+	var _ Policy = prof
+}
+
+// TestPreScoreDeclineContract: a pre-score plugin returning a non-nil
+// empty slice declines every candidate, while nil means no preference —
+// the contract custom profiles compose against.
+func TestPreScoreDeclineContract(t *testing.T) {
+	// All candidates lack memory capacity: MemoryCapacityPreScore must
+	// decline them even when a later score plugin would happily rank them.
+	prof := NewProfile("decline",
+		WithPreScore(&MemoryCapacityPreScore{}),
+		WithScores(WeightedScore{Plugin: BinpackScore{}, Weight: 1}),
+	)
+	noCap := &NodeView{Name: "a", Allocatable: resource.List{}, Used: resource.List{}}
+	view := &ClusterView{Nodes: []*NodeView{noCap}}
+	if got, ok := prof.Select(stdPod(10), view.Nodes, view); ok {
+		t.Fatalf("profile placed on capacity-less node %q; pre-score decline ignored", got)
+	}
+
+	// SGXLast with only SGX candidates reports no preference (nil), so
+	// the standard pod still places as a last resort.
+	prof = NewProfile("fallback",
+		WithPreScore(&SGXLastPreScore{}),
+		WithScores(WeightedScore{Plugin: BinpackScore{}, Weight: 1}),
+	)
+	sgxOnly := nv("s", true, 100, 0, 1000, 0)
+	view = &ClusterView{Nodes: []*NodeView{sgxOnly}}
+	if got, ok := prof.Select(stdPod(10), view.Nodes, view); !ok || got != "s" {
+		t.Fatalf("SGX-last fallback = (%q, %v), want (s, true)", got, ok)
+	}
+}
+
+// TestSpreadScoreMonotonicInStdDev: the score plugin must order nodes
+// exactly opposite to the hypothetical stddev.
+func TestSpreadScoreMonotonicInStdDev(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		view := randomView(rng)
+		pod := randomPolicyPod(rng)
+		info := NewPodInfo(pod, nil)
+		res := resource.Memory
+		if info.SGX {
+			res = resource.EPCPages
+		}
+		req := pod.TotalRequests()
+		for _, n := range view.Nodes {
+			score := (SpreadScore{}).Score(info, n, view)
+			dev := hypotheticalStdDev(view, n.Name, res, req.Get(res))
+			if score != -dev {
+				t.Fatalf("SpreadScore = %v, want %v", score, -dev)
+			}
+		}
+	}
+}
+
+// TestPopStdDevEmpty guards the spread edge the profile relies on: no
+// resource-holding nodes must yield 0, not NaN, so scoring stays ordered.
+func TestPopStdDevEmpty(t *testing.T) {
+	if got := stats.PopStdDev(nil); got != 0 {
+		t.Fatalf("PopStdDev(nil) = %v, want 0", got)
+	}
+}

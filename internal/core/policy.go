@@ -1,14 +1,45 @@
 package core
 
 import (
+	"sync"
+
 	"github.com/sgxorch/sgxorch/internal/api"
 	"github.com/sgxorch/sgxorch/internal/resource"
 	"github.com/sgxorch/sgxorch/internal/stats"
 )
 
+// Profiles carry reusable narrowing scratch and are not safe for
+// concurrent Select calls, so the built-in policies' Select methods —
+// which must stay cheap and concurrency-safe for direct callers — borrow
+// a pooled instance per call instead of rebuilding the pipeline. The
+// scheduler itself never touches these pools: it resolves one owned
+// profile up front via profileFor.
+var (
+	binpackPool        = profilePool(Binpack{}.Profile)
+	spreadPool         = profilePool(Spread{}.Profile)
+	leastRequestedPool = profilePool(LeastRequested{}.Profile)
+	usageAwarePool     = profilePool(UsageAware{}.Profile)
+)
+
+func profilePool(build func() *Profile) *sync.Pool {
+	return &sync.Pool{New: func() any { return build() }}
+}
+
+func pooledSelect(pool *sync.Pool, pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool) {
+	p := pool.Get().(*Profile)
+	defer pool.Put(p)
+	return p.Select(pod, candidates, view)
+}
+
 // Policy selects a node for a pod among the feasible candidates of one
 // scheduling pass. Candidates are pre-filtered by the §IV hardware and
 // saturation checks and arrive sorted by node name.
+//
+// The built-in policies are profiles over the plugin framework (see
+// framework.go); a Policy that additionally implements Profiler hands the
+// scheduler its full pipeline, so profile filters run during the
+// feasibility stage. Plain Policies keep working unchanged behind the
+// default feasibility filters.
 type Policy interface {
 	Name() string
 	// Select returns the chosen node name, or false when the policy
@@ -16,23 +47,25 @@ type Policy interface {
 	Select(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool)
 }
 
-// preferNonSGX restricts candidates to non-SGX nodes when possible for
-// standard pods: both policies "only resort to SGX-enabled nodes for
-// non-SGX jobs when no other choice is possible to execute the job" (§IV).
-func preferNonSGX(pod *api.Pod, candidates []*NodeView) []*NodeView {
-	if pod.IsSGX() {
-		return candidates
+// Profiler is implemented by policies built over the plugin framework.
+type Profiler interface {
+	Profile() *Profile
+}
+
+// profileFor resolves a policy's pipeline: profiles pass through, other
+// Profilers are asked, and plain legacy policies are wrapped behind the
+// default feasibility filters with their Select as the scoring stage.
+func profileFor(p Policy) *Profile {
+	switch v := p.(type) {
+	case *Profile:
+		return v
+	case Profiler:
+		return v.Profile()
+	default:
+		prof := NewProfile(p.Name())
+		prof.legacy = p
+		return prof
 	}
-	nonSGX := make([]*NodeView, 0, len(candidates))
-	for _, c := range candidates {
-		if !c.SGX {
-			nonSGX = append(nonSGX, c)
-		}
-	}
-	if len(nonSGX) > 0 {
-		return nonSGX
-	}
-	return candidates
 }
 
 // Binpack implements the §IV binpack strategy: "the scheduler always tries
@@ -45,23 +78,19 @@ type Binpack struct{}
 // Name implements Policy.
 func (Binpack) Name() string { return "binpack" }
 
-// Select implements Policy: first feasible node in the fixed order.
-// Standard jobs take the first non-SGX candidate (name order), resorting
-// to an SGX node only when no other choice exists (§IV); it runs once per
-// pending pod per pass, so it scans in place instead of materialising the
-// reordered list.
-func (Binpack) Select(pod *api.Pod, candidates []*NodeView, _ *ClusterView) (string, bool) {
-	if len(candidates) == 0 {
-		return "", false
-	}
-	if !pod.IsSGX() {
-		for _, c := range candidates {
-			if !c.SGX {
-				return c.Name, true
-			}
-		}
-	}
-	return candidates[0].Name, true
+// Profile implements Profiler: the SGX-last preference plus the all-tie
+// binpack score, so the first feasible node in the fixed order wins.
+func (Binpack) Profile() *Profile {
+	return NewProfile("binpack",
+		WithPreScore(&SGXLastPreScore{}),
+		WithScores(WeightedScore{Plugin: BinpackScore{}, Weight: 1}),
+	)
+}
+
+// Select implements Policy via the framework profile: first feasible node
+// in the fixed order, SGX nodes last for standard jobs (§IV).
+func (Binpack) Select(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool) {
+	return pooledSelect(binpackPool, pod, candidates, view)
 }
 
 // Spread implements the §IV spread strategy: "the main goal of the spread
@@ -73,33 +102,23 @@ type Spread struct{}
 // Name implements Policy.
 func (Spread) Name() string { return "spread" }
 
-// Select implements Policy: hypothetically place the pod on each
-// candidate and keep the placement minimising the population standard
-// deviation of load. Load is measured on the pod's contended resource —
-// EPC fraction across SGX nodes for SGX jobs, memory fraction across all
-// nodes otherwise. Ties break on node-name order, keeping runs
+// Profile implements Profiler: SGX-last preference, then the negated
+// hypothetical load stddev as the score. Load is measured on the pod's
+// contended resource — EPC fraction across SGX nodes for SGX jobs, memory
+// fraction otherwise. Ties break on node-name order, keeping runs
 // deterministic.
-func (Spread) Select(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool) {
-	candidates = preferNonSGX(pod, candidates)
-	if len(candidates) == 0 {
-		return "", false
-	}
-	res := resource.Memory
-	if pod.IsSGX() {
-		res = resource.EPCPages
-	}
-	req := pod.TotalRequests()
+func (Spread) Profile() *Profile {
+	return NewProfile("spread",
+		WithPreScore(&SGXLastPreScore{}),
+		WithScores(WeightedScore{Plugin: SpreadScore{}, Weight: 1}),
+	)
+}
 
-	best := ""
-	bestDev := 0.0
-	for _, cand := range candidates {
-		dev := hypotheticalStdDev(view, cand.Name, res, req.Get(res))
-		if best == "" || dev < bestDev {
-			best = cand.Name
-			bestDev = dev
-		}
-	}
-	return best, true
+// Select implements Policy via the framework profile: hypothetically place
+// the pod on each candidate and keep the placement minimising the
+// population standard deviation of load.
+func (Spread) Select(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool) {
+	return pooledSelect(spreadPool, pod, candidates, view)
 }
 
 // hypotheticalStdDev computes the load stddev across the nodes holding
@@ -128,29 +147,47 @@ type LeastRequested struct{}
 // Name implements Policy.
 func (LeastRequested) Name() string { return "least-requested" }
 
-// Select implements Policy: pick the feasible node with the most free
-// memory fraction after placement (ties by name order).
-func (LeastRequested) Select(pod *api.Pod, candidates []*NodeView, _ *ClusterView) (string, bool) {
-	if len(candidates) == 0 {
-		return "", false
-	}
-	req := pod.TotalRequests()
-	best := ""
-	bestScore := -1.0
-	for _, c := range candidates {
-		capMem := c.Allocatable.Get(resource.Memory)
-		if capMem <= 0 {
-			continue
-		}
-		free := capMem - c.Used.Get(resource.Memory) - req.Get(resource.Memory)
-		score := float64(free) / float64(capMem)
-		if score > bestScore {
-			best = c.Name
-			bestScore = score
-		}
-	}
-	if best == "" {
-		return "", false
-	}
-	return best, true
+// Profile implements Profiler: candidates without memory capacity are
+// dropped, the rest score their free memory fraction after placement. The
+// -1 floor preserves the historical contract that a node more than fully
+// committed past its capacity is declined rather than ranked.
+func (LeastRequested) Profile() *Profile {
+	return NewProfile("least-requested",
+		WithPreScore(&MemoryCapacityPreScore{}),
+		WithScores(WeightedScore{Plugin: LeastRequestedScore{}, Weight: 1}),
+		WithMinScore(-1),
+	)
+}
+
+// Select implements Policy via the framework profile: pick the feasible
+// node with the most free memory fraction after placement (ties by name
+// order).
+func (LeastRequested) Select(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool) {
+	return pooledSelect(leastRequestedPool, pod, candidates, view)
+}
+
+// UsageAware is a framework-native policy with no counterpart in the
+// paper: it keeps the SGX-last rule but scores placements by measured
+// usage headroom combined with an EPC-pressure penalty, so SGX-heavy load
+// spreads away from nodes whose enclave pages are already hot. It
+// demonstrates what the plugin pipeline buys over the fixed strategies.
+type UsageAware struct{}
+
+// Name implements Policy.
+func (UsageAware) Name() string { return "usage-aware" }
+
+// Profile implements Profiler.
+func (UsageAware) Profile() *Profile {
+	return NewProfile("usage-aware",
+		WithPreScore(&SGXLastPreScore{}),
+		WithScores(
+			WeightedScore{Plugin: UsageHeadroomScore{}, Weight: 1},
+			WeightedScore{Plugin: EPCPressureScore{}, Weight: 0.5},
+		),
+	)
+}
+
+// Select implements Policy via the framework profile.
+func (UsageAware) Select(pod *api.Pod, candidates []*NodeView, view *ClusterView) (string, bool) {
+	return pooledSelect(usageAwarePool, pod, candidates, view)
 }

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// Preemption: when a pod finds no feasible node, the scheduler may evict
+// strictly lower-priority pods to make room — the paper's FCFS queue
+// (§IV) refined into priority tiers, so a high-priority SGX job does not
+// starve behind EPC hogs. The planner works entirely on the event-driven
+// cache: per node it simulates removing the cheapest victims (lowest
+// priority first, names breaking ties) until the pod fits, then reprieves
+// every victim the fit can do without, preferring to spare the
+// highest-priority ones. Across nodes it picks the fewest victims, then
+// the lowest victim priorities, then the lowest node name — all
+// deterministic, so identical cluster histories preempt identically.
+//
+// Invariants:
+//   - only strictly lower-priority pods are ever evicted (equal tiers
+//     never preempt each other);
+//   - victims are returned to the pending queue (not failed) and
+//     reschedule later on their own merits;
+//   - a pod whose requests no victim set can satisfy preempts nothing and
+//     simply stays queued.
+
+// preempt tries to make room for pod. On success it returns the chosen
+// node, having already evicted the victims through the API server (the
+// kubelet kills their workloads synchronously on the eviction event), and
+// the caller re-snapshots the cache and binds. Returns preempted=false
+// when no feasible victim set exists; nothing is evicted then.
+func (s *Scheduler) preempt(pod *PodInfo) (node string, victims int, preempted bool) {
+	// Re-check the priority gate against live state: the caller's
+	// per-pass gate may be stale after earlier evictions in this pass.
+	if minPrio, ok := s.cache.minPriority(); !ok || minPrio >= pod.Priority {
+		return "", 0, false
+	}
+	// Plan against a fresh snapshot: the pass view may predate metric or
+	// eviction churn, and the victim charges must match the cache's
+	// accounting exactly.
+	view := s.cache.Snapshot()
+
+	// The §IV SGX-last rule binds preemption too: a standard pod may only
+	// preempt its way onto SGX hardware when no non-SGX node has a
+	// feasible victim set, no matter how cheap the SGX-node victims are.
+	var bestNode string
+	var bestSet []victimInfo
+	plan := func(sgxNodes bool) {
+		for _, n := range view.Nodes {
+			if n.SGX != sgxNodes || !staticallyFeasible(pod, n) {
+				continue
+			}
+			s.victimBuf = s.cache.victimsBelow(n.Name, pod.Priority, s.victimBuf[:0])
+			set, ok := minimalVictimSet(pod, n, s.victimBuf)
+			if !ok {
+				continue
+			}
+			// Replay the full pipeline against the node as it would look
+			// after the evictions: a profile's custom filter plugins or a
+			// legacy policy's Select may veto this node for reasons the
+			// victim math cannot see, and an eviction such a pipeline
+			// would reject every pass must never start (it would kill the
+			// victims without ever binding the pod — and again next
+			// pass).
+			if !s.pipelineAcceptsAfterEvictions(pod, n, set, view) {
+				continue
+			}
+			if bestNode == "" || betterVictimSet(set, bestSet) {
+				bestNode = n.Name
+				// Copy: set aliases the shared victim buffer, which the
+				// next node's search reuses.
+				bestSet = append(bestSet[:0], set...)
+			}
+		}
+	}
+	if pod.SGX {
+		plan(true) // SGX pods can only ever fit SGX nodes
+	} else {
+		plan(false)
+		if bestNode == "" {
+			plan(true) // last resort, as in normal placement
+		}
+	}
+	if bestNode == "" {
+		return "", 0, false
+	}
+	for _, v := range bestSet {
+		// The eviction event synchronously re-queues the victim, makes the
+		// kubelet kill its workload and release its devices, and removes
+		// its charge from the cache. Failures (a victim racing to
+		// completion) are benign: the fit re-check after re-snapshot
+		// decides whether the bind still happens.
+		_ = s.srv.Preempt(v.name, "higher-priority pod "+pod.Pod.Name)
+	}
+	return bestNode, len(bestSet), true
+}
+
+// pipelineAcceptsAfterEvictions simulates the node with the victim set's
+// charges released and asks the profile — filters, preferences, scores,
+// or a legacy policy's Select — whether it would place the pod there.
+func (s *Scheduler) pipelineAcceptsAfterEvictions(pod *PodInfo, n *NodeView, set []victimInfo, view *ClusterView) bool {
+	var freedMem, freedEPC, freedDev int64
+	for _, v := range set {
+		freedMem += v.memBytes
+		freedEPC += v.epcPages
+		freedDev += v.reqEPC
+	}
+	sim := &NodeView{
+		Name:        n.Name,
+		SGX:         n.SGX,
+		Allocatable: n.Allocatable,
+		Used: resource.List{
+			resource.Memory:   n.Used.Get(resource.Memory) - freedMem,
+			resource.EPCPages: n.Used.Get(resource.EPCPages) - freedEPC,
+		},
+		FreeDevices: n.FreeDevices + freedDev,
+	}
+	if !s.profile.Feasible(pod, sim) {
+		return false
+	}
+	s.simBuf = append(s.simBuf[:0], sim)
+	name, ok := s.profile.selectInfo(pod, s.simBuf, view)
+	return ok && name == n.Name
+}
+
+// staticallyFeasible reports whether the node could ever host the pod if
+// it were empty: hardware capability and raw allocatable capacity. Usage
+// and device headroom are the preemptable part; these bounds are not.
+func staticallyFeasible(pod *PodInfo, node *NodeView) bool {
+	if pod.SGX && !node.SGX {
+		return false
+	}
+	for _, pr := range pod.Pairs {
+		if node.Allocatable.Get(pr.Name) < pr.Qty {
+			return false
+		}
+	}
+	return true
+}
+
+// minimalVictimSet plans the evictions that make pod fit node. Victims
+// arrive sorted by (priority asc, name asc); the greedy pass takes them
+// in that order until the pod fits, and the reprieve pass then walks the
+// chosen set backwards — sparing the most important victims first — and
+// drops everyone the fit can do without, yielding a minimal set biased
+// toward the fewest, lowest-priority victims. The returned slice aliases
+// victims' backing array.
+func minimalVictimSet(pod *PodInfo, node *NodeView, victims []victimInfo) ([]victimInfo, bool) {
+	// Deficits the evictions must cover, from the node's fused usage and
+	// device accounting. Resources other than memory and EPC (e.g. CPU)
+	// are never charged by the cache, so the static check already settled
+	// them.
+	var reqMem int64
+	for _, pr := range pod.Pairs {
+		if pr.Name == resource.Memory {
+			reqMem = pr.Qty
+		}
+	}
+	needMem := node.Used.Get(resource.Memory) + reqMem - node.Allocatable.Get(resource.Memory)
+	needEPC := node.Used.Get(resource.EPCPages) + pod.EPCPages - node.Allocatable.Get(resource.EPCPages)
+	needDev := pod.EPCPages - node.FreeDevices
+	fits := func(freedMem, freedEPC, freedDev int64) bool {
+		return freedMem >= needMem && freedEPC >= needEPC && freedDev >= needDev
+	}
+	if fits(0, 0, 0) {
+		// Already fits with no victims: the caller only asks after the
+		// filter pipeline failed, so this means a racing change — report
+		// no preemption and let the next pass bind normally.
+		return nil, false
+	}
+
+	var freedMem, freedEPC, freedDev int64
+	chosen := 0
+	for chosen < len(victims) && !fits(freedMem, freedEPC, freedDev) {
+		v := victims[chosen]
+		freedMem += v.memBytes
+		freedEPC += v.epcPages
+		freedDev += v.reqEPC
+		chosen++
+	}
+	if !fits(freedMem, freedEPC, freedDev) {
+		return nil, false
+	}
+	// Reprieve pass: drop victims the fit survives without, most
+	// important (and latest-taken) first.
+	set := victims[:chosen]
+	for i := len(set) - 1; i >= 0; i-- {
+		v := set[i]
+		if fits(freedMem-v.memBytes, freedEPC-v.epcPages, freedDev-v.reqEPC) {
+			freedMem -= v.memBytes
+			freedEPC -= v.epcPages
+			freedDev -= v.reqEPC
+			set = append(set[:i], set[i+1:]...)
+		}
+	}
+	return set, true
+}
+
+// betterVictimSet orders candidate victim sets across nodes: fewest
+// victims first, then the lower priority vector compared from the most
+// important victim down. Node-name order breaks full ties because nodes
+// are visited sorted and only strict improvements replace the incumbent.
+func betterVictimSet(a, b []victimInfo) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	// Both sets are sorted by priority ascending; compare from the top.
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i].priority != b[i].priority {
+			return a[i].priority < b[i].priority
+		}
+	}
+	return false
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// withPriority stamps a priority tier on a test pod.
+func withPriority(p *api.Pod, prio int32) *api.Pod {
+	p.Spec.Priority = prio
+	return p
+}
+
+// fillSGXNode queues two long-running EPC hogs that together occupy most
+// of the single SGX node's 23936 device items, then lets them bind and
+// start.
+func fillSGXNode(t *testing.T, c *testCluster) {
+	t.Helper()
+	c.submit(t, epcJob("hog-a", 11000, 30*resource.MiB, time.Hour))
+	c.submit(t, epcJob("hog-b", 11000, 30*resource.MiB, time.Hour))
+	c.clk.Advance(10 * time.Second)
+	for _, name := range []string{"hog-a", "hog-b"} {
+		p, _ := c.srv.GetPod(name)
+		if p.Status.Phase != api.PodRunning {
+			t.Fatalf("%s = %s, want Running", name, p.Status.Phase)
+		}
+	}
+}
+
+// TestPreemptionBindsHighPriorityPodInOnePass fills the SGX node, then
+// submits a high-priority SGX pod that cannot fit: the same scheduling
+// pass must evict the cheapest victim and bind the pod.
+func TestPreemptionBindsHighPriorityPodInOnePass(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{sgxNodes: 1, useMetrics: true, enforcement: true})
+	fillSGXNode(t, c)
+
+	c.submit(t, withPriority(epcJob("urgent", 6000, 20*resource.MiB, 30*time.Second), 10))
+	passesBefore := c.sched.Stats().Passes
+	if got := c.sched.ScheduleOnce(); got != 1 {
+		t.Fatalf("ScheduleOnce bound %d pods, want 1 (preemption within the pass)", got)
+	}
+	if got := c.sched.Stats().Passes - passesBefore; got != 1 {
+		t.Fatalf("took %d passes, want 1", got)
+	}
+	urgent, _ := c.srv.GetPod("urgent")
+	if urgent.Spec.NodeName != "sgx-1" {
+		t.Fatalf("urgent pod on %q, want sgx-1", urgent.Spec.NodeName)
+	}
+
+	st := c.sched.Stats()
+	if st.Preemptions != 1 || st.Victims != 1 {
+		t.Fatalf("stats = %d preemptions / %d victims, want 1/1", st.Preemptions, st.Victims)
+	}
+	// The cheapest sufficient set is one hog; name order picks hog-a.
+	victim, _ := c.srv.GetPod("hog-a")
+	if victim.Status.Phase != api.PodPending || victim.Spec.NodeName != "" {
+		t.Fatalf("victim = %s on %q, want Pending unbound", victim.Status.Phase, victim.Spec.NodeName)
+	}
+	survivor, _ := c.srv.GetPod("hog-b")
+	if survivor.Status.Phase != api.PodRunning {
+		t.Fatalf("survivor hog-b = %s, want Running (minimal victim set)", survivor.Status.Phase)
+	}
+}
+
+// TestPreemptionVictimsRequeueAndReschedule: an evicted victim re-enters
+// the queue and runs again once the preemptor releases the capacity.
+func TestPreemptionVictimsRequeueAndReschedule(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{sgxNodes: 1, useMetrics: true, enforcement: true})
+	fillSGXNode(t, c)
+	c.submit(t, withPriority(epcJob("urgent", 6000, 20*resource.MiB, 30*time.Second), 10))
+	c.clk.Advance(10 * time.Second)
+
+	victim, _ := c.srv.GetPod("hog-a")
+	if victim.Status.Phase != api.PodPending {
+		t.Fatalf("victim = %s, want Pending (requeued, not failed)", victim.Status.Phase)
+	}
+	// The urgent pod finishes within a minute; the victim must then
+	// reschedule onto the freed node and run.
+	c.clk.Advance(3 * time.Minute)
+	victim, _ = c.srv.GetPod("hog-a")
+	if victim.Status.Phase != api.PodRunning || victim.Spec.NodeName != "sgx-1" {
+		t.Fatalf("victim after capacity freed = %s on %q, want Running on sgx-1",
+			victim.Status.Phase, victim.Spec.NodeName)
+	}
+	urgent, _ := c.srv.GetPod("urgent")
+	if urgent.Status.Phase != api.PodSucceeded {
+		t.Fatalf("urgent = %s (%s)", urgent.Status.Phase, urgent.Status.Reason)
+	}
+}
+
+// TestEqualPriorityNeverPreempts: a pod of the same tier as the running
+// pods waits instead of evicting them.
+func TestEqualPriorityNeverPreempts(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{sgxNodes: 1, useMetrics: true, enforcement: true})
+	fillSGXNode(t, c)
+	c.submit(t, epcJob("peer", 6000, 20*resource.MiB, 30*time.Second)) // priority 0, like the hogs
+	c.clk.Advance(30 * time.Second)
+
+	peer, _ := c.srv.GetPod("peer")
+	if peer.Status.Phase != api.PodPending {
+		t.Fatalf("equal-priority pod = %s, want Pending", peer.Status.Phase)
+	}
+	for _, name := range []string{"hog-a", "hog-b"} {
+		p, _ := c.srv.GetPod(name)
+		if p.Status.Phase != api.PodRunning {
+			t.Fatalf("%s = %s, want Running (equal tiers never preempt)", name, p.Status.Phase)
+		}
+	}
+	if st := c.sched.Stats(); st.Preemptions != 0 || st.Victims != 0 {
+		t.Fatalf("stats = %+v, want no preemptions", st)
+	}
+}
+
+// TestNoFeasibleVictimSetLeavesPodPending: when even evicting every
+// lower-priority pod cannot make the pod fit, nothing is evicted and the
+// pod stays queued.
+func TestNoFeasibleVictimSetLeavesPodPending(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{sgxNodes: 1, useMetrics: true, enforcement: true})
+	fillSGXNode(t, c)
+	// 30000 pages exceed the node's 23936 devices: statically infeasible.
+	c.submit(t, withPriority(epcJob("too-big", 30000, 20*resource.MiB, 30*time.Second), 10))
+	c.clk.Advance(30 * time.Second)
+
+	tooBig, _ := c.srv.GetPod("too-big")
+	if tooBig.Status.Phase != api.PodPending {
+		t.Fatalf("infeasible pod = %s, want Pending", tooBig.Status.Phase)
+	}
+	for _, name := range []string{"hog-a", "hog-b"} {
+		p, _ := c.srv.GetPod(name)
+		if p.Status.Phase != api.PodRunning {
+			t.Fatalf("%s = %s, want Running (no victims evicted in vain)", name, p.Status.Phase)
+		}
+	}
+	if st := c.sched.Stats(); st.Preemptions != 0 || st.Victims != 0 {
+		t.Fatalf("stats = %+v, want no preemptions", st)
+	}
+}
+
+// TestPreemptionPrefersLowestPriorityVictims: with tiers 1 and 5 running,
+// a tier-10 pod needing one eviction must take the tier-1 pod even though
+// the tier-5 pod sorts first by name.
+func TestPreemptionPrefersLowestPriorityVictims(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{sgxNodes: 1, useMetrics: true, enforcement: true})
+	c.submit(t, withPriority(epcJob("a-mid", 11000, 30*resource.MiB, time.Hour), 5))
+	c.submit(t, withPriority(epcJob("b-low", 11000, 30*resource.MiB, time.Hour), 1))
+	c.clk.Advance(10 * time.Second)
+
+	c.submit(t, withPriority(epcJob("urgent", 6000, 20*resource.MiB, 30*time.Second), 10))
+	c.clk.Advance(5 * time.Second)
+
+	low, _ := c.srv.GetPod("b-low")
+	if low.Status.Phase != api.PodPending {
+		t.Fatalf("lowest-priority pod = %s, want Pending (preferred victim)", low.Status.Phase)
+	}
+	mid, _ := c.srv.GetPod("a-mid")
+	if mid.Status.Phase != api.PodRunning {
+		t.Fatalf("mid-priority pod = %s, want Running (spared)", mid.Status.Phase)
+	}
+	urgent, _ := c.srv.GetPod("urgent")
+	if urgent.Spec.NodeName != "sgx-1" {
+		t.Fatalf("urgent on %q, want sgx-1", urgent.Spec.NodeName)
+	}
+}
+
+// TestPreemptionRespectsSGXLastRule: a high-priority standard pod must
+// preempt on a standard node even when an SGX node offers a cheaper
+// victim set — §IV's "only resort to SGX-enabled nodes ... when no other
+// choice is possible" applies to preemption too.
+func TestPreemptionRespectsSGXLastRule(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{stdNodes: 1, sgxNodes: 1, useMetrics: true, enforcement: true})
+	// Fill the standard node (64 GiB) with two 30 GiB victims, then the
+	// SGX node (8 GiB) with a 7 GiB filler — the filler lands on SGX
+	// hardware legitimately, as the last resort.
+	c.submit(t, memJob("std-victim-a", 30*resource.GiB, resource.GiB, time.Hour))
+	c.submit(t, memJob("std-victim-b", 30*resource.GiB, resource.GiB, time.Hour))
+	c.clk.Advance(10 * time.Second)
+	c.submit(t, memJob("sgx-filler", 7*resource.GiB, resource.GiB, time.Hour))
+	c.clk.Advance(10 * time.Second)
+	filler, _ := c.srv.GetPod("sgx-filler")
+	if filler.Spec.NodeName != "sgx-1" {
+		t.Fatalf("filler on %q, want sgx-1 (std node full)", filler.Spec.NodeName)
+	}
+
+	// A 6 GiB high-priority standard pod fits neither node. Both offer a
+	// one-victim set, and sgx-1 sorts before std-1 — only the SGX-last
+	// rule forces the standard node.
+	c.submit(t, withPriority(memJob("urgent-std", 6*resource.GiB, resource.GiB, 30*time.Second), 10))
+	c.clk.Advance(5 * time.Second)
+
+	urgent, _ := c.srv.GetPod("urgent-std")
+	if urgent.Spec.NodeName != "std-1" {
+		t.Fatalf("urgent standard pod on %q, want std-1 (SGX node preserved)", urgent.Spec.NodeName)
+	}
+	filler, _ = c.srv.GetPod("sgx-filler")
+	if filler.Status.Phase != api.PodRunning {
+		t.Fatalf("SGX-node filler = %s, want Running (not preempted)", filler.Status.Phase)
+	}
+	victimA, _ := c.srv.GetPod("std-victim-a")
+	if victimA.Status.Phase != api.PodPending {
+		t.Fatalf("std-victim-a = %s, want Pending (the chosen victim)", victimA.Status.Phase)
+	}
+	victimB, _ := c.srv.GetPod("std-victim-b")
+	if victimB.Status.Phase != api.PodRunning {
+		t.Fatalf("std-victim-b = %s, want Running (minimal set)", victimB.Status.Phase)
+	}
+}
+
+// TestPriorityOrdersPendingQueue: a saturated node serialises three jobs;
+// the highest tier must run first regardless of submission order.
+func TestPriorityOrdersPendingQueue(t *testing.T) {
+	c := newTestCluster(t, clusterSpec{sgxNodes: 1, useMetrics: true, enforcement: true})
+	// Saturate with one short job so the queue builds behind it, without
+	// any preemptable headroom for the later submissions.
+	c.submit(t, epcJob("warm", 23000, 30*resource.MiB, 40*time.Second))
+	c.clk.Advance(time.Second)
+	c.submit(t, withPriority(epcJob("low", 23000, 30*resource.MiB, 30*time.Second), 1))
+	c.clk.Advance(time.Second)
+	c.submit(t, withPriority(epcJob("high", 23000, 30*resource.MiB, 30*time.Second), 2))
+	c.clk.Advance(10 * time.Minute)
+
+	if !c.srv.AllTerminal() {
+		t.Fatal("jobs did not drain")
+	}
+	lowPod, _ := c.srv.GetPod("low")
+	highPod, _ := c.srv.GetPod("high")
+	lw, _ := lowPod.WaitingTime()
+	hw, _ := highPod.WaitingTime()
+	// high was submitted after low but sits in a higher tier, so it must
+	// start earlier relative to its submission.
+	if highPod.Status.StartedAt.After(lowPod.Status.StartedAt) {
+		t.Fatalf("high started %v after low (waits high=%v low=%v)",
+			highPod.Status.StartedAt.Sub(lowPod.Status.StartedAt), hw, lw)
+	}
+}
+
+// rejectNodeFilter vetoes one node by name — a stand-in for custom
+// filter plugins composed via WithFilters.
+type rejectNodeFilter struct{ node string }
+
+func (f rejectNodeFilter) Name() string { return "reject-" + f.node }
+func (f rejectNodeFilter) Filter(_ *PodInfo, n *NodeView) bool {
+	return n.Name != f.node
+}
+
+// declineAllPolicy is a legacy Policy (no Profile) that refuses every
+// candidate — a stand-in for legacy Select-side placement constraints.
+type declineAllPolicy struct{}
+
+func (declineAllPolicy) Name() string { return "decline-all" }
+func (declineAllPolicy) Select(*api.Pod, []*NodeView, *ClusterView) (string, bool) {
+	return "", false
+}
+
+// preemptionVetoCluster builds one 10 GiB node with a bound low-priority
+// 8 GiB victim and queues a priority-5 4 GiB pod that can only fit by
+// eviction.
+func preemptionVetoCluster(t *testing.T, policy Policy) (*Scheduler, *apiserver.Server) {
+	t.Helper()
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	alloc := resource.List{resource.Memory: 10 * resource.GiB}
+	if err := srv.RegisterNode(&api.Node{
+		Name: "n1", Capacity: alloc.Clone(), Allocatable: alloc, Ready: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(clk, srv, nil, Config{Name: "s", Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	victim := memJob("victim", 8*resource.GiB, resource.GiB, time.Hour)
+	victim.Spec.SchedulerName = "s"
+	if err := srv.CreatePod(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind("victim", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	urgent := withPriority(memJob("urgent", 4*resource.GiB, resource.GiB, time.Minute), 5)
+	urgent.Spec.SchedulerName = "s"
+	if err := srv.CreatePod(urgent); err != nil {
+		t.Fatal(err)
+	}
+	return s, srv
+}
+
+// TestPreemptionHonoursCustomFilterPlugins: a node vetoed by a profile's
+// extra filter plugin must never have victims evicted for a pod that
+// could not bind there anyway.
+func TestPreemptionHonoursCustomFilterPlugins(t *testing.T) {
+	vetoed := NewProfile("vetoed",
+		WithFilters(rejectNodeFilter{node: "n1"}),
+		WithScores(WeightedScore{Plugin: BinpackScore{}, Weight: 1}),
+	)
+	s, srv := preemptionVetoCluster(t, vetoed)
+	for pass := 0; pass < 3; pass++ {
+		if got := s.ScheduleOnce(); got != 0 {
+			t.Fatalf("pass %d bound %d pods on a vetoed node", pass, got)
+		}
+	}
+	victim, _ := srv.GetPod("victim")
+	if victim.Spec.NodeName != "n1" {
+		t.Fatalf("victim evicted (now on %q) although the filter vetoes the node for the preemptor", victim.Spec.NodeName)
+	}
+	if st := s.Stats(); st.Preemptions != 0 || st.Victims != 0 {
+		t.Fatalf("stats = %+v, want no futile evictions", st)
+	}
+
+	// Sanity: the identical cluster without the veto does preempt.
+	s2, srv2 := preemptionVetoCluster(t, NewProfile("open",
+		WithScores(WeightedScore{Plugin: BinpackScore{}, Weight: 1})))
+	if got := s2.ScheduleOnce(); got != 1 {
+		t.Fatalf("control run bound %d pods, want 1 via preemption", got)
+	}
+	victim, _ = srv2.GetPod("victim")
+	if victim.Spec.NodeName != "" {
+		t.Fatal("control run did not evict the victim")
+	}
+}
+
+// TestPreemptionHonoursLegacyPolicySelect: a legacy policy that declines
+// every candidate in Select must also veto preemption — no evictions, no
+// bind.
+func TestPreemptionHonoursLegacyPolicySelect(t *testing.T) {
+	s, srv := preemptionVetoCluster(t, declineAllPolicy{})
+	for pass := 0; pass < 3; pass++ {
+		if got := s.ScheduleOnce(); got != 0 {
+			t.Fatalf("pass %d bound %d pods against the policy's veto", pass, got)
+		}
+	}
+	victim, _ := srv.GetPod("victim")
+	if victim.Spec.NodeName != "n1" {
+		t.Fatalf("victim evicted (now on %q) although the legacy policy declines every node", victim.Spec.NodeName)
+	}
+	if st := s.Stats(); st.Preemptions != 0 || st.Victims != 0 {
+		t.Fatalf("stats = %+v, want no futile evictions", st)
+	}
+}
+
+// TestPreemptionDeterministic runs an identical preemption-heavy scenario
+// twice and requires bit-identical watch event sequences — preemption
+// decisions (victim choice, eviction order) must not depend on map order
+// or other incidental state.
+func TestPreemptionDeterministic(t *testing.T) {
+	run := func() []string {
+		c := newTestCluster(t, clusterSpec{stdNodes: 1, sgxNodes: 2, useMetrics: true, enforcement: true})
+		var seq []string
+		unsub := c.srv.Subscribe(func(ev apiserver.WatchEvent) {
+			entry := fmt.Sprintf("rev=%d type=%d", ev.Rev, ev.Type)
+			if ev.Pod != nil {
+				entry += fmt.Sprintf(" pod=%s node=%s phase=%s reason=%q",
+					ev.Pod.Name, ev.Pod.Spec.NodeName, ev.Pod.Status.Phase, ev.Pod.Status.Reason)
+			}
+			seq = append(seq, entry)
+		})
+		defer unsub()
+
+		// Several equal hogs across both SGX nodes, then waves of
+		// higher-priority pods forcing multi-victim choices.
+		for i := 0; i < 4; i++ {
+			c.submit(t, withPriority(epcJob(fmt.Sprintf("hog-%d", i), 5500, 20*resource.MiB, time.Hour), int32(i%2)))
+		}
+		c.clk.Advance(10 * time.Second)
+		for i := 0; i < 3; i++ {
+			c.submit(t, withPriority(epcJob(fmt.Sprintf("vip-%d", i), 9000, 20*resource.MiB, 45*time.Second), 7))
+			c.clk.Advance(7 * time.Second)
+		}
+		c.clk.Advance(5 * time.Minute)
+		return seq
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\nrun1: %s\nrun2: %s", i, a[i], b[i])
+		}
+	}
+	preempted := 0
+	for _, e := range a {
+		if strings.Contains(e, "Preempted") {
+			preempted++
+		}
+	}
+	if preempted == 0 {
+		t.Fatal("scenario produced no preemptions; determinism check is vacuous")
+	}
+}

@@ -69,6 +69,10 @@ type Stats struct {
 	Passes        int
 	Bound         int
 	Unschedulable int
+	// Preemptions counts scheduling decisions that evicted lower-priority
+	// victims to make room; Victims counts the pods evicted by them.
+	Preemptions int
+	Victims     int
 }
 
 // Scheduler is one SGX-aware scheduler instance. It is "packaged as a
@@ -89,11 +93,19 @@ type Scheduler struct {
 	agg   *monitor.WindowMax // nil when UseMetrics is off
 	cache *ClusterCache
 
+	// profile is the policy's resolved plugin pipeline (see framework.go):
+	// the §IV feasibility filters plus the policy's preference and scoring
+	// plugins.
+	profile *Profile
+
 	// passMu serializes scheduling passes; the buffers below are reused
 	// across passes so a steady-state pass allocates next to nothing.
 	passMu     sync.Mutex
 	pendingBuf []api.Pod
-	pairBuf    []reqPair
+	pairBuf    []ReqPair
+	infoBuf    PodInfo
+	victimBuf  []victimInfo
+	simBuf     []*NodeView
 
 	mu    sync.Mutex
 	stop  func()
@@ -127,7 +139,7 @@ func New(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Config) (*Sche
 		// two read paths must never be able to diverge.
 		return nil, fmt.Errorf("core: window %v exceeds metrics retention %v", cfg.Window, db.Retention())
 	}
-	s := &Scheduler{clk: clk, srv: srv, db: db, cfg: cfg}
+	s := &Scheduler{clk: clk, srv: srv, db: db, cfg: cfg, profile: profileFor(cfg.Policy)}
 	s.epcQuery = perPodPeakQuery(monitor.MeasurementEPC, "epc", cfg.Window)
 	s.memQuery = perPodPeakQuery(monitor.MeasurementMemory, "mem", cfg.Window)
 
@@ -191,12 +203,15 @@ func (s *Scheduler) Close() {
 // benchmarks).
 func (s *Scheduler) Cache() *ClusterCache { return s.cache }
 
-// ScheduleOnce runs a single §IV pass: snapshot the FCFS pending queue,
-// take the cluster cache's O(nodes) snapshot of node state and fused
-// usage, filter infeasible job-node combinations, place with the policy,
-// and bind. It returns the number of pods bound. Pass cost scales with
-// pending pods and nodes, not with the total number of bound pods — the
-// cache absorbed that per-pod work when the pods' events arrived.
+// ScheduleOnce runs a single §IV pass: snapshot the priority-then-FCFS
+// pending queue, take the cluster cache's O(nodes) snapshot of node state
+// and fused usage, run the profile's filter pipeline over job-node
+// combinations, place with the preference/scoring plugins, and bind. A
+// pod with no feasible node may preempt strictly lower-priority pods
+// (see preemption.go); otherwise it stays queued for the next pass. It
+// returns the number of pods bound. Pass cost scales with pending pods
+// and nodes, not with the total number of bound pods — the cache absorbed
+// that per-pod work when the pods' events arrived.
 //
 // The pending walk takes shallow pod snapshots under the API server lock
 // (one struct copy each — specs are immutable after creation, so the
@@ -225,37 +240,53 @@ func (s *Scheduler) ScheduleOnce() int {
 	}
 
 	view := s.cache.Snapshot()
-	bound, unschedulable := 0, 0
+	bound, unschedulable, preemptions, victims := 0, 0, 0, 0
+	// One-lock-per-pass preemption gate: no pod can preempt unless some
+	// live pod sits in a strictly lower tier. Refreshed after evictions.
+	minPrio, anyBound := s.cache.minPriority()
 	candidates := make([]*NodeView, 0, len(view.Nodes))
 	for i := range pending {
 		pod := &pending[i]
 		req := pod.TotalRequests()
-		// Extract the requested quantities once per pod: the feasibility
-		// filter runs per (pod, node), and walking a slice there beats
+		// Extract the requested quantities once per pod: the filter
+		// plugins run per (pod, node), and walking a slice there beats
 		// re-iterating the request map for every node.
-		pairs := s.pairBuf[:0]
-		epcPages := int64(0)
-		for k, q := range req {
-			if q <= 0 {
-				continue
-			}
-			pairs = append(pairs, reqPair{name: k, qty: q})
-			if k == resource.EPCPages {
-				epcPages = q
-			}
-		}
-		s.pairBuf = pairs
+		info := &s.infoBuf
+		fillPodInfo(info, pod, req, s.pairBuf)
+		s.pairBuf = info.Pairs
 		candidates = candidates[:0]
 		for _, n := range view.Nodes {
-			if n.fitsPairs(pairs, epcPages) {
+			if s.profile.Feasible(info, n) {
 				candidates = append(candidates, n)
 			}
 		}
-		nodeName, ok := s.cfg.Policy.Select(pod, candidates, view)
+		nodeName, ok := s.profile.selectInfo(info, candidates, view)
+		if !ok && anyBound && minPrio < info.Priority {
+			// No feasible node: try to make room by evicting strictly
+			// lower-priority pods (preemption.go). On success the pass
+			// continues from a fresh snapshot that reflects the
+			// evictions.
+			if target, evicted, preempted := s.preempt(info); preempted {
+				preemptions++
+				victims += evicted
+				view = s.cache.Snapshot()
+				minPrio, anyBound = s.cache.minPriority()
+				// The planner already replayed the pipeline against the
+				// predicted post-eviction state, but re-run it against
+				// the actual snapshot so a racing mutation can never
+				// over-commit the node or bypass a policy veto.
+				if n := view.Node(target); n != nil && s.profile.Feasible(info, n) {
+					candidates = append(candidates[:0], n)
+					if name, sok := s.profile.selectInfo(info, candidates, view); sok && name == target {
+						nodeName, ok = target, true
+					}
+				}
+			}
+		}
 		if !ok {
 			// Not placeable now: the pod stays queued and is retried
-			// next pass, preserving FCFS priority without head-of-line
-			// blocking the rest of the queue.
+			// next pass, preserving its queue position without
+			// head-of-line blocking the rest of the queue.
 			unschedulable++
 			continue
 		}
@@ -272,6 +303,8 @@ func (s *Scheduler) ScheduleOnce() int {
 	s.mu.Lock()
 	s.stats.Bound += bound
 	s.stats.Unschedulable += unschedulable
+	s.stats.Preemptions += preemptions
+	s.stats.Victims += victims
 	s.mu.Unlock()
 	return bound
 }

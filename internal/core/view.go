@@ -1,11 +1,17 @@
 // Package core implements the paper's primary contribution: the SGX-aware
-// scheduler (§IV, §V-B). It periodically drains the API server's FCFS
-// pending queue, fuses static resource requests with live usage metrics
-// pulled from the time-series database (the sliding-window queries of
-// Listing 1), filters job-node combinations by hardware compatibility and
-// saturation, and places pods with one of the supported policies:
-// binpack, spread, or the request-only baseline that mirrors Kubernetes'
-// default scheduler.
+// scheduler (§IV, §V-B). It periodically drains the API server's
+// priority-then-FCFS pending queue, fuses static resource requests with
+// live usage metrics pulled from the time-series database (the
+// sliding-window queries of Listing 1), and runs each pod through a
+// plugin pipeline (framework.go): filter plugins for hardware
+// compatibility and saturation, pre-score plugins for the SGX-last
+// preference, and weighted score plugins for placement quality. The
+// supported policies — binpack, spread, and the request-only baseline
+// mirroring Kubernetes' default scheduler — are profiles over those
+// plugins, bit-identical to their original fixed implementations. When a
+// pod finds no feasible node, the scheduler may preempt strictly
+// lower-priority pods (preemption.go): minimal victim sets, deterministic
+// tie-breaks, victims re-queued rather than failed.
 package core
 
 import (
@@ -60,31 +66,6 @@ func (v *NodeView) Fits(req resource.List) bool {
 			continue
 		}
 		if v.Allocatable.Get(k)-v.Used.Get(k) < q {
-			return false
-		}
-	}
-	return true
-}
-
-// reqPair is one requested (resource, quantity) extracted from a pod's
-// request map once per pod, so the per-(pod, node) feasibility check
-// walks a slice instead of re-iterating the map.
-type reqPair struct {
-	name resource.Name
-	qty  int64
-}
-
-// fitsPairs is Fits over pre-extracted request pairs (epcPages is the
-// EPCPages quantity among them, zero if absent). Both must stay
-// behaviourally identical.
-func (v *NodeView) fitsPairs(pairs []reqPair, epcPages int64) bool {
-	if epcPages > 0 {
-		if !v.SGX || epcPages > v.FreeDevices {
-			return false
-		}
-	}
-	for _, p := range pairs {
-		if v.Allocatable.Get(p.name)-v.Used.Get(p.name) < p.qty {
 			return false
 		}
 	}

@@ -182,19 +182,25 @@ func (k *Kubelet) Stop() {
 }
 
 func (k *Kubelet) onEvent(ev apiserver.WatchEvent) {
-	if ev.Pod == nil || ev.Pod.Spec.NodeName != k.nodeName {
+	if ev.Pod == nil {
 		return
 	}
 	switch ev.Type {
 	case apiserver.PodBound:
+		if ev.Pod.Spec.NodeName != k.nodeName {
+			return
+		}
 		pod := ev.Pod
 		// Container-runtime latency before the workload launches.
 		k.clk.AfterFunc(k.admissionLatency, func() { k.admit(pod) })
 	case apiserver.PodUpdated:
-		// External terminal transitions (eviction) kill the local
-		// workload. Self-reported completions have already deregistered
-		// the entry, so this is a no-op for them.
-		if !ev.Pod.IsTerminal() {
+		// External terminal transitions (eviction) and preemptions (the
+		// pod re-queued with its binding cleared) kill the local workload
+		// and release its resources. A preempted pod no longer names this
+		// node, so the match is on the locally admitted entry; updates for
+		// pods this kubelet never admitted are no-ops, as are
+		// self-reported completions (already deregistered).
+		if !ev.Pod.IsTerminal() && ev.Pod.Spec.NodeName == k.nodeName {
 			return
 		}
 		k.mu.Lock()
@@ -218,6 +224,27 @@ func (k *Kubelet) onEvent(ev apiserver.WatchEvent) {
 // admit performs device allocation, limit registration and workload
 // launch for a pod bound to this node.
 func (k *Kubelet) admit(pod *api.Pod) {
+	// The binding can be undone during the admission latency — a
+	// preemption re-queues the pod, and it may even have been re-bound
+	// since. Launch only the binding this admission was scheduled for:
+	// same node, same binding instant (a re-bind re-runs admit with the
+	// fresh timestamps).
+	if cur, err := k.srv.GetPod(pod.Name); err != nil ||
+		cur.IsTerminal() || cur.Spec.NodeName != k.nodeName ||
+		!cur.Status.ScheduledAt.Equal(pod.Status.ScheduledAt) {
+		return
+	}
+	// A bind→preempt→re-bind to this node within one simulated instant
+	// leaves two pending admissions with equal ScheduledAt stamps. An
+	// entry in k.pods means an earlier admission already launched this
+	// pod (and no preemption or completion removed it since), so any
+	// further admit for it is a duplicate.
+	k.mu.Lock()
+	_, admitted := k.pods[pod.Name]
+	k.mu.Unlock()
+	if admitted {
+		return
+	}
 	cgroup := pod.CgroupPath()
 	epcReq := pod.TotalRequests().Get(resource.EPCPages)
 

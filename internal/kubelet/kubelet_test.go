@@ -345,3 +345,77 @@ func TestStopAbortsWorkloads(t *testing.T) {
 		t.Fatalf("Stop leaked RAM: %d", got)
 	}
 }
+
+// TestPreemptedPodKilledAndReleased: a preemption (re-queue with the
+// binding cleared) must abort the running workload and release its
+// devices, without failing the pod.
+func TestPreemptedPodKilledAndReleased(t *testing.T) {
+	f := newFixture(t, true)
+	pod := sgxPod("victim", 2000, 4*resource.MiB, time.Hour)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("victim", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(5 * time.Second)
+	total := f.kl.Plugin().DeviceCount()
+	if got := f.kl.Plugin().FreeDevices(); got != total-2000 {
+		t.Fatalf("devices before preemption = %d, want %d", got, total-2000)
+	}
+
+	if err := f.srv.Preempt("victim", "test"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.kl.Plugin().FreeDevices(); got != total {
+		t.Fatalf("devices after preemption = %d, want all %d released", got, total)
+	}
+	p, _ := f.srv.GetPod("victim")
+	if p.Status.Phase != api.PodPending {
+		t.Fatalf("preempted pod = %s, want Pending (not Failed)", p.Status.Phase)
+	}
+	if len(f.kl.PodStats()) != 0 {
+		t.Fatal("kubelet still reports stats for the preempted pod")
+	}
+}
+
+// TestSameInstantRebindAdmitsOnce: bind → preempt → re-bind to the same
+// node within one simulated instant leaves two pending admissions with
+// identical ScheduledAt stamps; only one may launch, and the duplicate
+// must not corrupt device accounting by releasing the live pod's EPC.
+func TestSameInstantRebindAdmitsOnce(t *testing.T) {
+	f := newFixture(t, true)
+	pod := sgxPod("flapper", 2000, 4*resource.MiB, 30*time.Second)
+	if err := f.srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	// All three transitions at the same sim time: two admissions race.
+	if err := f.srv.Bind("flapper", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Preempt("flapper", "flap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Bind("flapper", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.Advance(5 * time.Second)
+
+	p, _ := f.srv.GetPod("flapper")
+	if p.Status.Phase != api.PodRunning {
+		t.Fatalf("pod = %s (%s), want Running", p.Status.Phase, p.Status.Reason)
+	}
+	total := f.kl.Plugin().DeviceCount()
+	if got := f.kl.Plugin().FreeDevices(); got != total-2000 {
+		t.Fatalf("devices while running = %d, want %d (duplicate admit corrupted accounting)", got, total-2000)
+	}
+	// The workload must still complete normally and return its devices.
+	f.clk.Advance(2 * time.Minute)
+	p, _ = f.srv.GetPod("flapper")
+	if p.Status.Phase != api.PodSucceeded {
+		t.Fatalf("pod = %s (%s), want Succeeded", p.Status.Phase, p.Status.Reason)
+	}
+	if got := f.kl.Plugin().FreeDevices(); got != total {
+		t.Fatalf("devices after completion = %d, want %d", got, total)
+	}
+}
