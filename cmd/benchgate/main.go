@@ -1,18 +1,20 @@
 // Command benchgate turns benchstat output into a CI pass/fail signal: it
 // reads a benchstat comparison (old vs new) from stdin or a file and
 // exits non-zero when any benchmark shows a statistically significant
-// time/op regression beyond the threshold.
+// regression beyond its metric's threshold.
 //
 // benchstat only annotates a row with a delta percentage when the change
 // is significant at its configured alpha (insignificant rows show "~"),
-// so the gate trusts benchstat's statistics and applies the threshold on
-// top. Only time sections (sec/op in the current benchstat format,
-// time/op in the legacy one) are gated; allocation sections ride along in
-// the report but do not fail the build.
+// so the gate trusts benchstat's statistics and applies thresholds on
+// top. Time sections (sec/op in the current benchstat format, time/op in
+// the legacy one) gate at -threshold; allocation sections (B/op and
+// allocs/op) gate separately at the higher -alloc-threshold, because
+// allocation counts shift more readily — and sometimes deliberately, as
+// a trade for speed. Set either threshold to 0 to disable that gate.
 //
 // Usage:
 //
-//	benchstat base.txt head.txt | benchgate -threshold 20
+//	benchstat base.txt head.txt | benchgate -threshold 20 -alloc-threshold 30
 package main
 
 import (
@@ -28,7 +30,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
-	threshold := flag.Float64("threshold", 20, "maximum tolerated significant time/op regression, in percent")
+	threshold := flag.Float64("threshold", 20, "maximum tolerated significant time/op regression, in percent (0 disables)")
+	allocThreshold := flag.Float64("alloc-threshold", 30, "maximum tolerated significant B/op or allocs/op regression, in percent (0 disables)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -45,21 +48,28 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := benchgate.Check(string(data), *threshold)
+	report, err := benchgate.Check(string(data), benchgate.Thresholds{
+		TimePercent:  *threshold,
+		AllocPercent: *allocThreshold,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, r := range report.Rows {
 		status := "ok"
 		if r.Regression {
-			status = fmt.Sprintf("REGRESSION > %.0f%%", *threshold)
+			limit := *threshold
+			if r.Unit != benchgate.UnitTime {
+				limit = *allocThreshold
+			}
+			status = fmt.Sprintf("REGRESSION > %.0f%%", limit)
 		}
-		fmt.Printf("%-60s %+.2f%%  %s\n", r.Name, r.DeltaPercent, status)
+		fmt.Printf("%-50s %-10s %+.2f%%  %s\n", r.Name, r.Unit, r.DeltaPercent, status)
 	}
 	if len(report.Rows) == 0 {
-		fmt.Println("no significant time/op changes")
+		fmt.Println("no significant time/op or alloc changes")
 	}
 	if report.Failed() {
-		log.Fatalf("%d benchmark(s) regressed beyond %.0f%%", len(report.Regressions()), *threshold)
+		log.Fatalf("%d benchmark metric(s) regressed beyond their thresholds", len(report.Regressions()))
 	}
 }

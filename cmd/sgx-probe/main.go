@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -82,6 +83,12 @@ func run() error {
 			return err
 		}
 		if err := srv.Bind(pod.Name, "sgx-1"); err != nil {
+			if errors.Is(err, apiserver.ErrConflict) {
+				// Expected once the pool runs out: the conditional bind
+				// refuses EPC over-commitment at admission (§V-A).
+				fmt.Printf("%s denied at bind admission (EPC pool exhausted): ok\n", pod.Name)
+				continue
+			}
 			return err
 		}
 	}

@@ -73,4 +73,31 @@
 // no victim set can accommodate evicts nothing. All of it is
 // delta-maintained in the cluster cache and covered by the cache≡rebuild
 // equivalence and run-to-run determinism property tests.
+//
+// Multiple schedulers can serve one cluster concurrently (§V-B), in the
+// Omega shared-state style. The API server's Bind is an admission-checked
+// conditional commit: under the server lock it re-validates against
+// authoritative pod/node state that the target node is Ready and
+// schedulable, that SGX pods land on SGX hardware, that the per-node sum
+// of EPC page-item requests never exceeds the device count, and — in
+// strict mode, for request-only scheduler fleets — that memory/CPU
+// request sums stay within allocatable. A scheduler that planned against
+// a stale cache loses the race with a typed ErrOutdated/ErrConflict
+// instead of overcommitting the node: the pod stays pending, the pass
+// records a conflict, and the retry plans against a cache that has
+// already absorbed the winner's events. internal/core's
+// ShardedSchedulers runs N such schedulers over one API server, pods
+// hash-sharded onto members by name, with two execution modes:
+// deterministic round-robin rounds whose members plan against
+// round-start views (mutually stale by construction, so optimistic
+// concurrency — conflicts included — reproduces bit for bit under the
+// simulation clock, and the cache≡rebuild and determinism property tests
+// extend to N > 1), and real-goroutine concurrent rounds for wall-clock
+// benchmarks and race hammering. The multi-scheduler experiment
+// (internal/experiments.MultiSchedScenario, walked through in
+// examples/multisched) drains the same Borg backlog with 1, 2 and 4
+// schedulers, reporting drain throughput, the conflict rate, and a
+// safety invariant re-derived purely from the watch event stream: no
+// node's committed requests ever exceed its allocatable, no matter how
+// many schedulers race.
 package sgxorch

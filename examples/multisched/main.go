@@ -1,0 +1,44 @@
+// Multi-scheduler shared-state scheduling: the paper packages the
+// scheduler "as a Kubernetes pod" and notes several can serve one cluster
+// concurrently (§V-B). This walkthrough drains the same Borg backlog with
+// 1, 2 and 4 sharded schedulers over one API server. Every scheduler
+// plans optimistically against its own event-driven cache; the API
+// server's admission-checked conditional Bind arbitrates: the loser of a
+// capacity race gets a typed conflict, keeps its pod pending, and retries
+// next round from a refreshed view. The run reports drain throughput,
+// the conflict rate, and the safety invariant re-derived purely from the
+// watch event stream — no node is ever overcommitted, no matter how many
+// schedulers race.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "github.com/sgxorch/sgxorch/internal/experiments"
+
+func main() {
+	fmt.Println("Multi-scheduler backlog drain (Borg eval slice, 663 jobs, 16 std + 4 SGX nodes)")
+	fmt.Println("Each scheduler binds at most 2 pods per 5 s pass; pods are sharded by name hash.")
+	fmt.Println()
+
+	cmp, err := experiments.MultiSchedScenario(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-11s %-12s %-12s %-11s %-14s %-10s\n",
+		"schedulers", "drain", "binds/sec", "conflicts", "conflict-rate", "violations")
+	for _, r := range cmp.Results {
+		fmt.Printf("%-11d %-12s %-12.3f %-11d %-14.3f %-10d\n",
+			r.Shards, r.DrainTime, r.BindsPerSecond, r.Conflicts, r.ConflictRate, r.Violations)
+	}
+	fmt.Println()
+	fmt.Printf("speedup: 2 schedulers %.2fx, 4 schedulers %.2fx over one\n", cmp.SpeedupX2, cmp.SpeedupX4)
+	fmt.Println()
+	fmt.Println("Conflicts are not failures: each one is a bind the server refused because")
+	fmt.Println("a concurrent scheduler won that capacity first — the losing pod simply")
+	fmt.Println("reschedules. The violations column proves the invariant: replaying the")
+	fmt.Println("watch events, no node's committed requests ever exceeded its allocatable.")
+}

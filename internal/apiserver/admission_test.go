@@ -1,0 +1,395 @@
+package apiserver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// reqPod builds a pending pod with explicit requests.
+func reqPod(name string, req resource.List) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{
+			SchedulerName: "s",
+			Containers: []api.Container{{
+				Name:      "main",
+				Resources: api.Requirements{Requests: req.Clone()},
+			}},
+		},
+	}
+}
+
+// TestBindRefusesCordonedNode is the regression test for the cordon race:
+// Bind used to stamp ScheduledAt and emit PodBound even when the target
+// node was cordoned or drained mid-pass. The admission check must refuse
+// with ErrConflict, keep the pod pending, and log a BindRejected event.
+func TestBindRefusesCordonedNode(t *testing.T) {
+	clk := clock.NewSim()
+	s := New(clk)
+	node := testNode("n1", false)
+	node.Unschedulable = true
+	if err := s.RegisterNode(node); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreatePod(testPod("p1")); err != nil {
+		t.Fatal(err)
+	}
+
+	var boundEvents int
+	unsub := s.Subscribe(func(ev WatchEvent) {
+		if ev.Type == PodBound {
+			boundEvents++
+		}
+	})
+	defer unsub()
+
+	err := s.Bind("p1", "n1")
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("bind to cordoned node err = %v, want ErrConflict", err)
+	}
+	if errors.Is(err, ErrOutdated) {
+		t.Fatalf("cordon refusal classified as capacity race: %v", err)
+	}
+	p, _ := s.GetPod("p1")
+	if p.Spec.NodeName != "" || !p.Status.ScheduledAt.IsZero() || p.Status.Phase != api.PodPending {
+		t.Fatalf("rejected bind mutated the pod: %+v", p)
+	}
+	if got := s.PendingCount(); got != 1 {
+		t.Fatalf("pod left the queue on a rejected bind: pending = %d", got)
+	}
+	if boundEvents != 0 {
+		t.Fatalf("rejected bind emitted %d PodBound event(s)", boundEvents)
+	}
+
+	// NotReady nodes are refused the same way.
+	node2 := testNode("n2", false)
+	node2.Ready = false
+	if err := s.RegisterNode(node2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("p1", "n2"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("bind to NotReady node err = %v, want ErrConflict", err)
+	}
+
+	st := s.BindStats()
+	if st.Attempts != 2 || st.Bound != 0 || st.RejectedNodeState != 2 {
+		t.Fatalf("BindStats = %+v, want 2 attempts, 2 node-state rejections", st)
+	}
+	var rejected int
+	for _, ev := range s.Events() {
+		if ev.Reason == "BindRejected" {
+			rejected++
+		}
+	}
+	if rejected != 2 {
+		t.Fatalf("BindRejected events = %d, want 2", rejected)
+	}
+}
+
+// TestBindConflictOnEPCCapacity: the per-node sum of EPC page-item
+// requests is enforced at bind time in every admission mode — the §V-A
+// no-over-commitment invariant. The loser gets ErrOutdated and binds
+// normally once capacity frees.
+func TestBindConflictOnEPCCapacity(t *testing.T) {
+	clk := clock.NewSim()
+	s := New(clk)
+	if err := s.RegisterNode(testNode("sgx-1", true)); err != nil { // 23936 EPC pages
+		t.Fatal(err)
+	}
+	epc := func(pages int64) resource.List {
+		return resource.List{resource.Memory: resource.MiB, resource.EPCPages: pages}
+	}
+	for _, p := range []*api.Pod{reqPod("a", epc(20000)), reqPod("b", epc(20000))} {
+		if err := s.CreatePod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Bind("a", "sgx-1"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Bind("b", "sgx-1")
+	if !errors.Is(err, ErrOutdated) || !errors.Is(err, ErrConflict) {
+		t.Fatalf("overcommitting bind err = %v, want ErrOutdated (an ErrConflict)", err)
+	}
+	if st := s.BindStats(); st.RejectedCapacity != 1 || st.Bound != 1 {
+		t.Fatalf("BindStats = %+v", st)
+	}
+
+	// SGX pods can never bind non-SGX nodes, regardless of headroom.
+	if err := s.RegisterNode(testNode("std-1", false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("b", "std-1"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("SGX pod on non-SGX node err = %v, want ErrConflict", err)
+	}
+
+	// The winner finishing releases its committed devices; the loser's
+	// retry now succeeds — conflict means "retry", not "failed".
+	if err := s.MarkSucceeded("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("b", "sgx-1"); err != nil {
+		t.Fatalf("retry after capacity freed: %v", err)
+	}
+}
+
+// TestBindStaticOverfitRefused: even in the default (overcommit-friendly)
+// mode a pod whose single request exceeds the node's total allocatable
+// can never bind — no amount of usage reclamation makes it fit.
+func TestBindStaticOverfitRefused(t *testing.T) {
+	s := New(clock.NewSim())
+	if err := s.RegisterNode(testNode("n1", false)); err != nil { // 64 GiB
+		t.Fatal(err)
+	}
+	if err := s.CreatePod(reqPod("huge", resource.List{resource.Memory: 65 * resource.GiB})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("huge", "n1"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("statically impossible bind err = %v, want ErrConflict", err)
+	}
+}
+
+// TestBindGuardedAllowsMemoryOvercommit: guarded admission must accept
+// request-sum memory overcommit — usage-aware scheduling (§V-B) relies on
+// binding pods whose requests exceed what request accounting would allow.
+func TestBindGuardedAllowsMemoryOvercommit(t *testing.T) {
+	s := New(clock.NewSim())
+	if err := s.RegisterNode(testNode("n1", false)); err != nil { // 64 GiB
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if err := s.CreatePod(reqPod(name, resource.List{resource.Memory: 40 * resource.GiB})); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Bind(name, "n1"); err != nil {
+			t.Fatalf("guarded admission refused legal overcommit for %s: %v", name, err)
+		}
+	}
+}
+
+// TestBindStrictMemoryAdmission: AdmitStrict enforces request sums for
+// memory, so the second 40 GiB pod on a 64 GiB node loses with
+// ErrOutdated; preempting the winner frees the committed requests.
+func TestBindStrictMemoryAdmission(t *testing.T) {
+	s := New(clock.NewSim(), WithAdmission(AdmitStrict))
+	if err := s.RegisterNode(testNode("n1", false)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if err := s.CreatePod(reqPod(name, resource.List{resource.Memory: 40 * resource.GiB})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Bind("a", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("b", "n1"); !errors.Is(err, ErrOutdated) {
+		t.Fatalf("strict overcommit err = %v, want ErrOutdated", err)
+	}
+	if got := s.Committed("n1").Get(resource.Memory); got != 40*resource.GiB {
+		t.Fatalf("committed = %d, want 40 GiB", got)
+	}
+	if err := s.Preempt("a", "test"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Committed("n1").Get(resource.Memory); got != 0 {
+		t.Fatalf("committed after preempt = %d, want 0", got)
+	}
+	if err := s.Bind("b", "n1"); err != nil {
+		t.Fatalf("bind after preemption freed capacity: %v", err)
+	}
+}
+
+// TestAdmitNoneRestoresUncheckedBind: the escape hatch for byzantine-
+// scheduler tests binds anything onto anything known.
+func TestAdmitNoneRestoresUncheckedBind(t *testing.T) {
+	s := New(clock.NewSim(), WithAdmission(AdmitNone))
+	node := testNode("n1", false)
+	node.Unschedulable = true
+	if err := s.RegisterNode(node); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreatePod(reqPod("p", resource.List{resource.Memory: 100 * resource.GiB, resource.EPCPages: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("p", "n1"); err != nil {
+		t.Fatalf("unchecked bind refused: %v", err)
+	}
+}
+
+// TestConcurrentBindLastEPCDevice races two goroutines for the last EPC
+// devices of one node: exactly one bind must win, the other must lose
+// with ErrOutdated, and the committed accounting must equal the winner's
+// request. Run under -race in CI.
+func TestConcurrentBindLastEPCDevice(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		clk := clock.NewSim()
+		s := New(clk)
+		if err := s.RegisterNode(testNode("sgx-1", true)); err != nil {
+			t.Fatal(err)
+		}
+		req := resource.List{resource.Memory: resource.MiB, resource.EPCPages: 13000}
+		for _, name := range []string{"a", "b"} {
+			if err := s.CreatePod(reqPod(name, req)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		errs := make([]error, 2)
+		var start, wg sync.WaitGroup
+		start.Add(1)
+		for i, name := range []string{"a", "b"} {
+			i, name := i, name
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start.Wait()
+				errs[i] = s.Bind(name, "sgx-1")
+			}()
+		}
+		start.Done()
+		wg.Wait()
+
+		wins, losses := 0, 0
+		for _, err := range errs {
+			switch {
+			case err == nil:
+				wins++
+			case errors.Is(err, ErrOutdated):
+				losses++
+			default:
+				t.Fatalf("unexpected bind error: %v", err)
+			}
+		}
+		if wins != 1 || losses != 1 {
+			t.Fatalf("trial %d: wins = %d losses = %d, want exactly one winner", trial, wins, losses)
+		}
+		if got := s.Committed("sgx-1").Get(resource.EPCPages); got != 13000 {
+			t.Fatalf("trial %d: committed EPC = %d, want 13000", trial, got)
+		}
+	}
+}
+
+// TestConflictInterleavingCapacityProperty replays random concurrent
+// interleavings of bind / preempt / finish (with binds racing and
+// conflicting) against a strict-admission server, records the watch event
+// stream, and then re-derives every node's committed requests from the
+// events alone: at no prefix of the stream may any node's committed
+// memory or EPC exceed its allocatable. This is the safety property the
+// multi-scheduler experiment asserts post-hoc from events.
+func TestConflictInterleavingCapacityProperty(t *testing.T) {
+	clk := clock.NewSim()
+	s := New(clk, WithAdmission(AdmitStrict))
+
+	nodes := map[string]resource.List{}
+	for i := 0; i < 3; i++ {
+		n := testNode(fmt.Sprintf("sgx-%d", i), true) // 64 GiB, 23936 pages
+		nodes[n.Name] = n.Allocatable.Clone()
+		if err := s.RegisterNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Record the stream. Delivery is serialized by the server's ordering
+	// lock; the mutex keeps the recorder race-clean anyway.
+	var evMu sync.Mutex
+	var events []WatchEvent
+	unsub := s.Subscribe(func(ev WatchEvent) {
+		evMu.Lock()
+		events = append(events, ev)
+		evMu.Unlock()
+	})
+	defer unsub()
+
+	const workers = 6
+	const perWorker = 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + w)))
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("pod-%d-%d", w, i)
+				req := resource.List{resource.Memory: int64(1+rng.Intn(24)) * resource.GiB}
+				if rng.Intn(2) == 0 {
+					req[resource.EPCPages] = int64(1 + rng.Intn(9000))
+				}
+				if err := s.CreatePod(reqPod(name, req)); err != nil {
+					t.Errorf("create %s: %v", name, err)
+					return
+				}
+				node := fmt.Sprintf("sgx-%d", rng.Intn(3))
+				if err := s.Bind(name, node); err != nil {
+					continue // lost a race: conflicts are the point
+				}
+				switch rng.Intn(3) {
+				case 0:
+					_ = s.Preempt(name, "chaos")
+				case 1:
+					_ = s.MarkSucceeded(name)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Replay: derive committed state purely from the event stream.
+	type charge struct {
+		node string
+		req  resource.List
+	}
+	bound := map[string]charge{}
+	committed := map[string]resource.List{}
+	for name := range nodes {
+		committed[name] = make(resource.List, 3)
+	}
+	conflictsSeen := s.BindStats().RejectedCapacity
+	for i, ev := range events {
+		if ev.Pod == nil {
+			continue
+		}
+		switch ev.Type {
+		case PodBound:
+			req := ev.Pod.TotalRequests()
+			committed[ev.Pod.Spec.NodeName].AddInPlace(req)
+			bound[ev.Pod.Name] = charge{node: ev.Pod.Spec.NodeName, req: req}
+		case PodUpdated:
+			c, ok := bound[ev.Pod.Name]
+			if ok && (ev.Pod.IsTerminal() || ev.Pod.Spec.NodeName == "") {
+				for k, v := range c.req {
+					committed[c.node][k] -= v
+				}
+				delete(bound, ev.Pod.Name)
+			}
+		}
+		for name, com := range committed {
+			alloc := nodes[name]
+			for k, v := range com {
+				if v > alloc.Get(k) {
+					t.Fatalf("event %d: node %s overcommitted: %s=%d > %d (conflicts so far: %d)",
+						i, name, k, v, alloc.Get(k), conflictsSeen)
+				}
+				if v < 0 {
+					t.Fatalf("event %d: node %s negative commitment: %s=%d", i, name, k, v)
+				}
+			}
+		}
+	}
+	if conflictsSeen == 0 {
+		t.Log("note: no capacity conflicts occurred this run (racy; property still verified)")
+	}
+	// Cross-check the derived state against the server's accounting.
+	for name := range nodes {
+		if got, want := s.Committed(name), committed[name]; !got.Equal(want) {
+			t.Fatalf("node %s: server committed %v, events derive %v", name, got, want)
+		}
+	}
+}

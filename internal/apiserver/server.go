@@ -5,6 +5,13 @@
 // schedulers subscribe to. Preempt returns a bound pod to the queue so
 // higher-priority work can take its place.
 //
+// Bind is an admission-checked conditional commit (see Admission): with
+// several optimistically concurrent schedulers sharing the cluster
+// (§V-B), it re-validates under the server lock that the pod still fits
+// the target node and refuses stale placements with typed
+// ErrConflict/ErrOutdated errors, so a losing scheduler retries instead
+// of overcommitting a node.
+//
 // Watchers attach either with Subscribe (events only) or with the
 // informer-style ListAndWatch, which atomically couples a consistent
 // snapshot to the event stream: every event carries a monotonically
@@ -26,6 +33,7 @@ import (
 
 	"github.com/sgxorch/sgxorch/internal/api"
 	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/resource"
 )
 
 // Errors returned by API operations.
@@ -36,9 +44,78 @@ var (
 	// ErrNotFound is returned for lookups of unknown objects.
 	ErrNotFound = errors.New("apiserver: object not found")
 	// ErrConflict is returned for state transitions that are not legal,
-	// e.g. binding an already bound pod.
+	// e.g. binding an already bound pod, or binding onto a node that is
+	// cordoned or NotReady.
 	ErrConflict = errors.New("apiserver: conflicting state transition")
+	// ErrOutdated is returned when a bind fails capacity admission: the
+	// cluster state the scheduler planned against no longer holds (a
+	// concurrent scheduler won the race for the node's capacity). It is a
+	// specialization of ErrConflict — errors.Is(err, ErrConflict) matches
+	// too — so optimistic schedulers can treat both as "lost the race,
+	// retry from a fresh view".
+	ErrOutdated = fmt.Errorf("%w: scheduler view outdated", ErrConflict)
 )
+
+// Admission selects how much re-validation Bind performs against
+// authoritative pod/node state before committing a binding. With several
+// optimistically concurrent schedulers sharing one cluster (§V-B), each
+// plans against its own — possibly stale — cache; the conditional bind is
+// the transaction commit that decides the race instead of letting the
+// loser silently overcommit a node.
+type Admission int
+
+const (
+	// AdmitGuarded (the default) enforces the invariants that must hold
+	// regardless of scheduling policy: the target node is known, Ready and
+	// schedulable; SGX pods only land on SGX nodes; the per-node sum of
+	// EPC page-item requests never exceeds the device count (§V-A: no EPC
+	// over-commitment — the device plugin would fail the pod at admission
+	// anyway, so the server turns that failure into a retryable conflict);
+	// and each request fits the node's total allocatable. Memory/CPU
+	// request *sums* are deliberately not enforced: usage-aware scheduling
+	// (§V-B) overcommits requests by design, reclaiming headroom from
+	// over-declaring jobs, and the server has no usage data to arbitrate
+	// with.
+	AdmitGuarded Admission = iota
+	// AdmitStrict additionally enforces memory and CPU request-sum
+	// admission (committed requests + pod requests <= allocatable). It is
+	// the right mode for fleets of request-only schedulers — there the
+	// request sum is exactly the invariant every scheduler believes it is
+	// maintaining, so a stale cache can never overcommit a node.
+	AdmitStrict
+	// AdmitNone restores the historical unconditional bind. It exists for
+	// tests that simulate buggy or byzantine schedulers to exercise the
+	// kubelet's defense-in-depth admission.
+	AdmitNone
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithAdmission selects the bind admission mode (AdmitGuarded by
+// default).
+func WithAdmission(mode Admission) Option {
+	return func(s *Server) { s.admission = mode }
+}
+
+// BindStats counts Bind outcomes, separating the rejection classes so a
+// multi-scheduler experiment can report its conflict rate.
+type BindStats struct {
+	// Attempts counts all Bind calls; Bound the successful ones.
+	Attempts int64
+	Bound    int64
+	// RejectedPodState counts binds refused over the pod's state: unknown
+	// pod, already bound, or not Pending.
+	RejectedPodState int64
+	// RejectedNodeState counts binds refused because the node cannot
+	// host the pod: unknown, NotReady or cordoned (the scheduler raced a
+	// drain), lacking SGX capability for an SGX pod, or statically too
+	// small for the pod's requests.
+	RejectedNodeState int64
+	// RejectedCapacity counts binds refused by capacity admission
+	// (ErrOutdated): a concurrent scheduler won the node's headroom.
+	RejectedCapacity int64
+}
 
 // WatchEventType enumerates notification kinds.
 type WatchEventType int
@@ -107,11 +184,21 @@ type Server struct {
 	// as the kubelet does.
 	notifyMu sync.Mutex
 
+	admission Admission
+
 	mu      sync.Mutex
 	nodes   map[string]*api.Node
 	pods    map[string]*api.Pod
 	nextUID int64
 	rev     int64 // resource version, incremented per watch event
+
+	// committed tracks, per node, the summed resource requests of its
+	// live bound pods — the authoritative request-based accounting Bind
+	// admission validates against in O(requested resources) instead of
+	// walking every pod. Maintained on bind, terminal transition and
+	// preemption.
+	committed map[string]resource.List
+	bindStats BindStats
 
 	// pending is the submission queue (§IV), ordered priority-then-FCFS:
 	// higher api.PodSpec.Priority tiers drain first, first-come
@@ -125,14 +212,35 @@ type Server struct {
 	events []api.Event
 }
 
-// New creates an empty API server.
-func New(clk clock.Clock) *Server {
-	return &Server{
-		clk:     clk,
-		nodes:   make(map[string]*api.Node),
-		pods:    make(map[string]*api.Pod),
-		pending: newPendingQueue(),
+// New creates an empty API server with guarded bind admission.
+func New(clk clock.Clock, opts ...Option) *Server {
+	s := &Server{
+		clk:       clk,
+		nodes:     make(map[string]*api.Node),
+		pods:      make(map[string]*api.Pod),
+		pending:   newPendingQueue(),
+		committed: make(map[string]resource.List),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// BindStats returns a copy of the bind outcome counters.
+func (s *Server) BindStats() BindStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bindStats
+}
+
+// Committed returns a copy of the summed resource requests of the named
+// node's live bound pods — the request accounting Bind admission
+// enforces.
+func (s *Server) Committed(nodeName string) resource.List {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.committed[nodeName].Clone()
 }
 
 // Subscribe registers a synchronous watch callback and returns an
@@ -423,30 +531,56 @@ func (s *Server) PendingCount() int {
 
 // Bind assigns a pending pod to a node (§IV step Í: "the scheduler
 // communicates the computed job-node assignments to the orchestrator").
-// The pod leaves the pending queue; kubelets learn about it via PodBound.
+// It is a *conditional* bind: under the server lock it re-validates,
+// against authoritative pod and node state, that the pod still fits the
+// target node (see Admission). An optimistic scheduler that planned
+// against a stale cache loses the race with a typed ErrConflict /
+// ErrOutdated — the pod stays queued and reschedules from a fresh view —
+// instead of silently overcommitting the node. On success the pod leaves
+// the pending queue; kubelets learn about it via PodBound.
 func (s *Server) Bind(podName, nodeName string) error {
 	s.notifyMu.Lock()
 	defer s.notifyMu.Unlock()
 	s.mu.Lock()
+	s.bindStats.Attempts++
 	p, ok := s.pods[podName]
 	if !ok {
+		s.bindStats.RejectedPodState++
 		s.mu.Unlock()
 		return fmt.Errorf("%w: pod %s", ErrNotFound, podName)
 	}
-	if _, ok := s.nodes[nodeName]; !ok {
+	n, ok := s.nodes[nodeName]
+	if !ok {
+		s.bindStats.RejectedNodeState++
+		s.rejectBindLocked(podName, "node "+nodeName+" unknown")
 		s.mu.Unlock()
 		return fmt.Errorf("%w: node %s", ErrNotFound, nodeName)
 	}
 	if p.Spec.NodeName != "" {
+		s.bindStats.RejectedPodState++
 		s.mu.Unlock()
 		return fmt.Errorf("%w: pod %s already bound to %s", ErrConflict, podName, p.Spec.NodeName)
 	}
 	if p.Status.Phase != api.PodPending {
+		s.bindStats.RejectedPodState++
 		s.mu.Unlock()
 		return fmt.Errorf("%w: pod %s in phase %s", ErrConflict, podName, p.Status.Phase)
 	}
+	req := p.TotalRequests()
+	if err := s.admitBindLocked(p, n, req); err != nil {
+		if errors.Is(err, ErrOutdated) {
+			s.bindStats.RejectedCapacity++
+		} else {
+			s.bindStats.RejectedNodeState++
+		}
+		s.rejectBindLocked(podName, err.Error())
+		s.mu.Unlock()
+		return err
+	}
 	p.Spec.NodeName = nodeName
 	p.Status.ScheduledAt = s.clk.Now()
+	s.commitLocked(nodeName, req, +1)
+	s.bindStats.Bound++
 	s.removePending(podName)
 	s.recordEvent("pod/"+podName, "Bound", "assigned to node "+nodeName)
 	ev := s.newEvent(PodBound)
@@ -454,6 +588,69 @@ func (s *Server) Bind(podName, nodeName string) error {
 	s.mu.Unlock()
 	s.notify(ev)
 	return nil
+}
+
+// admitBindLocked is the conditional-bind capacity check. Caller must
+// hold s.mu. Node-state refusals are ErrConflict (the scheduler raced a
+// cordon or drain); capacity refusals are ErrOutdated (a concurrent
+// scheduler won the headroom).
+func (s *Server) admitBindLocked(p *api.Pod, n *api.Node, req resource.List) error {
+	if s.admission == AdmitNone {
+		return nil
+	}
+	if !n.Ready || n.Unschedulable {
+		return fmt.Errorf("%w: node %s is not schedulable (ready=%v unschedulable=%v)",
+			ErrConflict, n.Name, n.Ready, n.Unschedulable)
+	}
+	com := s.committed[n.Name]
+	if pages := req.Get(resource.EPCPages); pages > 0 {
+		alloc := n.Allocatable.Get(resource.EPCPages)
+		if alloc <= 0 {
+			return fmt.Errorf("%w: SGX pod %s on non-SGX node %s", ErrConflict, p.Name, n.Name)
+		}
+		// Strict in every mode: EPC page items are device resources the
+		// plugin admits by request accounting — over-committing them is
+		// never legal (§V-A).
+		if com.Get(resource.EPCPages)+pages > alloc {
+			return fmt.Errorf("%w: node %s EPC devices exhausted (%d committed + %d requested > %d)",
+				ErrOutdated, n.Name, com.Get(resource.EPCPages), pages, alloc)
+		}
+	}
+	for name, q := range req {
+		if q <= 0 || name == resource.EPCPages {
+			continue
+		}
+		alloc := n.Allocatable.Get(name)
+		if q > alloc {
+			return fmt.Errorf("%w: pod %s requests %s=%d beyond node %s allocatable %d",
+				ErrConflict, p.Name, name, q, n.Name, alloc)
+		}
+		if s.admission == AdmitStrict && com.Get(name)+q > alloc {
+			return fmt.Errorf("%w: node %s %s exhausted (%d committed + %d requested > %d)",
+				ErrOutdated, n.Name, name, com.Get(name), q, alloc)
+		}
+	}
+	return nil
+}
+
+// rejectBindLocked records a refused bind in the event log so rejected
+// optimistic transactions stay observable. Caller must hold s.mu.
+func (s *Server) rejectBindLocked(podName, reason string) {
+	s.recordEvent("pod/"+podName, "BindRejected", reason)
+}
+
+// commitLocked moves a pod's summed requests into (sign=+1) or out of
+// (sign=-1) its node's committed accounting. Caller must hold s.mu and
+// pass the pod's TotalRequests sum.
+func (s *Server) commitLocked(nodeName string, req resource.List, sign int64) {
+	com, ok := s.committed[nodeName]
+	if !ok {
+		com = make(resource.List, 3)
+		s.committed[nodeName] = com
+	}
+	for name, q := range req {
+		com[name] += sign * q
+	}
 }
 
 // removePending drops a pod from the pending queue (see pendingQueue for
@@ -505,6 +702,9 @@ func (s *Server) transition(podName string, phase api.PodPhase, event, reason st
 		// A pod failed before start (e.g. admission denial) still leaves
 		// the queue.
 		s.removePending(podName)
+		if p.Spec.NodeName != "" {
+			s.commitLocked(p.Spec.NodeName, p.TotalRequests(), -1)
+		}
 	}
 	p.Status.Phase = phase
 	p.Status.Reason = reason
@@ -545,6 +745,7 @@ func (s *Server) Preempt(podName, reason string) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: pod %s is not bound", ErrConflict, podName)
 	}
+	s.commitLocked(p.Spec.NodeName, p.TotalRequests(), -1)
 	p.Spec.NodeName = ""
 	p.Status.Phase = api.PodPending
 	p.Status.Reason = reason

@@ -1,8 +1,12 @@
 // Package benchgate parses benchstat comparison output and decides
-// whether a change regressed the gated time/op metrics beyond a
-// threshold. It understands both the current benchstat table layout
-// ("sec/op" column headers, "~" for insignificant rows) and the legacy
-// one ("old time/op  new time/op  delta").
+// whether a change regressed the gated metrics beyond their thresholds.
+// Time (sec/op) and allocation (B/op, allocs/op) sections gate
+// independently: wall-time regressions are the primary signal and get the
+// tight threshold, while allocation regressions — noisier, and sometimes
+// deliberate trades for speed — gate at a separate, higher threshold. It
+// understands both the current benchstat table layout ("sec/op" column
+// headers, "~" for insignificant rows) and the legacy one ("old time/op
+// new time/op  delta").
 package benchgate
 
 import (
@@ -12,11 +16,36 @@ import (
 	"strings"
 )
 
-// Row is one significant time/op delta extracted from the comparison.
+// Unit classifies a benchstat section.
+type Unit string
+
+// Units benchstat reports that the gate understands. Sections in any
+// other unit (e.g. custom ReportMetric units like binds/s) are ignored
+// entirely — their deltas are neither gated nor reported.
+const (
+	UnitTime   Unit = "sec/op"
+	UnitBytes  Unit = "B/op"
+	UnitAllocs Unit = "allocs/op"
+	UnitOther  Unit = ""
+)
+
+// Thresholds carries the per-metric regression limits, in percent. A
+// non-positive threshold disables gating for that metric class (its rows
+// are still reported).
+type Thresholds struct {
+	// TimePercent gates sec/op (legacy time/op) deltas.
+	TimePercent float64
+	// AllocPercent gates B/op and allocs/op (legacy alloc/op, allocs/op)
+	// deltas.
+	AllocPercent float64
+}
+
+// Row is one significant delta extracted from the comparison.
 type Row struct {
 	Name         string
+	Unit         Unit
 	DeltaPercent float64
-	Regression   bool // true when DeltaPercent exceeds the threshold
+	Regression   bool // true when DeltaPercent exceeds the unit's threshold
 }
 
 // Report is the gate's verdict over one benchstat output.
@@ -43,13 +72,48 @@ func (r Report) Regressions() []Row {
 // n=10)". Insignificant rows carry "~" instead and never match.
 var deltaRe = regexp.MustCompile(`([+-]\d+(?:\.\d+)?)%\s+\(p=`)
 
-// Check parses benchstat output and applies the regression threshold (in
-// percent) to every significant time/op delta. Deltas in other units
-// (B/op, allocs/op) are ignored: allocation shifts are reported by
-// benchstat for humans, but only wall-time regressions gate the build.
-func Check(benchstatOutput string, thresholdPercent float64) (Report, error) {
+// sectionUnit classifies a header line, or returns (UnitOther, false)
+// for non-header lines. "allocs/op" must be probed before "alloc/op":
+// the former contains the latter. Headers in units the gate does not
+// understand (custom ReportMetric sections such as binds/s) classify as
+// UnitOther so their rows are not mis-attributed to the previous
+// section: the current benchstat format marks every unit header with
+// "vs base", the legacy one starts section headers with "name".
+func sectionUnit(line string) (Unit, bool) {
+	switch {
+	case strings.Contains(line, "allocs/op"):
+		return UnitAllocs, true
+	case strings.Contains(line, "B/op"), strings.Contains(line, "alloc/op"):
+		return UnitBytes, true
+	case strings.Contains(line, "sec/op"), strings.Contains(line, "time/op"):
+		return UnitTime, true
+	case strings.Contains(line, "vs base"),
+		strings.HasPrefix(strings.TrimSpace(line), "name "):
+		return UnitOther, true
+	}
+	return UnitOther, false
+}
+
+// threshold returns the limit for a unit, or ok=false when that unit is
+// not gated.
+func (t Thresholds) threshold(u Unit) (float64, bool) {
+	switch u {
+	case UnitTime:
+		return t.TimePercent, t.TimePercent > 0
+	case UnitBytes, UnitAllocs:
+		return t.AllocPercent, t.AllocPercent > 0
+	}
+	return 0, false
+}
+
+// Check parses benchstat output and applies the per-unit thresholds to
+// every statistically significant delta. benchstat only annotates a row
+// with a percentage when the change is significant at its configured
+// alpha, so the gate trusts benchstat's statistics and applies thresholds
+// on top.
+func Check(benchstatOutput string, thresholds Thresholds) (Report, error) {
 	var rep Report
-	inTime := false
+	unit := UnitOther
 	sc := bufio.NewScanner(strings.NewReader(benchstatOutput))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -57,16 +121,11 @@ func Check(benchstatOutput string, thresholdPercent float64) (Report, error) {
 		// Section headers name the unit. The current format prints "│
 		// sec/op │" column headers; the legacy format prints "old
 		// time/op" once per section.
-		switch {
-		case strings.Contains(line, "sec/op") || strings.Contains(line, "time/op"):
-			inTime = true
-			continue
-		case strings.Contains(line, "B/op") || strings.Contains(line, "alloc/op") ||
-			strings.Contains(line, "allocs/op"):
-			inTime = false
+		if u, ok := sectionUnit(line); ok {
+			unit = u
 			continue
 		}
-		if !inTime {
+		if unit == UnitOther {
 			continue
 		}
 		fields := strings.Fields(line)
@@ -81,10 +140,12 @@ func Check(benchstatOutput string, thresholdPercent float64) (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
+		limit, gated := thresholds.threshold(unit)
 		rep.Rows = append(rep.Rows, Row{
 			Name:         fields[0],
+			Unit:         unit,
 			DeltaPercent: delta,
-			Regression:   delta > thresholdPercent,
+			Regression:   gated && delta > limit,
 		})
 	}
 	return rep, sc.Err()

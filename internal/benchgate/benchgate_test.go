@@ -2,9 +2,19 @@ package benchgate
 
 import "testing"
 
+// defaultThresholds mirror the CI configuration: 20% time, 30% alloc.
+var defaultThresholds = Thresholds{TimePercent: 20, AllocPercent: 30}
+
+// timeOnly disables the allocation gate, reproducing the historical
+// time-only behaviour.
+var timeOnly = Thresholds{TimePercent: 20}
+
 // currentFormat is benchstat output as produced by golang.org/x/perf's
 // current benchstat: per-unit sections with box-drawing headers, "~" for
-// insignificant rows, a geomean footer.
+// insignificant rows, a geomean footer. The B/op section carries both a
+// gateable +42% regression and a tolerable +25% one; the allocs/op
+// section a +55% regression; the custom binds/s section must be ignored
+// even though its delta is huge.
 const currentFormat = `goos: linux
 goarch: amd64
 pkg: github.com/sgxorch/sgxorch
@@ -19,7 +29,15 @@ geomean                                  138.5µ        152.9µ       +10.41%
                                        │   base.txt   │               head.txt               │
                                        │     B/op     │     B/op      vs base                │
 SchedulerPass                            2.372Ki ± 0%   2.402Ki ± 0%  +25.00% (p=0.000 n=10)
+ThroughputSharded/shards=4               1.000Ki ± 0%   1.424Ki ± 0%  +42.40% (p=0.000 n=10)
 geomean                                  2.372Ki        2.402Ki        +1.26%
+                                       │  base.txt  │             head.txt             │
+                                       │ allocs/op  │  allocs/op   vs base             │
+SchedulerPass                             75.00 ± 0%   116.00 ± 0%  +54.67% (p=0.000 n=10)
+geomean                                   75.00        116.00       +54.67%
+                                       │  base.txt  │             head.txt             │
+                                       │  binds/s   │   binds/s    vs base             │
+ThroughputSharded/shards=4               1.000k ± 0%   3.000k ± 0%  +200.00% (p=0.000 n=10)
 `
 
 // legacyFormat is the pre-v0.4 benchstat table.
@@ -28,64 +46,123 @@ SchedulerPass            144µs ± 1%     205µs ± 2%  +42.37%  (p=0.000 n=10+1
 SchedulerPassScaling     101µs ± 1%     103µs ± 1%     ~     (p=0.123 n=10+10)
 
 name                  old alloc/op   new alloc/op   delta
-SchedulerPass           2.37kB ± 0%    2.40kB ± 0%  +25.00%  (p=0.000 n=10+10)
+SchedulerPass           2.37kB ± 0%    3.40kB ± 0%  +43.46%  (p=0.000 n=10+10)
+
+name                  old allocs/op  new allocs/op  delta
+SchedulerPass             75.0 ± 0%      80.0 ± 0%   +6.67%  (p=0.000 n=10+10)
 `
 
 func TestCheckCurrentFormat(t *testing.T) {
-	rep, err := Check(currentFormat, 20)
+	rep, err := Check(currentFormat, defaultThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Three significant sec/op rows; the B/op +25% must not be gated and
-	// the "~" row must be skipped.
-	if len(rep.Rows) != 3 {
-		t.Fatalf("rows = %d (%+v), want 3", len(rep.Rows), rep.Rows)
+	// Three significant sec/op rows + two B/op rows + one allocs/op row;
+	// the "~" rows and the custom binds/s section must be skipped.
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d (%+v), want 6", len(rep.Rows), rep.Rows)
 	}
 	if !rep.Failed() {
 		t.Fatal("42%% regression not flagged")
 	}
-	regs := rep.Regressions()
-	if len(regs) != 1 || regs[0].Name != "SchedulerPass" || regs[0].DeltaPercent != 42.37 {
-		t.Fatalf("regressions = %+v, want only SchedulerPass +42.37%%", regs)
+	want := map[string]struct {
+		unit       Unit
+		regression bool
+	}{
+		"SchedulerPass/" + string(UnitTime):       {UnitTime, true},   // +42.37 > 20
+		"SchedulerPassScaling/bound=10000/sec/op": {UnitTime, false},  // +7.07
+		"InfluxQLListing1/sec/op":                 {UnitTime, false},  // improvement
+		"SchedulerPass/" + string(UnitBytes):      {UnitBytes, false}, // +25 < 30
+		"ThroughputSharded/shards=4/B/op":         {UnitBytes, true},  // +42.40 > 30
+		"SchedulerPass/" + string(UnitAllocs):     {UnitAllocs, true}, // +54.67 > 30
 	}
-	// Improvements and small significant deltas pass.
 	for _, r := range rep.Rows {
-		if r.Name != "SchedulerPass" && r.Regression {
-			t.Fatalf("%s flagged at threshold 20: %+v", r.Name, r)
+		key := r.Name + "/" + string(r.Unit)
+		w, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected row %+v", r)
+		}
+		if r.Unit != w.unit || r.Regression != w.regression {
+			t.Fatalf("row %s = %+v, want unit=%s regression=%v", key, r, w.unit, w.regression)
+		}
+		delete(want, key)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing rows: %v", want)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 3 {
+		t.Fatalf("regressions = %+v, want 3", regs)
+	}
+}
+
+// TestCheckAllocGateDisabled reproduces the historical behaviour: with no
+// alloc threshold, allocation rows are reported but never fail the gate.
+func TestCheckAllocGateDisabled(t *testing.T) {
+	rep, err := Check(currentFormat, timeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "SchedulerPass" || regs[0].Unit != UnitTime {
+		t.Fatalf("regressions with alloc gate off = %+v, want only the time row", regs)
+	}
+	for _, r := range rep.Rows {
+		if r.Unit != UnitTime && r.Regression {
+			t.Fatalf("alloc row gated while disabled: %+v", r)
 		}
 	}
 }
 
 func TestCheckThresholdBoundary(t *testing.T) {
-	rep, err := Check(currentFormat, 7.07)
+	rep, err := Check(currentFormat, Thresholds{TimePercent: 7.07, AllocPercent: 42.40})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The threshold is strict: exactly-at-threshold deltas pass.
+	// Thresholds are strict: exactly-at-threshold deltas pass, in both
+	// metric classes.
 	for _, r := range rep.Regressions() {
 		if r.Name == "SchedulerPassScaling/bound=10000" {
-			t.Fatalf("at-threshold delta flagged: %+v", r)
+			t.Fatalf("at-threshold time delta flagged: %+v", r)
+		}
+		if r.Name == "ThroughputSharded/shards=4" && r.Unit == UnitBytes {
+			t.Fatalf("at-threshold alloc delta flagged: %+v", r)
 		}
 	}
-	rep, err = Check(currentFormat, 7)
+	rep, err = Check(currentFormat, Thresholds{TimePercent: 7, AllocPercent: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Regressions()) != 2 {
-		t.Fatalf("regressions at 7%% = %+v, want 2", rep.Regressions())
+	timeRegs, allocRegs := 0, 0
+	for _, r := range rep.Regressions() {
+		if r.Unit == UnitTime {
+			timeRegs++
+		} else {
+			allocRegs++
+		}
+	}
+	if timeRegs != 2 || allocRegs != 2 {
+		t.Fatalf("regressions just under thresholds = %d time + %d alloc, want 2 + 2: %+v",
+			timeRegs, allocRegs, rep.Regressions())
 	}
 }
 
 func TestCheckLegacyFormat(t *testing.T) {
-	rep, err := Check(legacyFormat, 20)
+	rep, err := Check(legacyFormat, defaultThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 1 || rep.Rows[0].Name != "SchedulerPass" {
-		t.Fatalf("rows = %+v, want the one significant time/op delta", rep.Rows)
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %+v, want time + alloc/op + allocs/op deltas", rep.Rows)
 	}
-	if !rep.Failed() {
-		t.Fatal("legacy-format regression not flagged")
+	if rep.Rows[0].Unit != UnitTime || !rep.Rows[0].Regression {
+		t.Fatalf("legacy time row = %+v", rep.Rows[0])
+	}
+	if rep.Rows[1].Unit != UnitBytes || !rep.Rows[1].Regression { // +43.46 > 30
+		t.Fatalf("legacy alloc/op row = %+v", rep.Rows[1])
+	}
+	if rep.Rows[2].Unit != UnitAllocs || rep.Rows[2].Regression { // +6.67 < 30
+		t.Fatalf("legacy allocs/op row = %+v", rep.Rows[2])
 	}
 }
 
@@ -95,7 +172,7 @@ func TestCheckNoSignificantChanges(t *testing.T) {
 Pass     144.2µ ± 1%   144.9µ ± 2%  ~ (p=0.529 n=10)
 geomean  144.2µ        144.9µ       +0.49%
 `
-	rep, err := Check(quiet, 20)
+	rep, err := Check(quiet, defaultThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,15 +185,18 @@ func TestCheckImprovementNeverFails(t *testing.T) {
 	const faster = `       │ base.txt │           head.txt            │
        │  sec/op  │   sec/op    vs base           │
 Pass     205.3µ ± 1%   144.2µ ± 1%  -29.76% (p=0.000 n=10)
+       │ base.txt │           head.txt            │
+       │   B/op   │    B/op     vs base           │
+Pass     2.402Ki ± 0%   1.372Ki ± 0%  -42.88% (p=0.000 n=10)
 `
-	rep, err := Check(faster, 20)
+	rep, err := Check(faster, defaultThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Failed() {
 		t.Fatalf("improvement flagged as regression: %+v", rep)
 	}
-	if len(rep.Rows) != 1 || rep.Rows[0].DeltaPercent != -29.76 {
+	if len(rep.Rows) != 2 {
 		t.Fatalf("rows = %+v", rep.Rows)
 	}
 }

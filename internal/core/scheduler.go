@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -62,6 +63,12 @@ type Config struct {
 	// UseMetrics enables usage-aware scheduling; false reproduces the
 	// request-only accounting of the default Kubernetes scheduler.
 	UseMetrics bool
+	// MaxBindsPerPass bounds the successful bindings of one scheduling
+	// pass (0 = unbounded). Real schedulers have finite per-cycle
+	// throughput; bounding a pass makes that throughput explicit, which is
+	// what lets the sharded multi-scheduler experiments measure how
+	// adding schedulers scales backlog draining.
+	MaxBindsPerPass int
 }
 
 // Stats counts scheduler activity for tests and benchmarks.
@@ -73,6 +80,21 @@ type Stats struct {
 	// victims to make room; Victims counts the pods evicted by them.
 	Preemptions int
 	Victims     int
+	// Conflicts counts binds the API server refused because this
+	// scheduler's view was stale (a concurrent scheduler won the race, or
+	// the node was cordoned mid-pass). Conflicted pods stay pending and
+	// retry on the next pass from a refreshed cache.
+	Conflicts int
+}
+
+// add folds other into s (for aggregating sharded scheduler stats).
+func (s *Stats) add(other Stats) {
+	s.Passes += other.Passes
+	s.Bound += other.Bound
+	s.Unschedulable += other.Unschedulable
+	s.Preemptions += other.Preemptions
+	s.Victims += other.Victims
+	s.Conflicts += other.Conflicts
 }
 
 // Scheduler is one SGX-aware scheduler instance. It is "packaged as a
@@ -218,6 +240,21 @@ func (s *Scheduler) Cache() *ClusterCache { return s.cache }
 // copies are consistent) and releases it before any policy work, so a
 // slow placement pass never stalls concurrent schedulers or kubelets.
 func (s *Scheduler) ScheduleOnce() int {
+	return s.schedulePass(nil)
+}
+
+// schedulePass is ScheduleOnce with an optional pre-captured cluster
+// view. The sharded round-robin driver (shard.go) passes each member the
+// view snapshotted at round start — deliberately stale with respect to
+// the other members' binds in the same round — to model optimistic
+// shared-state concurrency deterministically under the simulation clock;
+// nil plans against a fresh cache snapshot. Bind rejections are a
+// first-class outcome: the pass records a conflict, abandons its provably
+// stale view (the rest of its plan rests on the same assumptions), and
+// leaves the conflicted pod pending. By the time the next pass snapshots
+// the cache, it has already absorbed the concurrent winner's PodBound
+// event, so the retry plans against reality.
+func (s *Scheduler) schedulePass(view *ClusterView) int {
 	s.passMu.Lock()
 	defer s.passMu.Unlock()
 	s.mu.Lock()
@@ -239,8 +276,10 @@ func (s *Scheduler) ScheduleOnce() int {
 		return 0
 	}
 
-	view := s.cache.Snapshot()
-	bound, unschedulable, preemptions, victims := 0, 0, 0, 0
+	if view == nil {
+		view = s.cache.Snapshot()
+	}
+	bound, unschedulable, preemptions, victims, conflicts := 0, 0, 0, 0, 0
 	// One-lock-per-pass preemption gate: no pod can preempt unless some
 	// live pod sits in a strictly lower tier. Refreshed after evictions.
 	minPrio, anyBound := s.cache.minPriority()
@@ -291,20 +330,40 @@ func (s *Scheduler) ScheduleOnce() int {
 			continue
 		}
 		if err := s.srv.Bind(pod.Name, nodeName); err != nil {
-			// Bind conflicts (e.g. a concurrent scheduler) are skipped;
-			// the next pass re-evaluates.
+			if errors.Is(err, apiserver.ErrConflict) {
+				conflicts++
+				if errors.Is(err, apiserver.ErrOutdated) {
+					// A concurrent scheduler won this capacity: the view
+					// is provably stale, and every remaining decision
+					// rests on the same assumptions — end the pass. The
+					// pod stays pending; the next pass snapshots a cache
+					// that has already absorbed the winner's events.
+					break
+				}
+				// Other admission refusals (node cordoned mid-pass, or a
+				// pod/node incompatibility a custom pipeline failed to
+				// filter) may be permanent for *this* pod — skip it
+				// rather than head-of-line block the rest of the queue.
+				continue
+			}
+			// Non-conflict errors (e.g. the pod vanished) skip just this
+			// pod; the next pass re-evaluates.
 			continue
 		}
 		// Commit so later decisions in this pass see the node's reduced
 		// headroom.
 		view.Commit(nodeName, req)
 		bound++
+		if s.cfg.MaxBindsPerPass > 0 && bound >= s.cfg.MaxBindsPerPass {
+			break // per-pass throughput budget spent; the rest stays queued
+		}
 	}
 	s.mu.Lock()
 	s.stats.Bound += bound
 	s.stats.Unschedulable += unschedulable
 	s.stats.Preemptions += preemptions
 	s.stats.Victims += victims
+	s.stats.Conflicts += conflicts
 	s.mu.Unlock()
 	return bound
 }

@@ -21,9 +21,17 @@ type fixture struct {
 }
 
 func newFixture(t *testing.T, sgxNode bool, opts ...Option) *fixture {
+	return newFixtureAdmission(t, sgxNode, apiserver.AdmitGuarded, opts...)
+}
+
+// newFixtureAdmission builds a fixture with an explicit bind-admission
+// mode. Tests that simulate buggy schedulers (binding past capacity or
+// onto incompatible hardware) use AdmitNone so the kubelet's
+// defense-in-depth admission is still the layer under test.
+func newFixtureAdmission(t *testing.T, sgxNode bool, mode apiserver.Admission, opts ...Option) *fixture {
 	t.Helper()
 	clk := clock.NewSim()
-	srv := apiserver.New(clk)
+	srv := apiserver.New(clk, apiserver.WithAdmission(mode))
 	var mach *machine.Machine
 	if sgxNode {
 		mach = machine.New("sgx-1", 8*resource.GiB, 8000, machine.WithSGX(sgx.DefaultGeometry()))
@@ -187,7 +195,10 @@ func TestMaliciousPodKilledByLimit(t *testing.T) {
 }
 
 func TestOutOfEPCAdmissionFails(t *testing.T) {
-	f := newFixture(t, true)
+	// The API server's conditional bind would refuse the second binding
+	// outright (ErrOutdated); disable it so the kubelet's own device
+	// admission stays the layer under test.
+	f := newFixtureAdmission(t, true, apiserver.AdmitNone)
 	// Two pods whose requests together exceed the device pool; bind both
 	// (simulating a buggy scheduler) — the second must fail admission.
 	a := sgxPod("a", 20000, resource.MiB, time.Minute)
@@ -212,7 +223,9 @@ func TestOutOfEPCAdmissionFails(t *testing.T) {
 }
 
 func TestSGXPodOnNonSGXNodeFails(t *testing.T) {
-	f := newFixture(t, false)
+	// Admission off: the server would refuse the hardware mismatch before
+	// the kubelet's "no SGX device plugin" failure path could run.
+	f := newFixtureAdmission(t, false, apiserver.AdmitNone)
 	pod := sgxPod("job-1", 100, resource.MiB, time.Minute)
 	if err := f.srv.CreatePod(pod); err != nil {
 		t.Fatal(err)
