@@ -15,6 +15,7 @@ package sgxorch_test
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -393,15 +394,21 @@ func BenchmarkSchedulerPassScaling(b *testing.B) {
 }
 
 // BenchmarkSchedulerThroughputSharded measures real (wall-clock) bind
-// throughput of 1/2/4 concurrent schedulers sharing one API server: each
-// op drains a 1024-pod backlog through real-goroutine rounds, every bind
-// passing the admission-checked conditional path. One op = one full
+// throughput of 1/2/4/8 concurrent schedulers sharing one API server:
+// each op drains a 1024-pod backlog through real-goroutine rounds, every
+// bind passing the admission-checked conditional path. One op = one full
 // drain, so time/op compares directly across shard counts and the
-// binds/s metric reports absolute control-plane throughput (scheduling
-// work parallelizes; bind commits serialize on the server's ordering
-// lock, which is exactly the contention this benchmark exists to watch).
+// binds/s metric reports absolute control-plane throughput. The server
+// runs the asynchronous watch broker: commits append their event to the
+// broker ring in O(1) and fan-out rides per-subscriber pumps, so the
+// commit critical section no longer serializes behind N subscriber
+// caches — the regression this benchmark caught when delivery was
+// synchronous (binds/sec *degrading* as schedulers were added). The op
+// includes QuiesceWatch: a drain does not count until every cache has
+// absorbed the full event stream, so async delivery cannot cheat by
+// deferring its fan-out cost past the timer.
 func BenchmarkSchedulerThroughputSharded(b *testing.B) {
-	for _, shards := range []int{1, 2, 4} {
+	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			const (
 				nodes   = 128
@@ -411,7 +418,7 @@ func BenchmarkSchedulerThroughputSharded(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				clk := clock.NewSim()
-				srv := apiserver.New(clk)
+				srv := apiserver.New(clk, apiserver.WithAsyncWatch())
 				alloc := resource.List{resource.Memory: 1 << 50, resource.CPU: 1 << 30}
 				for n := 0; n < nodes; n++ {
 					if err := srv.RegisterNode(&api.Node{
@@ -448,11 +455,77 @@ func BenchmarkSchedulerThroughputSharded(b *testing.B) {
 				for srv.PendingCount() > 0 {
 					totalBound += ss.RunRound()
 				}
+				srv.QuiesceWatch()
 				b.StopTimer()
 				ss.Close()
+				srv.Close()
 			}
 			b.ReportMetric(float64(totalBound)/b.Elapsed().Seconds(), "binds/s")
 		})
+	}
+}
+
+// BenchmarkEventFanout measures pure commit+fan-out throughput: one
+// mutator streams pod lifecycle events while W subscriber caches watch,
+// sync vs async broker. Sync delivers every event to every subscriber
+// inside the mutating call; async appends to the ring and lets the
+// pumps batch. The events/s metric is the publisher's observed commit
+// rate — the quantity the watch broker exists to protect — and each op
+// quiesces, so delivery work is inside the measurement for both modes.
+func BenchmarkEventFanout(b *testing.B) {
+	for _, watchers := range []int{1, 8, 32} {
+		for _, mode := range []string{"sync", "async"} {
+			b.Run(fmt.Sprintf("watchers=%d/%s", watchers, mode), func(b *testing.B) {
+				clk := clock.NewSim()
+				var opts []apiserver.Option
+				if mode == "async" {
+					opts = append(opts, apiserver.WithAsyncWatch())
+				}
+				srv := apiserver.New(clk, opts...)
+				defer srv.Close()
+				alloc := resource.List{resource.Memory: 1 << 50, resource.CPU: 1 << 30}
+				if err := srv.RegisterNode(&api.Node{
+					Name: "node-0", Capacity: alloc.Clone(), Allocatable: alloc.Clone(), Ready: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				var consumed atomic.Int64
+				for w := 0; w < watchers; w++ {
+					unsub := srv.SubscribeBatch(func(evs []apiserver.WatchEvent) {
+						consumed.Add(int64(len(evs)))
+					}, func(apiserver.Snapshot) {})
+					defer unsub()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					name := fmt.Sprintf("pod-%09d", i)
+					pod := &api.Pod{
+						Name: name,
+						Spec: api.PodSpec{
+							Containers: []api.Container{{
+								Name:      "main",
+								Resources: api.Requirements{Requests: resource.List{resource.Memory: resource.MiB}},
+							}},
+						},
+					}
+					if err := srv.CreatePod(pod); err != nil {
+						b.Fatal(err)
+					}
+					if err := srv.Bind(name, "node-0"); err != nil {
+						b.Fatal(err)
+					}
+					if err := srv.MarkSucceeded(name); err != nil {
+						b.Fatal(err)
+					}
+				}
+				srv.QuiesceWatch()
+				b.StopTimer()
+				if consumed.Load() == 0 {
+					b.Fatal("watchers consumed nothing")
+				}
+				b.ReportMetric(float64(3*b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
 	}
 }
 

@@ -1,10 +1,15 @@
 // Command benchreport regenerates every figure of the paper's evaluation
 // (Figs. 3-11) and renders the series and paper-vs-measured notes — the
-// data behind EXPERIMENTS.md.
+// data behind EXPERIMENTS.md. It doubles as the perf-artifact emitter:
+// given -bench-input, it parses raw `go test -bench` output and writes a
+// machine-readable JSON report (ns/op, B/op, allocs/op and custom
+// metrics like binds/s per benchmark) — the BENCH_<n>.json artifact the
+// CI bench job uploads so the repo keeps a perf trajectory.
 //
 // Usage:
 //
 //	benchreport [-seed 1] [-figs fig3,fig7,...] [-rows 24]
+//	benchreport -bench-input bench-head.txt [-json-out BENCH_5.json]
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"time"
 
 	sgxorch "github.com/sgxorch/sgxorch"
+	"github.com/sgxorch/sgxorch/internal/benchgate"
 )
 
 func main() {
@@ -28,7 +34,13 @@ func run() error {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	figs := flag.String("figs", "", "comma-separated figure ids (default: all)")
 	rows := flag.Int("rows", 24, "max rows rendered per series")
+	benchInput := flag.String("bench-input", "", "raw `go test -bench` output to convert to JSON (skips figure mode)")
+	jsonOut := flag.String("json-out", "", "JSON report destination (default: stdout)")
 	flag.Parse()
+
+	if *benchInput != "" {
+		return emitBenchJSON(*benchInput, *jsonOut)
+	}
 
 	ids := sgxorch.FigureIDs()
 	if *figs != "" {
@@ -46,6 +58,37 @@ func run() error {
 			return err
 		}
 		fmt.Printf("   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// emitBenchJSON converts raw benchmark output into the JSON perf
+// artifact.
+func emitBenchJSON(inputPath, outPath string) error {
+	in, err := os.Open(inputPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	rep, err := benchgate.ParseBench(in)
+	if err != nil {
+		return err
+	}
+	rep.Source = inputPath
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	if outPath != "" {
+		fmt.Printf("benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), outPath)
 	}
 	return nil
 }

@@ -111,3 +111,81 @@ func (q *pendingQueue) Snapshot() []string {
 	})
 	return out
 }
+
+// pendingSet is the pending queue with a per-scheduler index: the global
+// priority-then-FCFS order (the §IV queue, what Snapshot and
+// PendingCount expose) plus one sub-queue per Spec.SchedulerName, so a
+// scheduler fleet member visits only its own shard — O(own pods) under
+// the server lock instead of every member scanning the whole queue every
+// round. The per-scheduler view is exactly the global order filtered to
+// that scheduler: pushes hit both structures in the same order.
+type pendingSet struct {
+	all     *pendingQueue
+	bySched map[string]*pendingQueue
+}
+
+func newPendingSet() *pendingSet {
+	return &pendingSet{
+		all:     newPendingQueue(),
+		bySched: make(map[string]*pendingQueue),
+	}
+}
+
+// Len returns the number of queued pods across all schedulers.
+func (ps *pendingSet) Len() int { return ps.all.Len() }
+
+// Push appends a pod at the tail of its priority tier, globally and in
+// its scheduler's sub-queue. Pods with no scheduler name live only in
+// the global view — lookups for "" short-circuit to it.
+func (ps *pendingSet) Push(name, sched string, prio int32) {
+	ps.all.Push(name, prio)
+	if sched == "" {
+		return
+	}
+	q, ok := ps.bySched[sched]
+	if !ok {
+		q = newPendingQueue()
+		ps.bySched[sched] = q
+	}
+	q.Push(name, prio)
+}
+
+// Remove drops a pod from both views (no-op when absent).
+func (ps *pendingSet) Remove(name, sched string) {
+	ps.all.Remove(name)
+	if sched == "" {
+		return
+	}
+	if q, ok := ps.bySched[sched]; ok {
+		q.Remove(name)
+		if q.Len() == 0 {
+			delete(ps.bySched, sched)
+		}
+	}
+}
+
+// Visit walks the named scheduler's queued pods in priority-then-FCFS
+// order (the empty name walks every pod); returning false stops.
+func (ps *pendingSet) Visit(sched string, fn func(name string) bool) {
+	if sched == "" {
+		ps.all.Visit(fn)
+		return
+	}
+	if q, ok := ps.bySched[sched]; ok {
+		q.Visit(fn)
+	}
+}
+
+// SchedLen returns the named scheduler's queued pod count.
+func (ps *pendingSet) SchedLen(sched string) int {
+	if sched == "" {
+		return ps.all.Len()
+	}
+	if q, ok := ps.bySched[sched]; ok {
+		return q.Len()
+	}
+	return 0
+}
+
+// Snapshot returns all queued names in global priority-then-FCFS order.
+func (ps *pendingSet) Snapshot() []string { return ps.all.Snapshot() }

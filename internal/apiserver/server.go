@@ -17,8 +17,17 @@
 // snapshot to the event stream: every event carries a monotonically
 // increasing resource version, so a consumer building a cache from the
 // snapshot discards anything already reflected in it and stays exactly
-// consistent without quiescing the server. Callbacks are synchronous on
-// the mutating goroutine, which keeps simulated runs deterministic.
+// consistent without quiescing the server.
+//
+// Event fan-out rides the internal/watch broker — a versioned ring
+// buffer with per-subscriber cursors — so a mutation's critical section
+// performs an O(1) event append and never runs subscriber code. In the
+// default synchronous mode the publishing goroutine then delivers
+// inline (deterministic under the simulation clock, exactly like the
+// historical callback list); WithAsyncWatch moves delivery onto
+// per-subscriber pump goroutines with batching and snapshot resync for
+// consumers that fall off the ring, so concurrent schedulers' bind
+// commits stop serializing behind the fan-out.
 //
 // The paper's components "interact with [Kubernetes] using its public API"
 // (§V); this package provides that API for the simulated cluster.
@@ -34,6 +43,7 @@ import (
 	"github.com/sgxorch/sgxorch/internal/api"
 	"github.com/sgxorch/sgxorch/internal/clock"
 	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/watch"
 )
 
 // Errors returned by API operations.
@@ -96,6 +106,32 @@ type Option func(*Server)
 // default).
 func WithAdmission(mode Admission) Option {
 	return func(s *Server) { s.admission = mode }
+}
+
+// WithAsyncWatch selects asynchronous event delivery: watch events are
+// appended to the broker ring inside the commit critical section (O(1))
+// and fanned out to subscribers on per-subscriber pump goroutines, in
+// batches. Mutating calls no longer wait for subscribers, so bind
+// throughput scales with concurrent schedulers — at the price of
+// consumers observing state with a small, bounded lag (and resyncing
+// from a snapshot when they fall off the ring). The default synchronous
+// mode delivers inline on the mutating goroutine and stays bit-for-bit
+// deterministic under the simulation clock.
+func WithAsyncWatch() Option {
+	return func(s *Server) { s.watchOpts.Mode = watch.Async }
+}
+
+// WithWatchCapacity overrides the broker ring capacity (the retained
+// event window; watch.DefaultCapacity when unset). Tests use tiny rings
+// to force the overflow/resync path.
+func WithWatchCapacity(n int) Option {
+	return func(s *Server) { s.watchOpts.Capacity = n }
+}
+
+// WithWatchBatch overrides the maximum events delivered to a subscriber
+// callback in one batch (watch.DefaultMaxBatch when unset).
+func WithWatchBatch(n int) Option {
+	return func(s *Server) { s.watchOpts.MaxBatch = n }
 }
 
 // BindStats counts Bind outcomes, separating the rejection classes so a
@@ -162,29 +198,21 @@ type Snapshot struct {
 // maxEvents bounds the retained event log.
 const maxEvents = 16384
 
-// subscriber is one registered watch callback. The subscriber slice is
-// kept ordered by id (ids are assigned monotonically and appended), so
-// delivery order is deterministic without sorting per event.
-type subscriber struct {
-	id int
-	fn func(WatchEvent)
-}
-
 // Server is the in-memory API server.
 type Server struct {
 	clk clock.Clock
 
-	// notifyMu serializes each mutation together with the delivery of
-	// its watch event, so subscribers always observe events in resource-
-	// version order even under concurrent mutators (without it, a
-	// goroutine preempted between releasing mu and notifying could let a
-	// later mutation's event overtake its own). It is held across
-	// callbacks: watch callbacks must therefore never mutate the server
-	// synchronously — schedule follow-up mutations via the clock instead,
-	// as the kubelet does.
-	notifyMu sync.Mutex
-
 	admission Admission
+	watchOpts watch.Options
+
+	// broker is the versioned event fan-out (see internal/watch): every
+	// mutation appends its watch event to the broker ring while holding
+	// s.mu — an O(1) operation that fixes the event order without ever
+	// running subscriber code inside the commit critical section — and
+	// delivery happens afterwards: inline via Flush in synchronous mode,
+	// on per-subscriber pumps in async mode. Lock order is s.mu before
+	// the broker mutex; subscriber callbacks run with neither held.
+	broker *watch.Broker[WatchEvent]
 
 	mu      sync.Mutex
 	nodes   map[string]*api.Node
@@ -202,29 +230,35 @@ type Server struct {
 
 	// pending is the submission queue (§IV), ordered priority-then-FCFS:
 	// higher api.PodSpec.Priority tiers drain first, first-come
-	// first-served within a tier. Binds remove their pod in O(1)
+	// first-served within a tier, with a per-scheduler index so fleet
+	// members visit only their own shard. Binds remove their pod in O(1)
 	// amortized.
-	pending *pendingQueue
-
-	subs   []subscriber // ordered by id
-	nextID int
+	pending *pendingSet
 
 	events []api.Event
 }
 
-// New creates an empty API server with guarded bind admission.
+// New creates an empty API server with guarded bind admission and
+// synchronous watch delivery.
 func New(clk clock.Clock, opts ...Option) *Server {
 	s := &Server{
 		clk:       clk,
 		nodes:     make(map[string]*api.Node),
 		pods:      make(map[string]*api.Pod),
-		pending:   newPendingQueue(),
+		pending:   newPendingSet(),
 		committed: make(map[string]resource.List),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.broker = watch.New[WatchEvent](s.watchOpts)
 	return s
+}
+
+// Close shuts the watch broker down (async pumps exit). The server's
+// state remains readable; further mutations stop emitting events.
+func (s *Server) Close() {
+	s.broker.Close()
 }
 
 // BindStats returns a copy of the bind outcome counters.
@@ -243,30 +277,49 @@ func (s *Server) Committed(nodeName string) resource.List {
 	return s.committed[nodeName].Clone()
 }
 
-// Subscribe registers a synchronous watch callback and returns an
-// unsubscribe function. Callbacks run on the goroutine performing the
-// mutation, after the server state lock is released, and events arrive
-// in resource-version order. Callbacks must not synchronously mutate the
-// server (use clock.AfterFunc for follow-ups): delivery holds the
-// mutation-ordering lock.
+// Subscribe registers a per-event watch callback and returns an
+// unsubscribe function. In synchronous mode callbacks run on the
+// goroutine performing the mutation, after the server state lock is
+// released, and must not synchronously mutate the server (use
+// clock.AfterFunc for follow-ups); in async mode they run on a pump
+// goroutine. Events arrive in resource-version order with no
+// duplicates. A subscriber that falls off the broker ring in async mode
+// has the missed interval counted in its watch stats and continues from
+// the oldest retained event — consumers that must never miss events
+// should use SubscribeBatch or ListAndWatchBatch with a resync handler.
 func (s *Server) Subscribe(fn func(WatchEvent)) (unsubscribe func()) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.subscribeLocked(fn)
+	return s.SubscribeBatch(func(evs []WatchEvent) {
+		for _, ev := range evs {
+			fn(ev)
+		}
+	}, nil)
 }
 
-func (s *Server) subscribeLocked(fn func(WatchEvent)) (unsubscribe func()) {
-	id := s.nextID
-	s.nextID++
-	s.subs = append(s.subs, subscriber{id: id, fn: fn})
-	return func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		i := sort.Search(len(s.subs), func(i int) bool { return s.subs[i].id >= id })
-		if i < len(s.subs) && s.subs[i].id == id {
-			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+// SubscribeBatch registers a batched watch callback: the broker hands it
+// consecutive events as one slice (reused between calls — do not retain
+// it). resync, when non-nil, is invoked if the subscriber falls off the
+// broker ring: it receives a fresh consistent snapshot to rebuild from,
+// and delivery resumes with the first event after that snapshot's Rev.
+func (s *Server) SubscribeBatch(fn func([]WatchEvent), resync func(Snapshot)) (unsubscribe func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.subscribeLocked(fn, resync)
+}
+
+// subscribeLocked registers with the broker at the current resource
+// version. Caller must hold s.mu — that is what makes the cursor
+// consistent with the state the subscriber has (or snapshots) at
+// registration time.
+func (s *Server) subscribeLocked(fn func([]WatchEvent), resync func(Snapshot)) (unsubscribe func()) {
+	var rs func() int64
+	if resync != nil {
+		rs = func() int64 {
+			snap := s.SnapshotNow()
+			resync(snap)
+			return snap.Rev
 		}
 	}
+	return s.broker.Subscribe(s.rev, fn, rs)
 }
 
 // ListAndWatch atomically snapshots the cluster state and registers fn
@@ -274,11 +327,34 @@ func (s *Server) subscribeLocked(fn func(WatchEvent)) (unsubscribe func()) {
 // itself from the snapshot and stay current by applying events, without
 // racing mutations that happen in between. Events whose Rev is at or
 // below Snapshot.Rev are already reflected in the snapshot and must be
-// discarded by the consumer (delivery of an in-flight event can overlap
-// the handshake). The callback contract is the same as Subscribe's.
+// discarded by the consumer. The callback contract is the same as
+// Subscribe's.
 func (s *Server) ListAndWatch(fn func(WatchEvent)) (Snapshot, func()) {
+	return s.ListAndWatchBatch(func(evs []WatchEvent) {
+		for _, ev := range evs {
+			fn(ev)
+		}
+	}, nil)
+}
+
+// ListAndWatchBatch is ListAndWatch with batched delivery and an
+// optional ring-overflow resync handler (see SubscribeBatch).
+func (s *Server) ListAndWatchBatch(fn func([]WatchEvent), resync func(Snapshot)) (Snapshot, func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked(), s.subscribeLocked(fn, resync)
+}
+
+// SnapshotNow returns a consistent point-in-time snapshot of the
+// cluster state — what a resyncing watcher rebuilds from.
+func (s *Server) SnapshotNow() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked builds a Snapshot. Caller must hold s.mu.
+func (s *Server) snapshotLocked() Snapshot {
 	snap := Snapshot{Rev: s.rev}
 	names := make([]string, 0, len(s.nodes))
 	for name := range s.nodes {
@@ -299,7 +375,22 @@ func (s *Server) ListAndWatch(fn func(WatchEvent)) (Snapshot, func()) {
 		snap.Pods = append(snap.Pods, s.pods[name].Clone())
 	}
 	snap.Pending = s.pending.Snapshot()
-	return snap, s.subscribeLocked(fn)
+	return snap
+}
+
+// WatchStats returns the broker's fan-out accounting: events published
+// and evicted, plus per-subscriber delivery, batching, lag and resync
+// counters.
+func (s *Server) WatchStats() watch.Stats {
+	return s.broker.Stats()
+}
+
+// QuiesceWatch blocks until every watcher has consumed every event
+// published so far — the barrier async-mode tests and benchmarks use
+// before asserting on subscriber state. Synchronous mode is already
+// quiescent whenever no mutation is in flight.
+func (s *Server) QuiesceWatch() {
+	s.broker.Quiesce()
 }
 
 // newEvent stamps the next resource version on an event. Caller must hold
@@ -309,18 +400,12 @@ func (s *Server) newEvent(t WatchEventType) WatchEvent {
 	return WatchEvent{Type: t, Rev: s.rev}
 }
 
-// notify snapshots subscribers under the lock, then invokes them without
-// it, in registration order.
-func (s *Server) notify(ev WatchEvent) {
-	s.mu.Lock()
-	fns := make([]func(WatchEvent), len(s.subs))
-	for i, sub := range s.subs {
-		fns[i] = sub.fn
-	}
-	s.mu.Unlock()
-	for _, fn := range fns {
-		fn(ev)
-	}
+// publishLocked appends the event to the broker ring — O(1), the only
+// fan-out work the commit critical section performs. Caller must hold
+// s.mu and follow up with s.broker.Flush() after releasing it (a no-op
+// in async mode, inline delivery in sync mode).
+func (s *Server) publishLocked(ev WatchEvent) {
+	s.broker.Publish(ev.Rev, ev)
 }
 
 // recordEvent appends to the capped event log. Caller must hold s.mu.
@@ -348,8 +433,6 @@ func (s *Server) Events() []api.Event {
 
 // RegisterNode adds a node to the cluster.
 func (s *Server) RegisterNode(n *api.Node) error {
-	s.notifyMu.Lock()
-	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	if _, ok := s.nodes[n.Name]; ok {
 		s.mu.Unlock()
@@ -360,16 +443,15 @@ func (s *Server) RegisterNode(n *api.Node) error {
 	s.recordEvent("node/"+n.Name, "Registered", stored.Allocatable.String())
 	ev := s.newEvent(NodeRegistered)
 	ev.Node = stored.Clone()
+	s.publishLocked(ev)
 	s.mu.Unlock()
-	s.notify(ev)
+	s.broker.Flush()
 	return nil
 }
 
 // UpdateNode replaces a node's stored state (e.g. when the device plugin
 // extends its allocatable resources, §V-A).
 func (s *Server) UpdateNode(n *api.Node) error {
-	s.notifyMu.Lock()
-	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	if _, ok := s.nodes[n.Name]; !ok {
 		s.mu.Unlock()
@@ -380,8 +462,9 @@ func (s *Server) UpdateNode(n *api.Node) error {
 	s.recordEvent("node/"+n.Name, "Updated", stored.Allocatable.String())
 	ev := s.newEvent(NodeUpdated)
 	ev.Node = stored.Clone()
+	s.publishLocked(ev)
 	s.mu.Unlock()
-	s.notify(ev)
+	s.broker.Flush()
 	return nil
 }
 
@@ -416,8 +499,6 @@ func (s *Server) ListNodes() []*api.Node {
 // CreatePod submits a pod: it is stamped, assigned a UID if absent, marked
 // Pending and appended to the FCFS queue (§IV step Ë).
 func (s *Server) CreatePod(p *api.Pod) error {
-	s.notifyMu.Lock()
-	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	if _, ok := s.pods[p.Name]; ok {
 		s.mu.Unlock()
@@ -431,12 +512,13 @@ func (s *Server) CreatePod(p *api.Pod) error {
 	stored.Status.Phase = api.PodPending
 	stored.Status.SubmittedAt = s.clk.Now()
 	s.pods[stored.Name] = stored
-	s.pending.Push(stored.Name, stored.Spec.Priority)
+	s.pending.Push(stored.Name, stored.Spec.SchedulerName, stored.Spec.Priority)
 	s.recordEvent("pod/"+stored.Name, "Created", "queued as pending")
 	ev := s.newEvent(PodCreated)
 	ev.Pod = stored.Clone()
+	s.publishLocked(ev)
 	s.mu.Unlock()
-	s.notify(ev)
+	s.broker.Flush()
 	return nil
 }
 
@@ -478,12 +560,9 @@ func (s *Server) ListPods(filter func(*api.Pod) bool) []*api.Pod {
 func (s *Server) PendingPods(schedulerName string) []*api.Pod {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*api.Pod, 0, s.pending.Len())
-	s.pending.Visit(func(name string) bool {
-		p := s.pods[name]
-		if schedulerName == "" || p.Spec.SchedulerName == schedulerName {
-			out = append(out, p.Clone())
-		}
+	out := make([]*api.Pod, 0, s.pending.SchedLen(schedulerName))
+	s.pending.Visit(schedulerName, func(name string) bool {
+		out = append(out, s.pods[name].Clone())
 		return true
 	})
 	return out
@@ -513,12 +592,8 @@ func (s *Server) VisitPods(fn func(*api.Pod) bool) {
 func (s *Server) VisitPending(schedulerName string, fn func(*api.Pod) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pending.Visit(func(name string) bool {
-		p := s.pods[name]
-		if schedulerName != "" && p.Spec.SchedulerName != schedulerName {
-			return true
-		}
-		return fn(p)
+	s.pending.Visit(schedulerName, func(name string) bool {
+		return fn(s.pods[name])
 	})
 }
 
@@ -539,8 +614,6 @@ func (s *Server) PendingCount() int {
 // instead of silently overcommitting the node. On success the pod leaves
 // the pending queue; kubelets learn about it via PodBound.
 func (s *Server) Bind(podName, nodeName string) error {
-	s.notifyMu.Lock()
-	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	s.bindStats.Attempts++
 	p, ok := s.pods[podName]
@@ -581,12 +654,13 @@ func (s *Server) Bind(podName, nodeName string) error {
 	p.Status.ScheduledAt = s.clk.Now()
 	s.commitLocked(nodeName, req, +1)
 	s.bindStats.Bound++
-	s.removePending(podName)
+	s.removePending(p)
 	s.recordEvent("pod/"+podName, "Bound", "assigned to node "+nodeName)
 	ev := s.newEvent(PodBound)
 	ev.Pod = p.Clone()
+	s.publishLocked(ev)
 	s.mu.Unlock()
-	s.notify(ev)
+	s.broker.Flush()
 	return nil
 }
 
@@ -655,8 +729,8 @@ func (s *Server) commitLocked(nodeName string, req resource.List, sign int64) {
 
 // removePending drops a pod from the pending queue (see pendingQueue for
 // the amortized O(1) layout). Caller must hold s.mu.
-func (s *Server) removePending(podName string) {
-	s.pending.Remove(podName)
+func (s *Server) removePending(p *api.Pod) {
+	s.pending.Remove(p.Name, p.Spec.SchedulerName)
 }
 
 // MarkRunning transitions a bound pod to Running, stamping StartedAt.
@@ -677,8 +751,6 @@ func (s *Server) MarkFailed(podName, reason string) error {
 }
 
 func (s *Server) transition(podName string, phase api.PodPhase, event, reason string) error {
-	s.notifyMu.Lock()
-	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	p, ok := s.pods[podName]
 	if !ok {
@@ -701,7 +773,7 @@ func (s *Server) transition(podName string, phase api.PodPhase, event, reason st
 		p.Status.FinishedAt = now
 		// A pod failed before start (e.g. admission denial) still leaves
 		// the queue.
-		s.removePending(podName)
+		s.removePending(p)
 		if p.Spec.NodeName != "" {
 			s.commitLocked(p.Spec.NodeName, p.TotalRequests(), -1)
 		}
@@ -711,8 +783,9 @@ func (s *Server) transition(podName string, phase api.PodPhase, event, reason st
 	s.recordEvent("pod/"+podName, event, reason)
 	ev := s.newEvent(PodUpdated)
 	ev.Pod = p.Clone()
+	s.publishLocked(ev)
 	s.mu.Unlock()
-	s.notify(ev)
+	s.broker.Flush()
 	return nil
 }
 
@@ -729,8 +802,6 @@ func (s *Server) Preempt(podName, reason string) error {
 	} else {
 		reason = "Preempted: " + reason
 	}
-	s.notifyMu.Lock()
-	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	p, ok := s.pods[podName]
 	if !ok {
@@ -751,12 +822,13 @@ func (s *Server) Preempt(podName, reason string) error {
 	p.Status.Reason = reason
 	p.Status.ScheduledAt = time.Time{}
 	p.Status.StartedAt = time.Time{}
-	s.pending.Push(podName, p.Spec.Priority)
+	s.pending.Push(podName, p.Spec.SchedulerName, p.Spec.Priority)
 	s.recordEvent("pod/"+podName, "Preempted", reason)
 	ev := s.newEvent(PodUpdated)
 	ev.Pod = p.Clone()
+	s.publishLocked(ev)
 	s.mu.Unlock()
-	s.notify(ev)
+	s.broker.Flush()
 	return nil
 }
 

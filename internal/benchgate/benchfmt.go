@@ -1,0 +1,143 @@
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file parses raw `go test -bench` output (as opposed to benchstat
+// comparisons, which benchgate.go handles) into a machine-readable
+// report — the BENCH_<n>.json artifact CI uploads so the repo
+// accumulates a perf trajectory instead of throwaway job logs.
+
+// BenchResult is one benchmark's aggregated measurements. Metrics maps
+// unit → mean value across the runs: the standard ns/op, B/op and
+// allocs/op plus any custom ReportMetric units (binds/s, events/s, ...).
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Runs       int                `json:"runs"`
+	Iterations int64              `json:"iterations"` // summed over runs
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// BenchReport is the JSON artifact schema.
+type BenchReport struct {
+	Schema     string        `json:"schema"`
+	Source     string        `json:"source,omitempty"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// BenchReportSchema identifies the artifact format.
+const BenchReportSchema = "sgxorch-bench/v1"
+
+// ParseBench reads raw `go test -bench` output and aggregates repeated
+// runs (-count > 1) of the same benchmark by arithmetic mean per
+// metric. Non-benchmark lines (headers, PASS/ok, test logs) are
+// skipped; a benchmark line is "Benchmark<Name>[-procs] <iterations>
+// {<value> <unit>}...".
+func ParseBench(r io.Reader) (BenchReport, error) {
+	rep := BenchReport{Schema: BenchReportSchema}
+	type acc struct {
+		runs       int
+		iterations int64
+		sums       map[string]float64
+		counts     map[string]int
+	}
+	accs := make(map[string]*acc)
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so runs on different machines
+		// aggregate under one name, as benchstat does.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		a, ok := accs[name]
+		if !ok {
+			a = &acc{sums: make(map[string]float64), counts: make(map[string]int)}
+			accs[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		a.iterations += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return rep, fmt.Errorf("benchgate: bad metric value %q in %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			a.sums[unit] += v
+			a.counts[unit]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	for _, name := range order {
+		a := accs[name]
+		res := BenchResult{
+			Name:       name,
+			Runs:       a.runs,
+			Iterations: a.iterations,
+			Metrics:    make(map[string]float64, len(a.sums)),
+		}
+		units := make([]string, 0, len(a.sums))
+		for unit := range a.sums {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			res.Metrics[unit] = a.sums[unit] / float64(a.counts[unit])
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rep BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,92 @@
+package benchgate
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const rawBenchOutput = `goos: linux
+goarch: amd64
+pkg: github.com/sgxorch/sgxorch
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSchedulerPass-8         	    7214	    163412 ns/op	   35712 B/op	      75 allocs/op
+BenchmarkSchedulerPass-8         	    7000	    165000 ns/op	   35800 B/op	      77 allocs/op
+BenchmarkSchedulerThroughputSharded/shards=2-8 	      20	   9856402 ns/op	  103892 binds/s
+BenchmarkEventFanout/watchers=32/async-8       	    2000	     10171 ns/op	  294955 events/s
+PASS
+ok  	github.com/sgxorch/sgxorch	2.579s
+`
+
+func TestParseBenchAggregates(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader(rawBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "github.com/sgxorch/sgxorch" {
+		t.Fatalf("header fields = %q %q %q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	pass := rep.Benchmarks[0]
+	if pass.Name != "BenchmarkSchedulerPass" {
+		t.Fatalf("name = %q (procs suffix not stripped?)", pass.Name)
+	}
+	if pass.Runs != 2 || pass.Iterations != 14214 {
+		t.Fatalf("runs/iterations = %d/%d, want 2/14214", pass.Runs, pass.Iterations)
+	}
+	if got := pass.Metrics["ns/op"]; math.Abs(got-164206) > 0.5 {
+		t.Fatalf("mean ns/op = %f, want 164206", got)
+	}
+	if got := pass.Metrics["allocs/op"]; got != 76 {
+		t.Fatalf("mean allocs/op = %f, want 76", got)
+	}
+	sharded := rep.Benchmarks[1]
+	if sharded.Name != "BenchmarkSchedulerThroughputSharded/shards=2" {
+		t.Fatalf("subbenchmark name = %q", sharded.Name)
+	}
+	if got := sharded.Metrics["binds/s"]; got != 103892 {
+		t.Fatalf("binds/s = %f", got)
+	}
+	fanout := rep.Benchmarks[2]
+	if got := fanout.Metrics["events/s"]; got != 294955 {
+		t.Fatalf("events/s = %f", got)
+	}
+}
+
+func TestBenchReportJSONRoundTrip(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader(rawBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != BenchReportSchema {
+		t.Fatalf("schema = %q", back.Schema)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d vs %d", len(back.Benchmarks), len(rep.Benchmarks))
+	}
+	if back.Benchmarks[1].Metrics["binds/s"] != 103892 {
+		t.Fatalf("round trip mangled metrics: %+v", back.Benchmarks[1])
+	}
+}
+
+func TestParseBenchSkipsGarbage(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader("random log line\nBenchmarkBroken 12\n--- FAIL: x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage", len(rep.Benchmarks))
+	}
+}

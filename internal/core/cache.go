@@ -34,9 +34,14 @@ import (
 //     max(measured, requested) — pods register their maturity instant in
 //     a min-heap that Snapshot drains up to now.
 //
-// All callbacks are synchronous on the mutating goroutine, so under the
-// simulation clock the cache is deterministic; BuildView remains the
-// from-scratch reference implementation it is property-tested against.
+// With a synchronous-watch server all callbacks run on the mutating
+// goroutine, so under the simulation clock the cache is deterministic;
+// BuildView remains the from-scratch reference implementation it is
+// property-tested against. With an async-watch server the broker's pump
+// feeds ApplyAll batches on a separate goroutine (the cache lags the
+// server by a bounded amount), and a cache that falls off the broker
+// ring resyncs from a fresh snapshot — state after the resync is
+// property-tested identical to a from-scratch build.
 type ClusterCache struct {
 	clk        clock.Clock
 	agg        *monitor.WindowMax // nil when usage-aware scheduling is off
@@ -90,33 +95,55 @@ type cachedPod struct {
 // newClusterCache performs the informer handshake against the API server
 // and primes the cache from the snapshot. The aggregator (when metrics
 // are on) must already be backfilled; the caller wires its change
-// callback to onMetric afterwards.
+// callback to onMetric afterwards. Events arrive through the watch
+// broker in batches (ApplyAll); if the cache ever falls off the broker
+// ring — possible only with an async-watch server — it resyncs from a
+// fresh snapshot instead of missing deltas.
 func newClusterCache(clk clock.Clock, srv *apiserver.Server, agg *monitor.WindowMax, lag time.Duration, useMetrics bool) *ClusterCache {
 	c := &ClusterCache{
 		clk:        clk,
 		agg:        agg,
 		lag:        lag,
 		useMetrics: useMetrics,
-		nodes:      make(map[string]*cachedNode),
-		pods:       make(map[string]*cachedPod),
-		prioCount:  make(map[int32]int),
 	}
 	// Events arriving while the snapshot is being applied block on c.mu;
 	// anything already reflected in the snapshot is dropped by the rev
 	// gate when it is delivered.
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	snap, unsub := srv.ListAndWatch(c.onEvent)
+	snap, unsub := srv.ListAndWatchBatch(c.ApplyAll, c.resync)
 	c.unsub = unsub
+	c.primeLocked(snap)
+	return c
+}
+
+// primeLocked (re)builds the cache from a consistent snapshot,
+// discarding all previous state. Caller must hold c.mu.
+func (c *ClusterCache) primeLocked(snap apiserver.Snapshot) {
 	c.rev = snap.Rev
+	c.nodes = make(map[string]*cachedNode, len(snap.Nodes))
+	c.names = c.names[:0]
+	c.pods = make(map[string]*cachedPod, len(snap.Pods))
+	c.maturity = c.maturity[:0]
+	c.prioCount = make(map[int32]int)
+	c.prios = c.prios[:0]
 	for _, n := range snap.Nodes {
 		c.upsertNodeLocked(n)
 	}
-	now := clk.Now()
+	now := c.clk.Now()
 	for _, p := range snap.Pods {
 		c.addPodLocked(p, now)
 	}
-	return c
+}
+
+// resync is the broker's ring-overflow recovery: the cache missed
+// events, so the incremental state is unusable — rebuild it from the
+// fresh snapshot, exactly as at the original handshake. Delivery
+// resumes with the first event after snap.Rev.
+func (c *ClusterCache) resync(snap apiserver.Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.primeLocked(snap)
 }
 
 // Close detaches the cache from the API server watch.
@@ -168,12 +195,25 @@ func (c *ClusterCache) Snapshot() *ClusterView {
 	return view
 }
 
-// onEvent applies one watch event. Events at or below the snapshot's
-// resource version are already reflected and dropped.
-func (c *ClusterCache) onEvent(ev apiserver.WatchEvent) {
+// ApplyAll applies a batch of consecutive watch events under one lock
+// acquisition, with a single maturity-heap settle at the end — the
+// batched ingest the broker's pump delivery feeds. Events at or below
+// the cache's resource version are already reflected and dropped.
+func (c *ClusterCache) ApplyAll(evs []apiserver.WatchEvent) {
 	now := c.clk.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for i := range evs {
+		c.applyLocked(&evs[i], now)
+	}
+	// One settle per batch: matured pods re-fuse here rather than per
+	// event. Snapshot() refreshes again anyway, so this only keeps the
+	// heap from accumulating across large async batches.
+	c.refreshMaturityLocked(now)
+}
+
+// applyLocked applies one watch event. Caller must hold c.mu.
+func (c *ClusterCache) applyLocked(ev *apiserver.WatchEvent, now time.Time) {
 	if ev.Rev <= c.rev {
 		return
 	}

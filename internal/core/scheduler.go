@@ -114,6 +114,12 @@ type Scheduler struct {
 
 	agg   *monitor.WindowMax // nil when UseMetrics is off
 	cache *ClusterCache
+	// ownsCache marks the member that constructed the cache/aggregator
+	// pair. Sharded fleets share one ClusterCache across members — the
+	// event stream is identical for every member, so N private caches
+	// would just multiply the fan-out apply work by N — and only the
+	// owner detaches it on Close.
+	ownsCache bool
 
 	// profile is the policy's resolved plugin pipeline (see framework.go):
 	// the §IV feasibility filters plus the policy's preference and scoring
@@ -137,6 +143,13 @@ type Scheduler struct {
 // New creates a scheduler. The database may be nil when UseMetrics is
 // false.
 func New(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Config) (*Scheduler, error) {
+	return newScheduler(clk, srv, db, cfg, nil)
+}
+
+// newScheduler builds a scheduler; a non-nil donor shares its cluster
+// cache and aggregator instead of constructing private ones (sharded
+// fleet members — see ShardedSchedulers).
+func newScheduler(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Config, donor *Scheduler) (*Scheduler, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("core: scheduler name required")
 	}
@@ -168,7 +181,14 @@ func New(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Config) (*Sche
 	// Wire the event-driven read path: the streaming window-max
 	// aggregator backfills from the database and rides its write path;
 	// the cluster cache performs the informer handshake and re-fuses
-	// pods as their window peaks move.
+	// pods as their window peaks move. Fleet members adopt their donor's
+	// pair: one watch subscription and one apply per event regardless of
+	// fleet size.
+	if donor != nil {
+		s.agg = donor.agg
+		s.cache = donor.cache
+		return s, nil
+	}
 	if cfg.UseMetrics {
 		s.agg = monitor.NewWindowMax(clk, db, cfg.Window, monitor.MeasurementEPC, monitor.MeasurementMemory)
 	}
@@ -176,6 +196,7 @@ func New(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Config) (*Sche
 	if s.agg != nil {
 		s.agg.SetOnChange(s.cache.onMetric)
 	}
+	s.ownsCache = true
 	return s, nil
 }
 
@@ -211,10 +232,14 @@ func (s *Scheduler) Stop() {
 }
 
 // Close stops the loop and detaches the scheduler's cluster cache and
-// metrics aggregator from their event sources. The scheduler is unusable
+// metrics aggregator from their event sources (fleet members sharing a
+// donor's cache leave that to the donor). The scheduler is unusable
 // afterwards.
 func (s *Scheduler) Close() {
 	s.Stop()
+	if !s.ownsCache {
+		return
+	}
 	s.cache.Close()
 	if s.agg != nil {
 		s.agg.Close()

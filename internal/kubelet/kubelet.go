@@ -141,7 +141,7 @@ func (k *Kubelet) Start() error {
 	if err := k.srv.RegisterNode(node); err != nil {
 		return fmt.Errorf("kubelet %s: %w", k.nodeName, err)
 	}
-	k.unsubscribe = k.srv.Subscribe(k.onEvent)
+	k.unsubscribe = k.srv.SubscribeBatch(k.onEvents, k.resync)
 	return nil
 }
 
@@ -181,6 +181,64 @@ func (k *Kubelet) Stop() {
 	}
 }
 
+// onEvents is the watch broker's batch callback: consecutive events in
+// resource-version order. The slice is reused by the broker; nothing
+// here retains it.
+func (k *Kubelet) onEvents(evs []apiserver.WatchEvent) {
+	for i := range evs {
+		k.onEvent(evs[i])
+	}
+}
+
+// resync is the broker's ring-overflow recovery, reachable only on an
+// async-watch server: the kubelet missed events, so it reconciles its
+// local pod set against the snapshot — admitting bindings it never saw
+// and killing workloads whose pods were terminated or preempted while
+// it was behind. Delivery resumes with the first event after snap.Rev.
+func (k *Kubelet) resync(snap apiserver.Snapshot) {
+	desired := make(map[string]*api.Pod)
+	for _, p := range snap.Pods {
+		if p.Spec.NodeName == k.nodeName && !p.IsTerminal() {
+			desired[p.Name] = p
+		}
+	}
+	k.mu.Lock()
+	var staleExec []*stress.Execution
+	for name, entry := range k.pods {
+		if _, ok := desired[name]; ok {
+			continue
+		}
+		// Same atomic remove+release discipline as the eviction event
+		// path (see onEvent); in-flight launches detect the removal by
+		// entry identity.
+		delete(k.pods, name)
+		staleExec = append(staleExec, entry.executions...)
+		k.releaseLocked(entry)
+	}
+	launched := make(map[string]bool, len(k.pods))
+	for name := range k.pods {
+		launched[name] = true
+	}
+	k.mu.Unlock()
+	for _, ex := range staleExec {
+		ex.Abort()
+	}
+	// Sorted for deterministic admission order; admit re-validates
+	// against authoritative state, so a pod that moved on since the
+	// snapshot is skipped there.
+	names := make([]string, 0, len(desired))
+	for name := range desired {
+		if !launched[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pod := desired[name]
+		k.clk.AfterFunc(k.admissionLatency, func() { k.admit(pod) })
+	}
+}
+
 func (k *Kubelet) onEvent(ev apiserver.WatchEvent) {
 	if ev.Pod == nil {
 		return
@@ -207,8 +265,15 @@ func (k *Kubelet) onEvent(ev apiserver.WatchEvent) {
 		entry, ok := k.pods[ev.Pod.Name]
 		var executions []*stress.Execution
 		if ok {
+			// Remove and release atomically: an entry's device
+			// allocation exists exactly while the entry is in k.pods, so
+			// this can never free an allocation a newer admission of the
+			// same pod (same cgroup) holds. The admission's launch loop
+			// re-checks entry identity against k.pods and aborts
+			// workloads started after this removal.
 			delete(k.pods, ev.Pod.Name)
 			executions = append(executions, entry.executions...)
+			k.releaseLocked(entry)
 		}
 		k.mu.Unlock()
 		if !ok {
@@ -217,7 +282,6 @@ func (k *Kubelet) onEvent(ev apiserver.WatchEvent) {
 		for _, ex := range executions {
 			ex.Abort()
 		}
-		k.release(entry)
 	}
 }
 
@@ -235,46 +299,58 @@ func (k *Kubelet) admit(pod *api.Pod) {
 		return
 	}
 	// A bind→preempt→re-bind to this node within one simulated instant
-	// leaves two pending admissions with equal ScheduledAt stamps. An
-	// entry in k.pods means an earlier admission already launched this
-	// pod (and no preemption or completion removed it since), so any
-	// further admit for it is a duplicate.
-	k.mu.Lock()
-	_, admitted := k.pods[pod.Name]
-	k.mu.Unlock()
-	if admitted {
-		return
-	}
+	// leaves two pending admissions with equal ScheduledAt stamps, and a
+	// broker resync can schedule an admission for a pod whose PodBound
+	// event is still in flight. Check-claim-allocate runs as one
+	// critical section: an entry in k.pods means an admission claimed
+	// this pod AND holds its device allocation, so duplicates bail, and
+	// a concurrent teardown (which removes and releases atomically, see
+	// onEvent) releases exactly what this admission allocated — never a
+	// newer admission's allocation for the same cgroup.
 	cgroup := pod.CgroupPath()
 	epcReq := pod.TotalRequests().Get(resource.EPCPages)
+	entry := &podEntry{cgroup: cgroup, epcPages: epcReq}
 
+	k.mu.Lock()
+	if _, admitted := k.pods[pod.Name]; admitted {
+		k.mu.Unlock()
+		return
+	}
+	var failReason string
 	if epcReq > 0 {
-		if k.plugin == nil {
-			k.fail(pod, nil, fmt.Sprintf("UnexpectedAdmissionError: no SGX device plugin on %s", k.nodeName))
-			return
-		}
-		if _, err := k.plugin.Allocate(cgroup, epcReq); err != nil {
-			// Mirrors Kubernetes' OutOfEpc admission failure when the
-			// scheduler raced device accounting.
-			k.fail(pod, nil, "OutOfEPC: "+err.Error())
-			return
-		}
-		// The Kubelet patch of §V-D: communicate the cgroup-path / EPC
-		// page limit pair to the driver before containers start. Missing
-		// limits fall back to the request, as resource requests default
-		// limits in Kubernetes.
-		limit := pod.TotalLimits().Get(resource.EPCPages)
-		if limit == 0 {
-			limit = epcReq
-		}
-		if err := k.mach.Driver().IoctlSetLimit(cgroup, limit); err != nil {
-			k.plugin.Deallocate(cgroup)
-			k.fail(pod, nil, "SetLimit: "+err.Error())
-			return
+		switch {
+		case k.plugin == nil:
+			failReason = fmt.Sprintf("UnexpectedAdmissionError: no SGX device plugin on %s", k.nodeName)
+		default:
+			if _, err := k.plugin.Allocate(cgroup, epcReq); err != nil {
+				// Mirrors Kubernetes' OutOfEpc admission failure when the
+				// scheduler raced device accounting.
+				failReason = "OutOfEPC: " + err.Error()
+				break
+			}
+			// The Kubelet patch of §V-D: communicate the cgroup-path /
+			// EPC page limit pair to the driver before containers start.
+			// Missing limits fall back to the request, as resource
+			// requests default limits in Kubernetes.
+			limit := pod.TotalLimits().Get(resource.EPCPages)
+			if limit == 0 {
+				limit = epcReq
+			}
+			if err := k.mach.Driver().IoctlSetLimit(cgroup, limit); err != nil {
+				k.plugin.Deallocate(cgroup)
+				failReason = "SetLimit: " + err.Error()
+			}
 		}
 	}
+	if failReason == "" {
+		k.pods[pod.Name] = entry
+	}
+	k.mu.Unlock()
+	if failReason != "" {
+		_ = k.srv.MarkFailed(pod.Name, failReason)
+		return
+	}
 
-	entry := &podEntry{cgroup: cgroup, epcPages: epcReq}
 	var workloads []api.WorkloadSpec
 	for _, c := range pod.Spec.Containers {
 		if c.Workload.Kind != 0 {
@@ -283,16 +359,25 @@ func (k *Kubelet) admit(pod *api.Pod) {
 	}
 
 	k.mu.Lock()
-	k.pods[pod.Name] = entry
+	if k.pods[pod.Name] != entry {
+		// Torn down between claim and launch: the teardown already
+		// aborted and released on removal.
+		k.mu.Unlock()
+		return
+	}
 	entry.remaining = len(workloads)
 	k.mu.Unlock()
 
-	// MarkRunning errors only if the pod raced to a terminal state.
+	// MarkRunning errors only if the pod raced to a terminal state (or
+	// was preempted off this node): withdraw the admission — unless a
+	// teardown already removed and released it.
 	if err := k.srv.MarkRunning(pod.Name); err != nil {
 		k.mu.Lock()
-		delete(k.pods, pod.Name)
+		if k.pods[pod.Name] == entry {
+			delete(k.pods, pod.Name)
+			k.releaseLocked(entry)
+		}
 		k.mu.Unlock()
-		k.release(entry)
 		return
 	}
 
@@ -305,24 +390,35 @@ func (k *Kubelet) admit(pod *api.Pod) {
 			Machine:    k.mach,
 			CgroupPath: cgroup,
 			Spec:       w,
-			OnFinished: func(err error) { k.containerFinished(pod.Name, err) },
+			OnFinished: func(err error) { k.containerFinished(pod.Name, entry, err) },
 		})
 		if err != nil {
-			k.containerFinished(pod.Name, err)
+			k.containerFinished(pod.Name, entry, err)
 			continue
 		}
 		k.mu.Lock()
+		if k.pods[pod.Name] != entry {
+			// The entry was finalised mid-loop — a teardown
+			// (eviction/preemption/resync) or an early sibling failure
+			// that completed the pod — and whoever removed it could not
+			// see this execution; undo the launch ourselves.
+			k.mu.Unlock()
+			ex.Abort()
+			continue
+		}
 		entry.executions = append(entry.executions, ex)
 		k.mu.Unlock()
 	}
 }
 
-// containerFinished accounts one container completion; the pod terminates
-// when all its containers have.
-func (k *Kubelet) containerFinished(podName string, err error) {
+// containerFinished accounts one container completion; the pod
+// terminates when all its containers have. The caller passes the entry
+// its execution belongs to: a stale completion (an Abort issued by a
+// teardown racing a re-admission of the same pod name) must not be
+// attributed to the newer entry.
+func (k *Kubelet) containerFinished(podName string, entry *podEntry, err error) {
 	k.mu.Lock()
-	entry, ok := k.pods[podName]
-	if !ok {
+	if k.pods[podName] != entry {
 		k.mu.Unlock()
 		return
 	}
@@ -340,14 +436,22 @@ func (k *Kubelet) containerFinished(podName string, err error) {
 	}
 }
 
-// complete finalises a pod: the entry is deregistered first so that late
-// container callbacks (triggered by aborting siblings below) become
-// no-ops, then node resources are released and the terminal phase
-// reported.
+// complete finalises a pod: the entry is deregistered and its devices
+// released in one critical section (so late container callbacks —
+// triggered by aborting siblings below — become no-ops, and a teardown
+// that won the race is detected by entry identity), then the terminal
+// phase is reported.
 func (k *Kubelet) complete(podName string, entry *podEntry, err error) {
 	k.mu.Lock()
+	if k.pods[podName] != entry {
+		// An eviction/preemption/resync teardown beat us: it aborted
+		// the executions and released the devices on removal.
+		k.mu.Unlock()
+		return
+	}
 	delete(k.pods, podName)
 	executions := entry.executions
+	k.releaseLocked(entry)
 	k.mu.Unlock()
 
 	// A failing container kills the whole pod.
@@ -355,9 +459,6 @@ func (k *Kubelet) complete(podName string, entry *podEntry, err error) {
 		for _, ex := range executions {
 			ex.Abort()
 		}
-	}
-	k.release(entry)
-	if err != nil {
 		// Terminal-state races are benign during shutdown.
 		_ = k.srv.MarkFailed(podName, err.Error())
 		return
@@ -365,23 +466,16 @@ func (k *Kubelet) complete(podName string, entry *podEntry, err error) {
 	_ = k.srv.MarkSucceeded(podName)
 }
 
-// release returns device allocations and driver limits to the node.
-func (k *Kubelet) release(entry *podEntry) {
+// releaseLocked returns an entry's device allocation and driver limit to
+// the node. Caller must hold k.mu and must call this exactly at the
+// point the entry leaves k.pods — that pairing is what keeps cgroup
+// device accounting exact across teardown/re-admission races (the
+// plugin and driver only key on the cgroup path).
+func (k *Kubelet) releaseLocked(entry *podEntry) {
 	if entry.epcPages > 0 && k.plugin != nil {
 		k.plugin.Deallocate(entry.cgroup)
 		k.mach.Driver().ClearLimit(entry.cgroup)
 	}
-}
-
-// fail marks a pod failed before launch (admission errors).
-func (k *Kubelet) fail(pod *api.Pod, entry *podEntry, reason string) {
-	if entry != nil {
-		k.mu.Lock()
-		delete(k.pods, pod.Name)
-		k.mu.Unlock()
-		k.release(entry)
-	}
-	_ = k.srv.MarkFailed(pod.Name, reason)
 }
 
 // PodStats reports per-pod usage for this node's pods — the stats

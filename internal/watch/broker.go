@@ -1,0 +1,537 @@
+// Package watch implements an asynchronous versioned event broker — the
+// in-process equivalent of the Kubernetes apiserver watch cache. It
+// decouples state commits from event fan-out: a mutation appends its
+// event to a fixed-capacity ring buffer indexed by resource version in
+// O(1) and returns; subscribers consume the ring through per-subscriber
+// cursors, in batches, without ever making the writer wait.
+//
+// Two delivery modes:
+//
+//   - Sync: events are delivered inline by Flush, on the publishing
+//     goroutine, one batch per subscriber in subscription order. A
+//     single flusher runs at a time and drains the ring completely, so
+//     under a single-goroutine simulation every event is handed to every
+//     subscriber before the mutating call returns — bit-for-bit
+//     reproducible, exactly like a callback list, which is what the
+//     determinism and cache≡rebuild property tests pin.
+//   - Async: every subscriber gets a pump goroutine that waits for new
+//     events, copies whatever is pending (up to the batch cap) out of
+//     the ring under the lock, and invokes the subscriber's callback
+//     without it. Slow subscribers batch up naturally; fast publishers
+//     never block on slow consumers.
+//
+// A subscriber that falls so far behind that its cursor drops off the
+// ring is "too old" (ErrTooOld): instead of stalling the writer or
+// silently corrupting the consumer, the broker invokes the subscriber's
+// resync handler, which re-primes the consumer from a fresh snapshot of
+// the source of truth and returns the snapshot's resource version as the
+// new cursor — the ListAndWatch-style relist Kubernetes clients perform
+// on a 410 Gone. Subscribers without a resync handler have the missed
+// interval counted in their back-pressure stats and continue from the
+// oldest retained event.
+//
+// Unsubscribe is safe in both modes, from anywhere: called concurrently
+// with delivery it blocks until the in-flight callback returns (so the
+// caller knows no further callbacks will run), and called from inside
+// the subscriber's own callback it returns immediately instead of
+// self-deadlocking.
+package watch
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrTooOld reports that a cursor has fallen off the ring: events
+// between the cursor and the oldest retained event were evicted, so the
+// consumer can no longer be brought current by replay alone and must
+// resync from a snapshot.
+var ErrTooOld = errors.New("watch: resource version too old")
+
+// Mode selects how the broker delivers events.
+type Mode int
+
+const (
+	// Sync delivers inline via Flush on the publishing goroutine —
+	// deterministic under a simulated clock.
+	Sync Mode = iota
+	// Async delivers on per-subscriber pump goroutines — publishers
+	// never run subscriber code.
+	Async
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Async {
+		return "async"
+	}
+	return "sync"
+}
+
+// Defaults for Options.
+const (
+	// DefaultCapacity bounds the retained event window. A subscriber
+	// more than this many events behind the head resyncs.
+	DefaultCapacity = 16384
+	// DefaultMaxBatch caps the events handed to one callback invocation.
+	DefaultMaxBatch = 256
+)
+
+// Options parameterises a Broker.
+type Options struct {
+	Mode Mode
+	// Capacity is the ring size (DefaultCapacity when <= 0).
+	Capacity int
+	// MaxBatch caps one delivery batch (DefaultMaxBatch when <= 0).
+	MaxBatch int
+}
+
+// SubscriberStats is the per-subscriber back-pressure accounting.
+type SubscriberStats struct {
+	// Delivered counts events handed to the callback; Batches the
+	// callback invocations (Delivered/Batches is the mean batch size).
+	Delivered int64
+	Batches   int64
+	// MaxBatch is the largest single batch delivered.
+	MaxBatch int
+	// MaxLag is the largest observed distance (in resource versions)
+	// between the newest published event and this subscriber's cursor at
+	// the moment a batch was cut — how far behind the consumer ran.
+	MaxLag int64
+	// Resyncs counts ErrTooOld recoveries through the resync handler.
+	Resyncs int64
+	// Dropped counts the resource-version span skipped because the
+	// subscriber fell off the ring and had no resync handler.
+	Dropped int64
+}
+
+// Stats is the broker-level accounting.
+type Stats struct {
+	// Published counts events appended; Evicted those overwritten by
+	// ring wrap-around before at least one subscriber consumed them is
+	// not tracked per-consumer — Evicted is simply the count pushed off
+	// the ring.
+	Published int64
+	Evicted   int64
+	// Subscribers is the live subscriber count; PerSubscriber their
+	// stats in subscription order.
+	Subscribers   int
+	PerSubscriber []SubscriberStats
+}
+
+// entry is one retained event.
+type entry[T any] struct {
+	rev int64
+	ev  T
+}
+
+// subscription is one registered consumer. All fields are guarded by the
+// broker mutex; the callback itself runs with the mutex released, fenced
+// by the delivering flag.
+type subscription[T any] struct {
+	id     int64
+	cursor int64 // rev of the last event consumed (or start rev)
+	fn     func([]T)
+	resync func() int64 // nil: fall forward and count Dropped
+
+	buf []T // reused batch buffer; callbacks must not retain it
+
+	closed      bool
+	delivering  bool
+	deliverGoid int64 // goroutine running the callback, for re-entrancy
+
+	stats SubscriberStats
+}
+
+// Broker is a versioned event broker over a fixed-capacity ring buffer.
+// The zero value is not usable; call New.
+type Broker[T any] struct {
+	mode     Mode
+	capacity int
+	maxBatch int
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast: publish, cursor advance, delivery end, close
+
+	ring  []entry[T]
+	start int // index of the oldest retained event
+	count int
+
+	lastRev    int64 // rev of the newest published event
+	evictedRev int64 // highest rev pushed off the ring
+	published  int64
+	evicted    int64
+
+	subs   map[int64]*subscription[T]
+	order  []int64 // subscription ids, ascending (= subscription order)
+	nextID int64
+
+	// Sync-mode flush state: one flusher drains the ring for everyone;
+	// concurrent flushers wait (or return, when called re-entrantly from
+	// a delivery callback — the outer flusher picks the new events up).
+	flushing    bool
+	flusherGoid int64
+	lastFlushed int64 // every event <= this was offered to all subscribers
+
+	closed bool
+}
+
+// New creates a broker.
+func New[T any](opts Options) *Broker[T] {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	b := &Broker[T]{
+		mode:     opts.Mode,
+		capacity: opts.Capacity,
+		maxBatch: opts.MaxBatch,
+		ring:     make([]entry[T], opts.Capacity),
+		subs:     make(map[int64]*subscription[T]),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Mode returns the delivery mode.
+func (b *Broker[T]) Mode() Mode { return b.mode }
+
+// Publish appends one event at the given resource version. Revisions
+// must be strictly increasing across calls — the caller serializes
+// publishes (typically by holding its own state lock, which is safe: the
+// append is O(1) and never runs subscriber code). When the ring is full
+// the oldest event is evicted; subscribers still needing it resync.
+func (b *Broker[T]) Publish(rev int64, ev T) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if rev <= b.lastRev {
+		panic(fmt.Sprintf("watch: Publish rev %d not after %d", rev, b.lastRev))
+	}
+	if b.count == b.capacity {
+		old := &b.ring[b.start]
+		b.evictedRev = old.rev
+		var zero entry[T]
+		*old = zero // release the payload to the GC
+		b.start = (b.start + 1) % b.capacity
+		b.count--
+		b.evicted++
+	}
+	b.ring[(b.start+b.count)%b.capacity] = entry[T]{rev: rev, ev: ev}
+	b.count++
+	b.lastRev = rev
+	b.published++
+	b.cond.Broadcast()
+}
+
+// Subscribe registers fn for every event with rev > afterRev, delivered
+// in batches in strict resource-version order with no duplicates. The
+// batch slice is reused between invocations — callbacks must not retain
+// it. resync (optional) is invoked when the subscriber falls off the
+// ring: it must re-prime the consumer from a fresh snapshot of the
+// source of truth and return that snapshot's resource version, which
+// becomes the new cursor. The returned function unsubscribes; see the
+// package comment for its safety guarantees.
+func (b *Broker[T]) Subscribe(afterRev int64, fn func([]T), resync func() int64) (unsubscribe func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return func() {}
+	}
+	b.nextID++
+	sub := &subscription[T]{id: b.nextID, cursor: afterRev, fn: fn, resync: resync}
+	b.subs[sub.id] = sub
+	b.order = append(b.order, sub.id)
+	if b.mode == Async {
+		go b.pump(sub)
+	}
+	return func() { b.unsubscribe(sub) }
+}
+
+// unsubscribe removes sub and, unless called from inside sub's own
+// callback, waits for any in-flight delivery to finish — after it
+// returns, no callback for this subscription is running or will run.
+func (b *Broker[T]) unsubscribe(sub *subscription[T]) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	delete(b.subs, sub.id)
+	for i, id := range b.order {
+		if id == sub.id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	b.cond.Broadcast() // wake the pump so it exits
+	if sub.delivering && sub.deliverGoid != goid() {
+		for sub.delivering {
+			b.cond.Wait()
+		}
+	}
+}
+
+// Close shuts the broker down: pumps exit, further publishes and
+// subscribes are no-ops. Existing subscriptions are released.
+func (b *Broker[T]) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+// LastRev returns the resource version of the newest published event.
+func (b *Broker[T]) LastRev() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastRev
+}
+
+// EventsSince returns copies of the retained events with rev > afterRev,
+// or ErrTooOld when that interval has been partially evicted.
+func (b *Broker[T]) EventsSince(afterRev int64) ([]T, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if afterRev < b.evictedRev {
+		return nil, fmt.Errorf("%w: have >= %d, requested > %d", ErrTooOld, b.evictedRev, afterRev)
+	}
+	i := b.searchLocked(afterRev)
+	out := make([]T, 0, b.count-i)
+	for ; i < b.count; i++ {
+		out = append(out, b.ring[(b.start+i)%b.capacity].ev)
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the broker and per-subscriber accounting,
+// subscribers in subscription order.
+func (b *Broker[T]) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := Stats{
+		Published:   b.published,
+		Evicted:     b.evicted,
+		Subscribers: len(b.subs),
+	}
+	for _, id := range b.order {
+		st.PerSubscriber = append(st.PerSubscriber, b.subs[id].stats)
+	}
+	return st
+}
+
+// Quiesce blocks until every subscriber's cursor has reached every event
+// published before the call and no delivery or flush is in flight — the
+// barrier tests and benchmarks use to observe a settled fan-out.
+func (b *Broker[T]) Quiesce() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	target := b.lastRev
+	for {
+		settled := !b.flushing
+		for _, sub := range b.subs {
+			if sub.cursor < target || sub.delivering {
+				settled = false
+				break
+			}
+		}
+		if settled || b.closed {
+			return
+		}
+		b.cond.Wait()
+	}
+}
+
+// Flush delivers every pending event inline, in resource-version order,
+// one batch per subscriber in subscription order. It returns once every
+// event published before the call has been offered to all subscribers —
+// possibly by a concurrent flusher; only one flusher runs at a time.
+// Called re-entrantly from inside a delivery callback (a subscriber
+// mutating the source synchronously), it returns immediately: the outer
+// flusher's drain loop picks the new events up, so re-entrant mutation
+// defers delivery instead of deadlocking. No-op in async mode.
+func (b *Broker[T]) Flush() {
+	if b.mode != Sync {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	target := b.lastRev
+	for b.lastFlushed < target && !b.closed {
+		if b.flushing {
+			if b.flusherGoid == goid() {
+				return
+			}
+			b.cond.Wait()
+			continue
+		}
+		b.flushing = true
+		b.flusherGoid = goid()
+		b.drainLocked(b.flusherGoid)
+		b.flushing = false
+		b.flusherGoid = 0
+		b.cond.Broadcast()
+	}
+}
+
+// drainLocked repeatedly offers pending events to every subscriber until
+// all are current (including events published re-entrantly by the
+// callbacks themselves). Caller holds b.mu, has claimed the flushing
+// flag and passes its own goroutine id (so callbacks are fenced without
+// re-deriving it per event); the mutex is released around callbacks.
+func (b *Broker[T]) drainLocked(callerGoid int64) {
+	for {
+		progressed := false
+		// Iterate a copy: callbacks may subscribe/unsubscribe, mutating
+		// b.order while the mutex is released.
+		ids := append([]int64(nil), b.order...)
+		for _, id := range ids {
+			sub, ok := b.subs[id]
+			if !ok || sub.closed || sub.cursor >= b.lastRev {
+				continue
+			}
+			if b.serveLocked(sub, callerGoid) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			b.lastFlushed = b.lastRev
+			return
+		}
+	}
+}
+
+// pump is the async delivery loop for one subscriber.
+func (b *Broker[T]) pump(sub *subscription[T]) {
+	id := goid() // computed once; fences every callback this pump runs
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for !sub.closed && !b.closed && sub.cursor >= b.lastRev {
+			b.cond.Wait()
+		}
+		if sub.closed || b.closed {
+			return
+		}
+		b.serveLocked(sub, id)
+	}
+}
+
+// serveLocked moves one subscriber forward: either delivers the next
+// batch or runs its too-old recovery. Caller holds b.mu; it is released
+// around the callback. Reports whether the cursor advanced.
+func (b *Broker[T]) serveLocked(sub *subscription[T], callerGoid int64) bool {
+	if sub.cursor < b.evictedRev {
+		// Fell off the ring.
+		if sub.resync == nil {
+			sub.stats.Dropped += b.evictedRev - sub.cursor
+			sub.cursor = b.evictedRev
+			b.cond.Broadcast()
+			return true
+		}
+		sub.stats.Resyncs++
+		before := sub.cursor
+		newCursor, ok := b.callLocked(sub, callerGoid, func() int64 { return sub.resync() })
+		if !ok {
+			return false
+		}
+		// A correct handler returns its snapshot's rev, which is >= the
+		// eviction horizon at snapshot time; if the ring wrapped again
+		// during the resync, the next serve detects it and resyncs again.
+		if newCursor > sub.cursor {
+			sub.cursor = newCursor
+		}
+		b.cond.Broadcast()
+		return sub.cursor > before
+	}
+	i := b.searchLocked(sub.cursor)
+	n := b.count - i
+	if n <= 0 {
+		return false
+	}
+	if n > b.maxBatch {
+		n = b.maxBatch
+	}
+	batch := sub.buf[:0]
+	if cap(batch) < n {
+		batch = make([]T, 0, b.maxBatch)
+	}
+	for j := 0; j < n; j++ {
+		batch = append(batch, b.ring[(b.start+i+j)%b.capacity].ev)
+	}
+	sub.buf = batch
+	if lag := b.lastRev - sub.cursor; lag > sub.stats.MaxLag {
+		sub.stats.MaxLag = lag
+	}
+	sub.cursor = b.ring[(b.start+i+n-1)%b.capacity].rev
+	if _, ok := b.callLocked(sub, callerGoid, func() int64 { sub.fn(batch); return 0 }); !ok {
+		return false
+	}
+	sub.stats.Delivered += int64(n)
+	sub.stats.Batches++
+	if n > sub.stats.MaxBatch {
+		sub.stats.MaxBatch = n
+	}
+	b.cond.Broadcast()
+	return true
+}
+
+// callLocked runs a subscriber callback (delivery or resync) with the
+// mutex released, fenced so unsubscribe can tell an in-flight callback
+// from a settled one; callerGoid is the delivering goroutine's id,
+// computed once by the pump/flusher rather than per event. Returns
+// ok=false when the subscription was closed before the callback could
+// start.
+func (b *Broker[T]) callLocked(sub *subscription[T], callerGoid int64, f func() int64) (int64, bool) {
+	if sub.closed {
+		return 0, false
+	}
+	sub.delivering = true
+	sub.deliverGoid = callerGoid
+	b.mu.Unlock()
+	v := f()
+	b.mu.Lock()
+	sub.delivering = false
+	sub.deliverGoid = 0
+	b.cond.Broadcast()
+	return v, true
+}
+
+// searchLocked returns the smallest ring offset whose event rev exceeds
+// afterRev (count when none does). Revisions are strictly increasing
+// along the ring, so this is a binary search.
+func (b *Broker[T]) searchLocked(afterRev int64) int {
+	lo, hi := 0, b.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.ring[(b.start+mid)%b.capacity].rev > afterRev {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// goid returns the current goroutine id (parsed from the runtime stack
+// header). Computed once per pump/flush/unsubscribe — never per event.
+func goid() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id int64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
