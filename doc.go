@@ -78,8 +78,8 @@
 //
 // Event fan-out is a subsystem of its own (internal/watch): an
 // asynchronous versioned event broker — the in-process analogue of the
-// Kubernetes apiserver watch cache — holding a fixed-capacity ring
-// buffer of watch events indexed by resource version, with
+// Kubernetes apiserver watch cache — holding bounded per-topic ring
+// buffers of watch events indexed by resource version, with
 // per-subscriber cursors. A mutation's commit critical section performs
 // an O(1) ring append and never runs subscriber code; dissemination is a
 // separate concern. In the default synchronous mode the publishing
@@ -132,4 +132,32 @@
 // safety invariant re-derived purely from the watch event stream: no
 // node's committed requests ever exceed its allocatable, no matter how
 // many schedulers race.
+//
+// The API server's commit path itself is sharded (internal/apiserver):
+// pod and node state live in 64 lock stripes each, keyed by name hash,
+// so a Bind takes exactly one pod stripe and one node stripe —
+// admission re-validation, committed-resource accounting and the pod
+// mutation all happen under those two locks, and binds touching
+// different stripes commit concurrently. A thin global layer keeps the
+// cluster totally ordered anyway: revisions come from one atomic
+// counter, events are published while the stripes are still held, and
+// the sequenced watch broker buffers out-of-order arrivals so
+// subscribers always observe the dense rev stream in order. The lock
+// order is fixed — pod stripes (ascending), then node stripes
+// (ascending), then the pending-queue mutex, then the event log, then
+// the broker — and cross-shard operations (consistent snapshots,
+// node register/drain, preemption) walk it the same way, which makes
+// every SnapshotNow a consistent prefix of the event log at its
+// revision (a property test races snapshots against a bind storm to
+// pin exactly that). Watch events ride per-resource-type rings — pod
+// events and node events each get their own lazily-grown bounded ring
+// over the shared rev space — so a pod churn storm cannot evict a
+// kubelet's node-topic cursor, single-topic subscribers
+// (Server.SubscribePodEvents, Server.SubscribeNodeEvents) skip foreign
+// traffic entirely, and all-topics subscribers get the rings re-merged
+// in rev order. Bind outcomes and per-subscriber delivery accounting
+// are plain atomics (Server.BindStats, Server.WatchStats) readable
+// mid-storm without touching any stripe, and the human-readable audit
+// trail (Server.Events) is a bounded ring that retains the newest 16k
+// entries instead of growing with cluster lifetime.
 package sgxorch

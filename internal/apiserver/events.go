@@ -1,0 +1,55 @@
+package apiserver
+
+import (
+	"sync"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+)
+
+// maxEvents bounds the retained human-readable event log.
+const maxEvents = 16384
+
+// eventLog is a bounded ring of human-readable api.Events — the
+// `kubectl get events` analogue. It has its own mutex (a leaf in the
+// lock order, below the state stripes) so recording an event never
+// extends a stripe's critical section beyond the O(1) append, and long
+// runs overwrite the oldest entries instead of growing without limit.
+type eventLog struct {
+	mu    sync.Mutex
+	buf   []api.Event
+	start int // index of the oldest retained event
+	count int
+}
+
+func newEventLog(capacity int) *eventLog {
+	return &eventLog{buf: make([]api.Event, capacity)}
+}
+
+// append records one event, evicting the oldest when full.
+func (l *eventLog) append(now time.Time, object, reason, message string) {
+	l.mu.Lock()
+	if l.count == len(l.buf) {
+		l.start = (l.start + 1) % len(l.buf)
+		l.count--
+	}
+	l.buf[(l.start+l.count)%len(l.buf)] = api.Event{
+		Time:    now,
+		Object:  object,
+		Reason:  reason,
+		Message: message,
+	}
+	l.count++
+	l.mu.Unlock()
+}
+
+// snapshot returns a copy of the retained events, oldest first.
+func (l *eventLog) snapshot() []api.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]api.Event, l.count)
+	for i := 0; i < l.count; i++ {
+		out[i] = l.buf[(l.start+i)%len(l.buf)]
+	}
+	return out
+}

@@ -7,10 +7,24 @@
 //
 // Bind is an admission-checked conditional commit (see Admission): with
 // several optimistically concurrent schedulers sharing the cluster
-// (§V-B), it re-validates under the server lock that the pod still fits
-// the target node and refuses stale placements with typed
+// (§V-B), it re-validates against authoritative state that the pod still
+// fits the target node and refuses stale placements with typed
 // ErrConflict/ErrOutdated errors, so a losing scheduler retries instead
 // of overcommitting a node.
+//
+// State is sharded, not globally locked: pods and nodes live in 64 lock
+// stripes each (see stripe.go), and a bind's whole commit — admission
+// check, committed-request accounting, pod-binding mutation, event
+// publish — runs under exactly one pod stripe and one node stripe, so
+// binds against different nodes proceed in parallel on different cores.
+// A thin global layer keeps what must stay totally ordered: resource
+// versions come from one atomic counter, and the watch broker re-orders
+// racing publishes back into rev order (watch.Options.Sequenced), so
+// the event log remains a single coherent history even though commits
+// run concurrently. Cross-shard operations — snapshots, the informer
+// handshake, resync — take every stripe in a fixed ascending order
+// (lockWorld); with the world held no commit is in flight, which is
+// exactly what makes a snapshot a consistent prefix of the event log.
 //
 // Watchers attach either with Subscribe (events only) or with the
 // informer-style ListAndWatch, which atomically couples a consistent
@@ -19,15 +33,20 @@
 // snapshot discards anything already reflected in it and stays exactly
 // consistent without quiescing the server.
 //
-// Event fan-out rides the internal/watch broker — a versioned ring
-// buffer with per-subscriber cursors — so a mutation's critical section
-// performs an O(1) event append and never runs subscriber code. In the
-// default synchronous mode the publishing goroutine then delivers
-// inline (deterministic under the simulation clock, exactly like the
+// Event fan-out rides the internal/watch broker — versioned ring
+// buffers with per-subscriber cursors — so a mutation's critical
+// section performs an O(1) event append and never runs subscriber code.
+// Events are split across two topic rings sharing the one rev space:
+// pod events and node events. All-topic subscribers (caches, capacity
+// watchers) see the merged stream in rev order, exactly as with a
+// single ring; single-topic subscribers (kubelets, which discard node
+// events) stop paying ring space and batch volume for event kinds they
+// drop, and a pod-event burst cannot evict node events. In the default
+// synchronous mode the publishing goroutine delivers inline
+// (deterministic under the simulation clock, exactly like the
 // historical callback list); WithAsyncWatch moves delivery onto
 // per-subscriber pump goroutines with batching and snapshot resync for
-// consumers that fall off the ring, so concurrent schedulers' bind
-// commits stop serializing behind the fan-out.
+// consumers that fall off a ring.
 //
 // The paper's components "interact with [Kubernetes] using its public API"
 // (§V); this package provides that API for the simulated cluster.
@@ -38,6 +57,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sgxorch/sgxorch/internal/api"
@@ -99,6 +119,14 @@ const (
 	AdmitNone
 )
 
+// Watch topics: pod and node events land on separate broker rings that
+// share one resource-version space (see internal/watch).
+const (
+	topicPods  = 0
+	topicNodes = 1
+	numTopics  = 2
+)
+
 // Option configures a Server.
 type Option func(*Server)
 
@@ -121,9 +149,9 @@ func WithAsyncWatch() Option {
 	return func(s *Server) { s.watchOpts.Mode = watch.Async }
 }
 
-// WithWatchCapacity overrides the broker ring capacity (the retained
-// event window; watch.DefaultCapacity when unset). Tests use tiny rings
-// to force the overflow/resync path.
+// WithWatchCapacity overrides the broker's per-topic ring capacity (the
+// retained event window per resource type; watch.DefaultCapacity when
+// unset). Tests use tiny rings to force the overflow/resync path.
 func WithWatchCapacity(n int) Option {
 	return func(s *Server) { s.watchOpts.Capacity = n }
 }
@@ -151,6 +179,27 @@ type BindStats struct {
 	// RejectedCapacity counts binds refused by capacity admission
 	// (ErrOutdated): a concurrent scheduler won the node's headroom.
 	RejectedCapacity int64
+}
+
+// bindCounters is the internal atomic representation of BindStats:
+// stats reads never contend with the striped commit path, and
+// commit-side increments are race-free without any shared lock.
+type bindCounters struct {
+	attempts          atomic.Int64
+	bound             atomic.Int64
+	rejectedPodState  atomic.Int64
+	rejectedNodeState atomic.Int64
+	rejectedCapacity  atomic.Int64
+}
+
+func (c *bindCounters) snapshot() BindStats {
+	return BindStats{
+		Attempts:          c.attempts.Load(),
+		Bound:             c.bound.Load(),
+		RejectedPodState:  c.rejectedPodState.Load(),
+		RejectedNodeState: c.rejectedNodeState.Load(),
+		RejectedCapacity:  c.rejectedCapacity.Load(),
+	}
 }
 
 // WatchEventType enumerates notification kinds.
@@ -183,6 +232,14 @@ type WatchEvent struct {
 	Node *api.Node
 }
 
+// topicOf returns the broker topic an event type lands on.
+func topicOf(t WatchEventType) int {
+	if t == NodeRegistered || t == NodeUpdated {
+		return topicNodes
+	}
+	return topicPods
+}
+
 // Snapshot is a consistent point-in-time copy of the cluster state, as
 // returned by ListAndWatch. Rev is the resource version of the last
 // mutation included in it.
@@ -195,10 +252,8 @@ type Snapshot struct {
 	Pending []string
 }
 
-// maxEvents bounds the retained event log.
-const maxEvents = 16384
-
-// Server is the in-memory API server.
+// Server is the in-memory API server. See the package comment and
+// stripe.go for the sharded-state layout and lock ordering.
 type Server struct {
 	clk clock.Clock
 
@@ -206,51 +261,67 @@ type Server struct {
 	watchOpts watch.Options
 
 	// broker is the versioned event fan-out (see internal/watch): every
-	// mutation appends its watch event to the broker ring while holding
-	// s.mu — an O(1) operation that fixes the event order without ever
-	// running subscriber code inside the commit critical section — and
-	// delivery happens afterwards: inline via Flush in synchronous mode,
-	// on per-subscriber pumps in async mode. Lock order is s.mu before
-	// the broker mutex; subscriber callbacks run with neither held.
+	// mutation appends its watch event to the owning topic ring while
+	// still holding its state stripes — an O(1) operation that fixes the
+	// event's place in the global order without ever running subscriber
+	// code inside the commit critical section — and delivery happens
+	// afterwards: inline via Flush in synchronous mode, on
+	// per-subscriber pumps in async mode. The broker mutex is the
+	// innermost lock; subscriber callbacks run with no server lock held.
 	broker *watch.Broker[WatchEvent]
 
-	mu      sync.Mutex
-	nodes   map[string]*api.Node
-	pods    map[string]*api.Pod
-	nextUID int64
-	rev     int64 // resource version, incremented per watch event
+	// seq allocates resource versions — the only piece of commit state
+	// that stays global, because the event log must remain one totally
+	// ordered history. The broker's Sequenced mode tolerates racing
+	// publishers, so allocation is a single atomic add, not a lock.
+	seq     atomic.Int64
+	nextUID atomic.Int64
 
-	// committed tracks, per node, the summed resource requests of its
-	// live bound pods — the authoritative request-based accounting Bind
-	// admission validates against in O(requested resources) instead of
-	// walking every pod. Maintained on bind, terminal transition and
-	// preemption.
-	committed map[string]resource.List
-	bindStats BindStats
+	// podShards/nodeShards are the striped state maps (see stripe.go):
+	// a bind touches exactly one stripe of each.
+	podShards  [numStripes]podShard
+	nodeShards [numStripes]nodeShard
 
 	// pending is the submission queue (§IV), ordered priority-then-FCFS:
 	// higher api.PodSpec.Priority tiers drain first, first-come
 	// first-served within a tier, with a per-scheduler index so fleet
 	// members visit only their own shard. Binds remove their pod in O(1)
-	// amortized.
-	pending *pendingSet
+	// amortized. Guarded by pendingMu, which is acquired while holding
+	// state stripes but never the reverse (VisitPending copies names out
+	// under pendingMu alone).
+	pendingMu sync.Mutex
+	pending   *pendingSet
 
-	events []api.Event
+	binds bindCounters
+
+	// log is the bounded human-readable event log (kubectl-get-events
+	// analogue); it has its own mutex below the stripes in the ordering.
+	log *eventLog
 }
 
 // New creates an empty API server with guarded bind admission and
 // synchronous watch delivery.
 func New(clk clock.Clock, opts ...Option) *Server {
 	s := &Server{
-		clk:       clk,
-		nodes:     make(map[string]*api.Node),
-		pods:      make(map[string]*api.Pod),
-		pending:   newPendingSet(),
-		committed: make(map[string]resource.List),
+		clk:     clk,
+		pending: newPendingSet(),
+		log:     newEventLog(maxEvents),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	for i := range s.podShards {
+		s.podShards[i].pods = make(map[string]*api.Pod)
+	}
+	for i := range s.nodeShards {
+		s.nodeShards[i].nodes = make(map[string]*api.Node)
+		s.nodeShards[i].committed = make(map[string]resource.List)
+	}
+	// Two topic rings (pods, nodes) over one rev space; Sequenced lets
+	// stripe-parallel commits race to the broker and still produce a
+	// rev-ordered log.
+	s.watchOpts.Topics = numTopics
+	s.watchOpts.Sequenced = true
 	s.broker = watch.New[WatchEvent](s.watchOpts)
 	return s
 }
@@ -261,25 +332,25 @@ func (s *Server) Close() {
 	s.broker.Close()
 }
 
-// BindStats returns a copy of the bind outcome counters.
+// BindStats returns a copy of the bind outcome counters. Lock-free: the
+// counters are atomics, so stats polling never slows the commit path.
 func (s *Server) BindStats() BindStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bindStats
+	return s.binds.snapshot()
 }
 
 // Committed returns a copy of the summed resource requests of the named
 // node's live bound pods — the request accounting Bind admission
 // enforces.
 func (s *Server) Committed(nodeName string) resource.List {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.committed[nodeName].Clone()
+	sh := s.nodeShardFor(nodeName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.committed[nodeName].Clone()
 }
 
 // Subscribe registers a per-event watch callback and returns an
 // unsubscribe function. In synchronous mode callbacks run on the
-// goroutine performing the mutation, after the server state lock is
+// goroutine performing the mutation, after the state stripes are
 // released, and must not synchronously mutate the server (use
 // clock.AfterFunc for follow-ups); in async mode they run on a pump
 // goroutine. Events arrive in resource-version order with no
@@ -295,22 +366,35 @@ func (s *Server) Subscribe(fn func(WatchEvent)) (unsubscribe func()) {
 	}, nil)
 }
 
-// SubscribeBatch registers a batched watch callback: the broker hands it
-// consecutive events as one slice (reused between calls — do not retain
-// it). resync, when non-nil, is invoked if the subscriber falls off the
-// broker ring: it receives a fresh consistent snapshot to rebuild from,
-// and delivery resumes with the first event after that snapshot's Rev.
+// SubscribeBatch registers a batched watch callback for the merged
+// pod+node stream: the broker hands it consecutive events as one slice
+// (reused between calls — do not retain it). resync, when non-nil, is
+// invoked if the subscriber falls off the broker ring: it receives a
+// fresh consistent snapshot to rebuild from, and delivery resumes with
+// the first event after that snapshot's Rev.
 func (s *Server) SubscribeBatch(fn func([]WatchEvent), resync func(Snapshot)) (unsubscribe func()) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.subscribeLocked(fn, resync)
+	return s.subscribeTopics(watch.AllTopics, fn, resync)
 }
 
-// subscribeLocked registers with the broker at the current resource
-// version. Caller must hold s.mu — that is what makes the cursor
-// consistent with the state the subscriber has (or snapshots) at
-// registration time.
-func (s *Server) subscribeLocked(fn func([]WatchEvent), resync func(Snapshot)) (unsubscribe func()) {
+// SubscribePodEvents is SubscribeBatch restricted to the pod-event ring
+// (PodCreated/PodBound/PodUpdated): the subscription kubelets use, so
+// they stop paying batch volume for node events they discard.
+func (s *Server) SubscribePodEvents(fn func([]WatchEvent), resync func(Snapshot)) (unsubscribe func()) {
+	return s.subscribeTopics(watch.TopicsOf(topicPods), fn, resync)
+}
+
+// SubscribeNodeEvents is SubscribeBatch restricted to the node-event
+// ring (NodeRegistered/NodeUpdated) — for consumers tracking cluster
+// shape only.
+func (s *Server) SubscribeNodeEvents(fn func([]WatchEvent), resync func(Snapshot)) (unsubscribe func()) {
+	return s.subscribeTopics(watch.TopicsOf(topicNodes), fn, resync)
+}
+
+// subscribeTopics registers with the broker at the current resource
+// version, under the world ladder: with every stripe held no commit is
+// in flight, so every rev <= the registered cursor has already been
+// published — the subscriber provably misses nothing after its cursor.
+func (s *Server) subscribeTopics(topics watch.TopicSet, fn func([]WatchEvent), resync func(Snapshot)) (unsubscribe func()) {
 	var rs func() int64
 	if resync != nil {
 		rs = func() int64 {
@@ -319,7 +403,9 @@ func (s *Server) subscribeLocked(fn func([]WatchEvent), resync func(Snapshot)) (
 			return snap.Rev
 		}
 	}
-	return s.broker.Subscribe(s.rev, fn, rs)
+	s.lockWorld()
+	defer s.unlockWorld()
+	return s.broker.SubscribeTopics(s.seq.Load(), topics, fn, rs)
 }
 
 // ListAndWatch atomically snapshots the cluster state and registers fn
@@ -338,49 +424,63 @@ func (s *Server) ListAndWatch(fn func(WatchEvent)) (Snapshot, func()) {
 }
 
 // ListAndWatchBatch is ListAndWatch with batched delivery and an
-// optional ring-overflow resync handler (see SubscribeBatch).
+// optional ring-overflow resync handler (see SubscribeBatch). The
+// snapshot and the subscription are coupled under the world ladder, so
+// the first delivered event is exactly the first mutation after the
+// snapshot.
 func (s *Server) ListAndWatchBatch(fn func([]WatchEvent), resync func(Snapshot)) (Snapshot, func()) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.snapshotLocked(), s.subscribeLocked(fn, resync)
+	var rs func() int64
+	if resync != nil {
+		rs = func() int64 {
+			snap := s.SnapshotNow()
+			resync(snap)
+			return snap.Rev
+		}
+	}
+	s.lockWorld()
+	defer s.unlockWorld()
+	snap := s.snapshotWorldLocked()
+	return snap, s.broker.SubscribeTopics(snap.Rev, watch.AllTopics, fn, rs)
 }
 
 // SnapshotNow returns a consistent point-in-time snapshot of the
-// cluster state — what a resyncing watcher rebuilds from.
+// cluster state — what a resyncing watcher rebuilds from. It takes
+// every stripe in the fixed order, so concurrent binds are either fully
+// included (state and event) or not at all: the snapshot is always a
+// consistent prefix of the event log.
 func (s *Server) SnapshotNow() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.snapshotLocked()
+	s.lockWorld()
+	defer s.unlockWorld()
+	return s.snapshotWorldLocked()
 }
 
-// snapshotLocked builds a Snapshot. Caller must hold s.mu.
-func (s *Server) snapshotLocked() Snapshot {
-	snap := Snapshot{Rev: s.rev}
-	names := make([]string, 0, len(s.nodes))
-	for name := range s.nodes {
-		names = append(names, name)
+// snapshotWorldLocked builds a Snapshot. Caller must hold the world
+// ladder (lockWorld).
+func (s *Server) snapshotWorldLocked() Snapshot {
+	snap := Snapshot{Rev: s.seq.Load()}
+	var nodes []*api.Node
+	for i := range s.nodeShards {
+		for _, n := range s.nodeShards[i].nodes {
+			nodes = append(nodes, n.Clone())
+		}
 	}
-	sort.Strings(names)
-	snap.Nodes = make([]*api.Node, 0, len(names))
-	for _, name := range names {
-		snap.Nodes = append(snap.Nodes, s.nodes[name].Clone())
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	snap.Nodes = nodes
+	var pods []*api.Pod
+	for i := range s.podShards {
+		for _, p := range s.podShards[i].pods {
+			pods = append(pods, p.Clone())
+		}
 	}
-	names = names[:0]
-	for name := range s.pods {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	snap.Pods = make([]*api.Pod, 0, len(names))
-	for _, name := range names {
-		snap.Pods = append(snap.Pods, s.pods[name].Clone())
-	}
+	sort.Slice(pods, func(i, j int) bool { return pods[i].Name < pods[j].Name })
+	snap.Pods = pods
 	snap.Pending = s.pending.Snapshot()
 	return snap
 }
 
 // WatchStats returns the broker's fan-out accounting: events published
-// and evicted, plus per-subscriber delivery, batching, lag and resync
-// counters.
+// and evicted (total and per topic ring), plus per-subscriber delivery,
+// batching, lag and resync counters.
 func (s *Server) WatchStats() watch.Stats {
 	return s.broker.Stats()
 }
@@ -393,58 +493,42 @@ func (s *Server) QuiesceWatch() {
 	s.broker.Quiesce()
 }
 
-// newEvent stamps the next resource version on an event. Caller must hold
-// s.mu.
-func (s *Server) newEvent(t WatchEventType) WatchEvent {
-	s.rev++
-	return WatchEvent{Type: t, Rev: s.rev}
+// emit allocates the next resource version and appends the event to its
+// topic ring. Caller must hold the state stripes the mutation touched —
+// publishing before the stripes are released is what keeps snapshots
+// consistent prefixes (lockWorld cannot observe an applied mutation
+// whose event is still unpublished). Racing emits from other stripes
+// may reach the broker out of rev order; its Sequenced mode restores
+// the order. Callers follow up with s.broker.Flush() after releasing
+// the stripes (a no-op in async mode, inline delivery in sync mode).
+func (s *Server) emit(ev WatchEvent) {
+	ev.Rev = s.seq.Add(1)
+	s.broker.PublishTopic(topicOf(ev.Type), ev.Rev, ev)
 }
 
-// publishLocked appends the event to the broker ring — O(1), the only
-// fan-out work the commit critical section performs. Caller must hold
-// s.mu and follow up with s.broker.Flush() after releasing it (a no-op
-// in async mode, inline delivery in sync mode).
-func (s *Server) publishLocked(ev WatchEvent) {
-	s.broker.Publish(ev.Rev, ev)
-}
-
-// recordEvent appends to the capped event log. Caller must hold s.mu.
+// recordEvent appends to the bounded human-readable event log.
 func (s *Server) recordEvent(object, reason, message string) {
-	if len(s.events) >= maxEvents {
-		copy(s.events, s.events[len(s.events)-maxEvents/2:])
-		s.events = s.events[:maxEvents/2]
-	}
-	s.events = append(s.events, api.Event{
-		Time:    s.clk.Now(),
-		Object:  object,
-		Reason:  reason,
-		Message: message,
-	})
+	s.log.append(s.clk.Now(), object, reason, message)
 }
 
-// Events returns a copy of the retained event log.
+// Events returns a copy of the retained event log, oldest first.
 func (s *Server) Events() []api.Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]api.Event, len(s.events))
-	copy(out, s.events)
-	return out
+	return s.log.snapshot()
 }
 
 // RegisterNode adds a node to the cluster.
 func (s *Server) RegisterNode(n *api.Node) error {
-	s.mu.Lock()
-	if _, ok := s.nodes[n.Name]; ok {
-		s.mu.Unlock()
+	sh := s.nodeShardFor(n.Name)
+	sh.mu.Lock()
+	if _, ok := sh.nodes[n.Name]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: node %s", ErrAlreadyExists, n.Name)
 	}
 	stored := n.Clone()
-	s.nodes[n.Name] = stored
+	sh.nodes[n.Name] = stored
 	s.recordEvent("node/"+n.Name, "Registered", stored.Allocatable.String())
-	ev := s.newEvent(NodeRegistered)
-	ev.Node = stored.Clone()
-	s.publishLocked(ev)
-	s.mu.Unlock()
+	s.emit(WatchEvent{Type: NodeRegistered, Node: stored.Clone()})
+	sh.mu.Unlock()
 	s.broker.Flush()
 	return nil
 }
@@ -452,27 +536,27 @@ func (s *Server) RegisterNode(n *api.Node) error {
 // UpdateNode replaces a node's stored state (e.g. when the device plugin
 // extends its allocatable resources, §V-A).
 func (s *Server) UpdateNode(n *api.Node) error {
-	s.mu.Lock()
-	if _, ok := s.nodes[n.Name]; !ok {
-		s.mu.Unlock()
+	sh := s.nodeShardFor(n.Name)
+	sh.mu.Lock()
+	if _, ok := sh.nodes[n.Name]; !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: node %s", ErrNotFound, n.Name)
 	}
 	stored := n.Clone()
-	s.nodes[n.Name] = stored
+	sh.nodes[n.Name] = stored
 	s.recordEvent("node/"+n.Name, "Updated", stored.Allocatable.String())
-	ev := s.newEvent(NodeUpdated)
-	ev.Node = stored.Clone()
-	s.publishLocked(ev)
-	s.mu.Unlock()
+	s.emit(WatchEvent{Type: NodeUpdated, Node: stored.Clone()})
+	sh.mu.Unlock()
 	s.broker.Flush()
 	return nil
 }
 
 // GetNode returns a copy of the named node.
 func (s *Server) GetNode(name string) (*api.Node, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, ok := s.nodes[name]
+	sh := s.nodeShardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.nodes[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: node %s", ErrNotFound, name)
 	}
@@ -481,52 +565,53 @@ func (s *Server) GetNode(name string) (*api.Node, error) {
 
 // ListNodes returns copies of all nodes, sorted by name for deterministic
 // iteration (the binpack policy relies on a consistent node order, §IV).
+// Stripes are visited one at a time — ListNodes does not stop the world.
 func (s *Server) ListNodes() []*api.Node {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.nodes))
-	for name := range s.nodes {
-		names = append(names, name)
+	var out []*api.Node
+	for i := range s.nodeShards {
+		sh := &s.nodeShards[i]
+		sh.mu.Lock()
+		for _, n := range sh.nodes {
+			out = append(out, n.Clone())
+		}
+		sh.mu.Unlock()
 	}
-	sort.Strings(names)
-	out := make([]*api.Node, 0, len(names))
-	for _, name := range names {
-		out = append(out, s.nodes[name].Clone())
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // CreatePod submits a pod: it is stamped, assigned a UID if absent, marked
 // Pending and appended to the FCFS queue (§IV step Ë).
 func (s *Server) CreatePod(p *api.Pod) error {
-	s.mu.Lock()
-	if _, ok := s.pods[p.Name]; ok {
-		s.mu.Unlock()
+	sh := s.podShardFor(p.Name)
+	sh.mu.Lock()
+	if _, ok := sh.pods[p.Name]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s", ErrAlreadyExists, p.Name)
 	}
 	stored := p.Clone()
 	if stored.UID == "" {
-		s.nextUID++
-		stored.UID = fmt.Sprintf("uid-%06d", s.nextUID)
+		stored.UID = fmt.Sprintf("uid-%06d", s.nextUID.Add(1))
 	}
 	stored.Status.Phase = api.PodPending
 	stored.Status.SubmittedAt = s.clk.Now()
-	s.pods[stored.Name] = stored
+	sh.pods[stored.Name] = stored
+	s.pendingMu.Lock()
 	s.pending.Push(stored.Name, stored.Spec.SchedulerName, stored.Spec.Priority)
+	s.pendingMu.Unlock()
 	s.recordEvent("pod/"+stored.Name, "Created", "queued as pending")
-	ev := s.newEvent(PodCreated)
-	ev.Pod = stored.Clone()
-	s.publishLocked(ev)
-	s.mu.Unlock()
+	s.emit(WatchEvent{Type: PodCreated, Pod: stored.Clone()})
+	sh.mu.Unlock()
 	s.broker.Flush()
 	return nil
 }
 
 // GetPod returns a copy of the named pod.
 func (s *Server) GetPod(name string) (*api.Pod, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pods[name]
+	sh := s.podShardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.pods[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: pod %s", ErrNotFound, name)
 	}
@@ -534,141 +619,195 @@ func (s *Server) GetPod(name string) (*api.Pod, error) {
 }
 
 // ListPods returns copies of all pods matching the filter (nil matches
-// everything), sorted by name.
+// everything), sorted by name. The filter runs under a stripe lock and
+// must not call back into the server.
 func (s *Server) ListPods(filter func(*api.Pod) bool) []*api.Pod {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.pods))
-	for name, p := range s.pods {
-		if filter == nil || filter(p) {
-			names = append(names, name)
+	var out []*api.Pod
+	for i := range s.podShards {
+		sh := &s.podShards[i]
+		sh.mu.Lock()
+		for _, p := range sh.pods {
+			if filter == nil || filter(p) {
+				out = append(out, p.Clone())
+			}
 		}
+		sh.mu.Unlock()
 	}
-	sort.Strings(names)
-	out := make([]*api.Pod, 0, len(names))
-	for _, name := range names {
-		out = append(out, s.pods[name].Clone())
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// pendingNamesPool recycles the name buffers VisitPending/PendingPods
+// copy the queue into (the copy is what keeps pendingMu from ever being
+// held across a stripe acquisition — see stripe.go's lock order).
+var pendingNamesPool = sync.Pool{New: func() any { return new([]string) }}
+
+// copyPendingNames snapshots the queued names for a scheduler under
+// pendingMu alone. Callers must return the buffer to pendingNamesPool.
+func (s *Server) copyPendingNames(schedulerName string) *[]string {
+	bufp := pendingNamesPool.Get().(*[]string)
+	names := (*bufp)[:0]
+	s.pendingMu.Lock()
+	s.pending.Visit(schedulerName, func(name string) bool {
+		names = append(names, name)
+		return true
+	})
+	s.pendingMu.Unlock()
+	*bufp = names
+	return bufp
 }
 
 // PendingPods returns the queued pods for the given scheduler in
 // priority-then-FCFS order (§IV: "the orchestrator keeps a persistent
 // queue of pending jobs ... applying a first-come first-served priority";
 // api.PodSpec.Priority refines it into tiers). An empty schedulerName
-// matches every pod.
+// matches every pod. Pods that left the queue between the name snapshot
+// and the stripe visit (a concurrent bind won) are skipped.
 func (s *Server) PendingPods(schedulerName string) []*api.Pod {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*api.Pod, 0, s.pending.SchedLen(schedulerName))
-	s.pending.Visit(schedulerName, func(name string) bool {
-		out = append(out, s.pods[name].Clone())
-		return true
-	})
+	bufp := s.copyPendingNames(schedulerName)
+	out := make([]*api.Pod, 0, len(*bufp))
+	for _, name := range *bufp {
+		sh := s.podShardFor(name)
+		sh.mu.Lock()
+		if p, ok := sh.pods[name]; ok && p.Status.Phase == api.PodPending && p.Spec.NodeName == "" {
+			out = append(out, p.Clone())
+		}
+		sh.mu.Unlock()
+	}
+	pendingNamesPool.Put(bufp)
 	return out
 }
 
-// VisitPods calls fn for every live pod under the server lock, without
+// VisitPods calls fn for every live pod under its stripe lock, without
 // copying. It is the allocation-free companion of ListPods for hot paths
 // (the scheduler visits every active pod once per pass). fn must treat
 // the pod as read-only, must not retain it past its return, and must not
 // call back into the server; returning false stops the walk. Iteration
 // order is unspecified.
 func (s *Server) VisitPods(fn func(*api.Pod) bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, p := range s.pods {
-		if !fn(p) {
-			return
+	for i := range s.podShards {
+		sh := &s.podShards[i]
+		sh.mu.Lock()
+		for _, p := range sh.pods {
+			if !fn(p) {
+				sh.mu.Unlock()
+				return
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // VisitPending calls fn for the given scheduler's queued pods in
-// priority-then-FCFS order under the server lock, without copying. The
-// same read-only, no-retain, no-reentrancy contract as VisitPods applies;
-// an empty schedulerName matches every pod. Returning false stops the
-// walk.
+// priority-then-FCFS order, each under its stripe lock, without copying.
+// The same read-only, no-retain, no-reentrancy contract as VisitPods
+// applies; an empty schedulerName matches every pod. Returning false
+// stops the walk. The queue order is snapshotted under pendingMu and the
+// pods then visited stripe by stripe, so pods bound concurrently with
+// the walk are skipped rather than handed to fn stale.
 func (s *Server) VisitPending(schedulerName string, fn func(*api.Pod) bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pending.Visit(schedulerName, func(name string) bool {
-		return fn(s.pods[name])
-	})
+	bufp := s.copyPendingNames(schedulerName)
+	for _, name := range *bufp {
+		sh := s.podShardFor(name)
+		sh.mu.Lock()
+		p, ok := sh.pods[name]
+		stop := false
+		if ok && p.Status.Phase == api.PodPending && p.Spec.NodeName == "" {
+			stop = !fn(p)
+		}
+		sh.mu.Unlock()
+		if stop {
+			break
+		}
+	}
+	pendingNamesPool.Put(bufp)
 }
 
 // PendingCount returns the number of queued pods across all schedulers.
 func (s *Server) PendingCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
 	return s.pending.Len()
 }
 
 // Bind assigns a pending pod to a node (§IV step Í: "the scheduler
 // communicates the computed job-node assignments to the orchestrator").
-// It is a *conditional* bind: under the server lock it re-validates,
-// against authoritative pod and node state, that the pod still fits the
-// target node (see Admission). An optimistic scheduler that planned
-// against a stale cache loses the race with a typed ErrConflict /
-// ErrOutdated — the pod stays queued and reschedules from a fresh view —
-// instead of silently overcommitting the node. On success the pod leaves
-// the pending queue; kubelets learn about it via PodBound.
+// It is a *conditional* bind: under the pod's and node's stripe locks it
+// re-validates, against authoritative pod and node state, that the pod
+// still fits the target node (see Admission). An optimistic scheduler
+// that planned against a stale cache loses the race with a typed
+// ErrConflict / ErrOutdated — the pod stays queued and reschedules from
+// a fresh view — instead of silently overcommitting the node. On success
+// the pod leaves the pending queue; kubelets learn about it via
+// PodBound.
+//
+// The whole commit — admission, committed accounting, pod mutation,
+// event publish — happens under exactly one pod stripe and one node
+// stripe (acquired in that order), so binds against different nodes run
+// in parallel; only binds racing for the same node serialize.
 func (s *Server) Bind(podName, nodeName string) error {
-	s.mu.Lock()
-	s.bindStats.Attempts++
-	p, ok := s.pods[podName]
+	s.binds.attempts.Add(1)
+	psh := s.podShardFor(podName)
+	psh.mu.Lock()
+	p, ok := psh.pods[podName]
 	if !ok {
-		s.bindStats.RejectedPodState++
-		s.mu.Unlock()
+		s.binds.rejectedPodState.Add(1)
+		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s", ErrNotFound, podName)
 	}
-	n, ok := s.nodes[nodeName]
+	nsh := s.nodeShardFor(nodeName)
+	nsh.mu.Lock()
+	n, ok := nsh.nodes[nodeName]
 	if !ok {
-		s.bindStats.RejectedNodeState++
-		s.rejectBindLocked(podName, "node "+nodeName+" unknown")
-		s.mu.Unlock()
+		s.binds.rejectedNodeState.Add(1)
+		s.rejectBind(podName, "node "+nodeName+" unknown")
+		nsh.mu.Unlock()
+		psh.mu.Unlock()
 		return fmt.Errorf("%w: node %s", ErrNotFound, nodeName)
 	}
 	if p.Spec.NodeName != "" {
-		s.bindStats.RejectedPodState++
-		s.mu.Unlock()
+		s.binds.rejectedPodState.Add(1)
+		nsh.mu.Unlock()
+		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s already bound to %s", ErrConflict, podName, p.Spec.NodeName)
 	}
 	if p.Status.Phase != api.PodPending {
-		s.bindStats.RejectedPodState++
-		s.mu.Unlock()
+		s.binds.rejectedPodState.Add(1)
+		nsh.mu.Unlock()
+		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s in phase %s", ErrConflict, podName, p.Status.Phase)
 	}
 	req := p.TotalRequests()
-	if err := s.admitBindLocked(p, n, req); err != nil {
+	if err := s.admitBind(p, n, nsh.committed[nodeName], req); err != nil {
 		if errors.Is(err, ErrOutdated) {
-			s.bindStats.RejectedCapacity++
+			s.binds.rejectedCapacity.Add(1)
 		} else {
-			s.bindStats.RejectedNodeState++
+			s.binds.rejectedNodeState.Add(1)
 		}
-		s.rejectBindLocked(podName, err.Error())
-		s.mu.Unlock()
+		s.rejectBind(podName, err.Error())
+		nsh.mu.Unlock()
+		psh.mu.Unlock()
 		return err
 	}
 	p.Spec.NodeName = nodeName
 	p.Status.ScheduledAt = s.clk.Now()
-	s.commitLocked(nodeName, req, +1)
-	s.bindStats.Bound++
+	commit(nsh, nodeName, req, +1)
+	s.binds.bound.Add(1)
 	s.removePending(p)
 	s.recordEvent("pod/"+podName, "Bound", "assigned to node "+nodeName)
-	ev := s.newEvent(PodBound)
-	ev.Pod = p.Clone()
-	s.publishLocked(ev)
-	s.mu.Unlock()
+	s.emit(WatchEvent{Type: PodBound, Pod: p.Clone()})
+	nsh.mu.Unlock()
+	psh.mu.Unlock()
 	s.broker.Flush()
 	return nil
 }
 
-// admitBindLocked is the conditional-bind capacity check. Caller must
-// hold s.mu. Node-state refusals are ErrConflict (the scheduler raced a
-// cordon or drain); capacity refusals are ErrOutdated (a concurrent
-// scheduler won the headroom).
-func (s *Server) admitBindLocked(p *api.Pod, n *api.Node, req resource.List) error {
+// admitBind is the conditional-bind capacity check. Caller must hold the
+// node's stripe lock and pass that stripe's committed list for the node.
+// Node-state refusals are ErrConflict (the scheduler raced a cordon or
+// drain); capacity refusals are ErrOutdated (a concurrent scheduler won
+// the headroom).
+func (s *Server) admitBind(p *api.Pod, n *api.Node, com resource.List, req resource.List) error {
 	if s.admission == AdmitNone {
 		return nil
 	}
@@ -676,7 +815,6 @@ func (s *Server) admitBindLocked(p *api.Pod, n *api.Node, req resource.List) err
 		return fmt.Errorf("%w: node %s is not schedulable (ready=%v unschedulable=%v)",
 			ErrConflict, n.Name, n.Ready, n.Unschedulable)
 	}
-	com := s.committed[n.Name]
 	if pages := req.Get(resource.EPCPages); pages > 0 {
 		alloc := n.Allocatable.Get(resource.EPCPages)
 		if alloc <= 0 {
@@ -707,20 +845,20 @@ func (s *Server) admitBindLocked(p *api.Pod, n *api.Node, req resource.List) err
 	return nil
 }
 
-// rejectBindLocked records a refused bind in the event log so rejected
-// optimistic transactions stay observable. Caller must hold s.mu.
-func (s *Server) rejectBindLocked(podName, reason string) {
+// rejectBind records a refused bind in the event log so rejected
+// optimistic transactions stay observable.
+func (s *Server) rejectBind(podName, reason string) {
 	s.recordEvent("pod/"+podName, "BindRejected", reason)
 }
 
-// commitLocked moves a pod's summed requests into (sign=+1) or out of
-// (sign=-1) its node's committed accounting. Caller must hold s.mu and
-// pass the pod's TotalRequests sum.
-func (s *Server) commitLocked(nodeName string, req resource.List, sign int64) {
-	com, ok := s.committed[nodeName]
+// commit moves a pod's summed requests into (sign=+1) or out of
+// (sign=-1) its node's committed accounting. Caller must hold the node
+// stripe's lock and pass the pod's TotalRequests sum.
+func commit(sh *nodeShard, nodeName string, req resource.List, sign int64) {
+	com, ok := sh.committed[nodeName]
 	if !ok {
 		com = make(resource.List, 3)
-		s.committed[nodeName] = com
+		sh.committed[nodeName] = com
 	}
 	for name, q := range req {
 		com[name] += sign * q
@@ -728,9 +866,12 @@ func (s *Server) commitLocked(nodeName string, req resource.List, sign int64) {
 }
 
 // removePending drops a pod from the pending queue (see pendingQueue for
-// the amortized O(1) layout). Caller must hold s.mu.
+// the amortized O(1) layout). Safe to call while holding stripe locks —
+// pendingMu is below them in the lock order.
 func (s *Server) removePending(p *api.Pod) {
+	s.pendingMu.Lock()
 	s.pending.Remove(p.Name, p.Spec.SchedulerName)
+	s.pendingMu.Unlock()
 }
 
 // MarkRunning transitions a bound pod to Running, stamping StartedAt.
@@ -751,40 +892,44 @@ func (s *Server) MarkFailed(podName, reason string) error {
 }
 
 func (s *Server) transition(podName string, phase api.PodPhase, event, reason string) error {
-	s.mu.Lock()
-	p, ok := s.pods[podName]
+	psh := s.podShardFor(podName)
+	psh.mu.Lock()
+	p, ok := psh.pods[podName]
 	if !ok {
-		s.mu.Unlock()
+		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s", ErrNotFound, podName)
 	}
 	if p.IsTerminal() {
-		s.mu.Unlock()
+		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s already terminal (%s)", ErrConflict, podName, p.Status.Phase)
 	}
 	now := s.clk.Now()
 	switch phase {
 	case api.PodRunning:
 		if p.Spec.NodeName == "" {
-			s.mu.Unlock()
+			psh.mu.Unlock()
 			return fmt.Errorf("%w: pod %s running without binding", ErrConflict, podName)
 		}
 		p.Status.StartedAt = now
 	case api.PodSucceeded, api.PodFailed:
 		p.Status.FinishedAt = now
+		if p.Spec.NodeName != "" {
+			// Release the node's committed accounting under its stripe —
+			// pod stripe then node stripe, the same order Bind takes.
+			nsh := s.nodeShardFor(p.Spec.NodeName)
+			nsh.mu.Lock()
+			commit(nsh, p.Spec.NodeName, p.TotalRequests(), -1)
+			nsh.mu.Unlock()
+		}
 		// A pod failed before start (e.g. admission denial) still leaves
 		// the queue.
 		s.removePending(p)
-		if p.Spec.NodeName != "" {
-			s.commitLocked(p.Spec.NodeName, p.TotalRequests(), -1)
-		}
 	}
 	p.Status.Phase = phase
 	p.Status.Reason = reason
 	s.recordEvent("pod/"+podName, event, reason)
-	ev := s.newEvent(PodUpdated)
-	ev.Pod = p.Clone()
-	s.publishLocked(ev)
-	s.mu.Unlock()
+	s.emit(WatchEvent{Type: PodUpdated, Pod: p.Clone()})
+	psh.mu.Unlock()
 	s.broker.Flush()
 	return nil
 }
@@ -802,32 +947,38 @@ func (s *Server) Preempt(podName, reason string) error {
 	} else {
 		reason = "Preempted: " + reason
 	}
-	s.mu.Lock()
-	p, ok := s.pods[podName]
+	psh := s.podShardFor(podName)
+	psh.mu.Lock()
+	p, ok := psh.pods[podName]
 	if !ok {
-		s.mu.Unlock()
+		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s", ErrNotFound, podName)
 	}
 	if p.IsTerminal() {
-		s.mu.Unlock()
+		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s already terminal (%s)", ErrConflict, podName, p.Status.Phase)
 	}
 	if p.Spec.NodeName == "" {
-		s.mu.Unlock()
+		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s is not bound", ErrConflict, podName)
 	}
-	s.commitLocked(p.Spec.NodeName, p.TotalRequests(), -1)
+	// Evict→requeue crosses the pod's stripe and the node's stripe, in
+	// the same pod→node order Bind uses.
+	nsh := s.nodeShardFor(p.Spec.NodeName)
+	nsh.mu.Lock()
+	commit(nsh, p.Spec.NodeName, p.TotalRequests(), -1)
+	nsh.mu.Unlock()
 	p.Spec.NodeName = ""
 	p.Status.Phase = api.PodPending
 	p.Status.Reason = reason
 	p.Status.ScheduledAt = time.Time{}
 	p.Status.StartedAt = time.Time{}
+	s.pendingMu.Lock()
 	s.pending.Push(podName, p.Spec.SchedulerName, p.Spec.Priority)
+	s.pendingMu.Unlock()
 	s.recordEvent("pod/"+podName, "Preempted", reason)
-	ev := s.newEvent(PodUpdated)
-	ev.Pod = p.Clone()
-	s.publishLocked(ev)
-	s.mu.Unlock()
+	s.emit(WatchEvent{Type: PodUpdated, Pod: p.Clone()})
+	psh.mu.Unlock()
 	s.broker.Flush()
 	return nil
 }
@@ -847,12 +998,16 @@ func (s *Server) Evict(podName, reason string) error {
 // AllTerminal reports whether every pod has reached a terminal phase —
 // the completion condition for trace replays.
 func (s *Server) AllTerminal() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, p := range s.pods {
-		if !p.IsTerminal() {
-			return false
+	for i := range s.podShards {
+		sh := &s.podShards[i]
+		sh.mu.Lock()
+		for _, p := range sh.pods {
+			if !p.IsTerminal() {
+				sh.mu.Unlock()
+				return false
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return true
 }

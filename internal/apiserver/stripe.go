@@ -1,0 +1,107 @@
+package apiserver
+
+import (
+	"sync"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// numStripes is the number of lock stripes for each of the pod and node
+// state maps — a power of two so the stripe index is a mask over the
+// name hash. 64 stripes make two concurrent binds unlikely to collide
+// on an unrelated stripe, while the stop-the-world sweep (snapshots,
+// informer handshakes) stays a short, bounded lock ladder.
+//
+// Lock ordering (outer to inner) — every code path acquires along this
+// ladder, never backwards, so the striped server cannot deadlock:
+//
+//	pod stripes (ascending index)
+//	  → node stripes (ascending index)
+//	    → pendingMu
+//	      → eventLog.mu
+//	        → broker mutex (via PublishTopic)
+//
+// A bind holds exactly one pod stripe and one node stripe; cross-shard
+// operations (SnapshotNow, ListAndWatchBatch, resync) take every stripe
+// in ascending order via lockWorld. VisitPending and PendingPods copy
+// the queued names under pendingMu alone and release it before touching
+// pod stripes — pendingMu is only ever acquired while holding stripes,
+// never the reverse.
+const numStripes = 64
+
+// podShard is one stripe of the pod map. Padded so neighbouring
+// stripes' mutexes do not share a cache line (the whole point of
+// striping is that unrelated binds do not contend).
+type podShard struct {
+	mu   sync.Mutex
+	pods map[string]*api.Pod
+	_    [48]byte
+}
+
+// nodeShard is one stripe of the node map plus the committed-request
+// accounting for the nodes in it: a bind's admission check, committed
+// bookkeeping and pod-binding commit all happen under one node stripe
+// (and the pod's stripe) — never a global lock.
+type nodeShard struct {
+	mu    sync.Mutex
+	nodes map[string]*api.Node
+	// committed tracks, per node in this stripe, the summed resource
+	// requests of its live bound pods — the authoritative request-based
+	// accounting Bind admission validates against in O(requested
+	// resources) instead of walking every pod. Maintained on bind,
+	// terminal transition and preemption.
+	committed map[string]resource.List
+	_         [40]byte
+}
+
+// stripeFor hashes a name onto a stripe index (FNV-1a, masked).
+func stripeFor(name string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return h & (numStripes - 1)
+}
+
+// podShardFor returns the stripe owning the named pod.
+func (s *Server) podShardFor(name string) *podShard {
+	return &s.podShards[stripeFor(name)]
+}
+
+// nodeShardFor returns the stripe owning the named node.
+func (s *Server) nodeShardFor(name string) *nodeShard {
+	return &s.nodeShards[stripeFor(name)]
+}
+
+// lockWorld acquires every stripe in the fixed global order (pod
+// stripes ascending, then node stripes ascending, then pendingMu) —
+// the stop-the-world ladder cross-shard readers use. While the world is
+// held no mutation is in flight, so every resource version allocated so
+// far has been published and applied: the state read under lockWorld is
+// exactly the prefix of the event log up to s.seq.
+func (s *Server) lockWorld() {
+	for i := range s.podShards {
+		s.podShards[i].mu.Lock()
+	}
+	for i := range s.nodeShards {
+		s.nodeShards[i].mu.Lock()
+	}
+	s.pendingMu.Lock()
+}
+
+// unlockWorld releases the world ladder in reverse order.
+func (s *Server) unlockWorld() {
+	s.pendingMu.Unlock()
+	for i := len(s.nodeShards) - 1; i >= 0; i-- {
+		s.nodeShards[i].mu.Unlock()
+	}
+	for i := len(s.podShards) - 1; i >= 0; i-- {
+		s.podShards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,319 @@
+package apiserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/resource"
+)
+
+// stormNode returns a node with room for `fit` stormPods.
+func stormNode(name string, fit int64) *api.Node {
+	alloc := resource.List{resource.Memory: fit * 256 * resource.MiB, resource.CPU: 64000}
+	return &api.Node{Name: name, Capacity: alloc.Clone(), Allocatable: alloc, Ready: true}
+}
+
+func stormPod(name string) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{
+			Containers: []api.Container{{
+				Name:      "main",
+				Resources: api.Requirements{Requests: resource.List{resource.Memory: 256 * resource.MiB}},
+			}},
+		},
+	}
+}
+
+// TestConcurrentBindStatsUnderStorm hammers Bind from many goroutines
+// while readers poll BindStats/Committed/PendingCount concurrently: the
+// atomic counters must stay mutually consistent (attempts = bound + the
+// rejection classes) and agree with the callers' own outcome counts and
+// with the per-node committed accounting.
+func TestConcurrentBindStatsUnderStorm(t *testing.T) {
+	const (
+		nodes   = 16
+		fit     = 20 // per-node capacity in pods; 16*20 < 512 forces capacity rejections
+		pods    = 512
+		binders = 8
+	)
+	s := New(clock.NewSim(), WithAdmission(AdmitStrict), WithAsyncWatch())
+	defer s.Close()
+	for n := 0; n < nodes; n++ {
+		if err := s.RegisterNode(stormNode(fmt.Sprintf("node-%02d", n), fit)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < pods; p++ {
+		if err := s.CreatePod(stormPod(fmt.Sprintf("pod-%04d", p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			// Counters are loaded independently, so mid-storm reads are
+			// only monotonic per counter, not mutually consistent — the
+			// cross-counter invariant is asserted after quiescence below.
+			// The readers' job is racing the commit path under -race.
+			var lastAttempts int64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := s.BindStats()
+				if st.Attempts < lastAttempts {
+					panic(fmt.Sprintf("attempts went backwards: %d after %d", st.Attempts, lastAttempts))
+				}
+				lastAttempts = st.Attempts
+				s.Committed("node-00")
+				s.PendingCount()
+			}
+		}()
+	}
+
+	boundByNode := make([]int64, nodes)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	per := pods / binders
+	for b := 0; b < binders; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			local := make([]int64, nodes)
+			for i := b * per; i < (b+1)*per; i++ {
+				node := i % nodes
+				if err := s.Bind(fmt.Sprintf("pod-%04d", i), fmt.Sprintf("node-%02d", node)); err == nil {
+					local[node]++
+				}
+			}
+			mu.Lock()
+			for n := range local {
+				boundByNode[n] += local[n]
+			}
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	s.QuiesceWatch()
+
+	st := s.BindStats()
+	if st.Attempts != pods {
+		t.Fatalf("attempts = %d, want %d (each pod bound once)", st.Attempts, pods)
+	}
+	if got := st.Bound + st.RejectedPodState + st.RejectedNodeState + st.RejectedCapacity; got != st.Attempts {
+		t.Fatalf("outcome classes sum to %d, want attempts %d (stats %+v)", got, st.Attempts, st)
+	}
+	var bound int64
+	for n := int64(0); n < nodes; n++ {
+		bound += boundByNode[n]
+		if boundByNode[n] > fit {
+			t.Fatalf("node %d accepted %d pods beyond its capacity %d", n, boundByNode[n], fit)
+		}
+		com := s.Committed(fmt.Sprintf("node-%02d", n))
+		if want := boundByNode[n] * 256 * resource.MiB; com.Get(resource.Memory) != want {
+			t.Fatalf("node %d committed %d bytes, want %d", n, com.Get(resource.Memory), want)
+		}
+	}
+	if st.Bound != bound {
+		t.Fatalf("stats report %d bound, callers counted %d", st.Bound, bound)
+	}
+	if st.RejectedCapacity == 0 {
+		t.Fatal("storm was sized to overflow capacity but no bind was rejected for it")
+	}
+	if int64(s.PendingCount()) != pods-bound {
+		t.Fatalf("pending = %d, want %d", s.PendingCount(), pods-bound)
+	}
+}
+
+// TestSnapshotConsistentPrefixDuringConcurrentBinds is the striping
+// safety property: a SnapshotNow taken at any instant of a bind storm
+// must equal the state obtained by replaying the event log up to the
+// snapshot's Rev — no torn cross-shard reads, no applied-but-unpublished
+// commits, no published-but-unapplied events.
+func TestSnapshotConsistentPrefixDuringConcurrentBinds(t *testing.T) {
+	const (
+		nodes   = 8
+		fit     = 40
+		pods    = 384
+		binders = 8
+		snaps   = 40
+	)
+	s := New(clock.NewSim(), WithAdmission(AdmitStrict))
+	defer s.Close()
+
+	// The recorder subscribes before any mutation so the event log is
+	// replayable from rev 0. Sync mode delivers on the mutating
+	// goroutines; the mutex serializes appends and delivery order is
+	// rev order, so the slice ends up rev-sorted.
+	var evMu sync.Mutex
+	var events []WatchEvent
+	unsub := s.SubscribeBatch(func(evs []WatchEvent) {
+		evMu.Lock()
+		events = append(events, evs...)
+		evMu.Unlock()
+	}, nil)
+	defer unsub()
+
+	for n := 0; n < nodes; n++ {
+		if err := s.RegisterNode(stormNode(fmt.Sprintf("node-%02d", n), fit)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < pods; p++ {
+		if err := s.CreatePod(stormPod(fmt.Sprintf("pod-%04d", p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	per := pods / binders
+	for b := 0; b < binders; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			for i := b * per; i < (b+1)*per; i++ {
+				// Outcome is irrelevant: the property must hold whether the
+				// bind lands or loses an admission race.
+				_ = s.Bind(fmt.Sprintf("pod-%04d", i), fmt.Sprintf("node-%02d", i%nodes))
+			}
+		}(b)
+	}
+	snapshots := make([]Snapshot, 0, snaps+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < snaps; i++ {
+			snapshots = append(snapshots, s.SnapshotNow())
+		}
+	}()
+	wg.Wait()
+	snapshots = append(snapshots, s.SnapshotNow())
+	s.QuiesceWatch()
+
+	evMu.Lock()
+	defer evMu.Unlock()
+	for i := 1; i < len(events); i++ {
+		if events[i].Rev != events[i-1].Rev+1 {
+			t.Fatalf("event log not dense: rev %d follows %d", events[i].Rev, events[i-1].Rev)
+		}
+	}
+
+	for _, snap := range snapshots {
+		// Replay the prefix.
+		type podState struct {
+			node  string
+			phase api.PodPhase
+		}
+		model := make(map[string]podState)
+		var pendingOrder []string
+		for _, ev := range events {
+			if ev.Rev > snap.Rev {
+				break
+			}
+			switch ev.Type {
+			case PodCreated:
+				model[ev.Pod.Name] = podState{phase: api.PodPending}
+				pendingOrder = append(pendingOrder, ev.Pod.Name)
+			case PodBound, PodUpdated:
+				model[ev.Pod.Name] = podState{node: ev.Pod.Spec.NodeName, phase: ev.Pod.Status.Phase}
+			}
+		}
+		if len(snap.Pods) != len(model) {
+			t.Fatalf("snapshot rev %d has %d pods, replay has %d", snap.Rev, len(snap.Pods), len(model))
+		}
+		for _, p := range snap.Pods {
+			m, ok := model[p.Name]
+			if !ok {
+				t.Fatalf("snapshot rev %d contains %s, absent from the replayed prefix", snap.Rev, p.Name)
+			}
+			if p.Spec.NodeName != m.node || p.Status.Phase != m.phase {
+				t.Fatalf("snapshot rev %d: pod %s is (%q,%s), replay says (%q,%s) — torn read",
+					snap.Rev, p.Name, p.Spec.NodeName, p.Status.Phase, m.node, m.phase)
+			}
+		}
+		wantPending := make([]string, 0, len(pendingOrder))
+		for _, name := range pendingOrder {
+			if m := model[name]; m.node == "" && m.phase == api.PodPending {
+				wantPending = append(wantPending, name)
+			}
+		}
+		if len(snap.Pending) != len(wantPending) {
+			t.Fatalf("snapshot rev %d pending has %d pods, replay %d", snap.Rev, len(snap.Pending), len(wantPending))
+		}
+		for i := range wantPending {
+			if snap.Pending[i] != wantPending[i] {
+				t.Fatalf("snapshot rev %d pending[%d] = %s, replay says %s", snap.Rev, i, snap.Pending[i], wantPending[i])
+			}
+		}
+	}
+}
+
+// TestSubscribePodEventsFiltersNodeEvents: the kubelet-style pod-topic
+// subscription must deliver exactly the pod events, in rev order, while
+// node events ride their own ring (and vice versa).
+func TestSubscribePodEventsFiltersNodeEvents(t *testing.T) {
+	s := New(clock.NewSim())
+	defer s.Close()
+	var podEvs, nodeEvs []WatchEventType
+	unsubP := s.SubscribePodEvents(func(evs []WatchEvent) {
+		for _, ev := range evs {
+			if ev.Pod == nil {
+				t.Errorf("pod-topic subscriber got event %v without a pod", ev.Type)
+			}
+			podEvs = append(podEvs, ev.Type)
+		}
+	}, nil)
+	defer unsubP()
+	unsubN := s.SubscribeNodeEvents(func(evs []WatchEvent) {
+		for _, ev := range evs {
+			if ev.Node == nil {
+				t.Errorf("node-topic subscriber got event %v without a node", ev.Type)
+			}
+			nodeEvs = append(nodeEvs, ev.Type)
+		}
+	}, nil)
+	defer unsubN()
+
+	n := testNode("n1", false)
+	if err := s.RegisterNode(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreatePod(testPod("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateNode(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("p1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("p1"); err != nil {
+		t.Fatal(err)
+	}
+
+	wantPods := []WatchEventType{PodCreated, PodBound, PodUpdated}
+	wantNodes := []WatchEventType{NodeRegistered, NodeUpdated}
+	if len(podEvs) != len(wantPods) {
+		t.Fatalf("pod-topic subscriber saw %v, want %v", podEvs, wantPods)
+	}
+	for i := range wantPods {
+		if podEvs[i] != wantPods[i] {
+			t.Fatalf("pod-topic subscriber saw %v, want %v", podEvs, wantPods)
+		}
+	}
+	if len(nodeEvs) != len(wantNodes) || nodeEvs[0] != wantNodes[0] || nodeEvs[1] != wantNodes[1] {
+		t.Fatalf("node-topic subscriber saw %v, want %v", nodeEvs, wantNodes)
+	}
+}

@@ -20,6 +20,7 @@ import (
 // allocs/op plus any custom ReportMetric units (binds/s, events/s, ...).
 type BenchResult struct {
 	Name       string             `json:"name"`
+	Procs      int                `json:"procs"` // GOMAXPROCS (the -N name suffix; 1 when absent)
 	Runs       int                `json:"runs"`
 	Iterations int64              `json:"iterations"` // summed over runs
 	Metrics    map[string]float64 `json:"metrics"`
@@ -47,6 +48,8 @@ const BenchReportSchema = "sgxorch-bench/v1"
 func ParseBench(r io.Reader) (BenchReport, error) {
 	rep := BenchReport{Schema: BenchReportSchema}
 	type acc struct {
+		name       string
+		procs      int
 		runs       int
 		iterations int64
 		sums       map[string]float64
@@ -85,19 +88,23 @@ func ParseBench(r io.Reader) (BenchReport, error) {
 		if err != nil {
 			continue
 		}
-		// Strip the -GOMAXPROCS suffix so runs on different machines
-		// aggregate under one name, as benchstat does.
-		name := fields[0]
+		// Split off the -GOMAXPROCS suffix into its own field: runs on
+		// machines with the same procs aggregate under one name, while
+		// -cpu sweeps (the sharded bind benchmark runs under -cpu 1,4)
+		// stay distinct instead of averaging a 1-core row into a 4-core
+		// one. go test omits the suffix when GOMAXPROCS is 1.
+		name, procs := fields[0], 1
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+			if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+				name, procs = name[:i], p
 			}
 		}
-		a, ok := accs[name]
+		key := fmt.Sprintf("%s\x00%d", name, procs)
+		a, ok := accs[key]
 		if !ok {
-			a = &acc{sums: make(map[string]float64), counts: make(map[string]int)}
-			accs[name] = a
-			order = append(order, name)
+			a = &acc{name: name, procs: procs, sums: make(map[string]float64), counts: make(map[string]int)}
+			accs[key] = a
+			order = append(order, key)
 		}
 		a.runs++
 		a.iterations += iters
@@ -114,10 +121,11 @@ func ParseBench(r io.Reader) (BenchReport, error) {
 	if err := sc.Err(); err != nil {
 		return rep, err
 	}
-	for _, name := range order {
-		a := accs[name]
+	for _, key := range order {
+		a := accs[key]
 		res := BenchResult{
-			Name:       name,
+			Name:       a.name,
+			Procs:      a.procs,
 			Runs:       a.runs,
 			Iterations: a.iterations,
 			Metrics:    make(map[string]float64, len(a.sums)),

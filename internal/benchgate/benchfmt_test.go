@@ -32,8 +32,8 @@ func TestParseBenchAggregates(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
 	}
 	pass := rep.Benchmarks[0]
-	if pass.Name != "BenchmarkSchedulerPass" {
-		t.Fatalf("name = %q (procs suffix not stripped?)", pass.Name)
+	if pass.Name != "BenchmarkSchedulerPass" || pass.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d (procs suffix not split off?)", pass.Name, pass.Procs)
 	}
 	if pass.Runs != 2 || pass.Iterations != 14214 {
 		t.Fatalf("runs/iterations = %d/%d, want 2/14214", pass.Runs, pass.Iterations)
@@ -78,6 +78,33 @@ func TestBenchReportJSONRoundTrip(t *testing.T) {
 	}
 	if back.Benchmarks[1].Metrics["binds/s"] != 103892 {
 		t.Fatalf("round trip mangled metrics: %+v", back.Benchmarks[1])
+	}
+}
+
+// A -cpu sweep emits the same benchmark name at different GOMAXPROCS
+// (unsuffixed = 1); the rows must stay separate entries, not average a
+// single-core run into a multi-core one.
+func TestParseBenchKeepsCPUVariantsDistinct(t *testing.T) {
+	const sweep = `BenchmarkSchedulerThroughputSharded/shards=4   	     100	  12000000 ns/op	   85000 binds/s
+BenchmarkSchedulerThroughputSharded/shards=4   	     100	  14000000 ns/op	   75000 binds/s
+BenchmarkSchedulerThroughputSharded/shards=4-4 	     200	   4000000 ns/op	  250000 binds/s
+`
+	rep, err := ParseBench(strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d entries, want 2 (one per GOMAXPROCS)", len(rep.Benchmarks))
+	}
+	one, four := rep.Benchmarks[0], rep.Benchmarks[1]
+	if one.Procs != 1 || one.Runs != 2 || one.Metrics["binds/s"] != 80000 {
+		t.Fatalf("procs=1 entry = %+v", one)
+	}
+	if four.Procs != 4 || four.Runs != 1 || four.Metrics["binds/s"] != 250000 {
+		t.Fatalf("procs=4 entry = %+v", four)
+	}
+	if one.Name != four.Name {
+		t.Fatalf("names diverged: %q vs %q", one.Name, four.Name)
 	}
 }
 

@@ -96,9 +96,11 @@ type cachedPod struct {
 // and primes the cache from the snapshot. The aggregator (when metrics
 // are on) must already be backfilled; the caller wires its change
 // callback to onMetric afterwards. Events arrive through the watch
-// broker in batches (ApplyAll); if the cache ever falls off the broker
-// ring — possible only with an async-watch server — it resyncs from a
-// fresh snapshot instead of missing deltas.
+// broker in batches (ApplyAll); the cache tracks both pods and nodes,
+// so it subscribes to the merged stream — the broker's per-topic rings
+// are recombined in rev order, exactly the single-ring stream. If the
+// cache ever falls off a ring — possible only with an async-watch
+// server — it resyncs from a fresh snapshot instead of missing deltas.
 func newClusterCache(clk clock.Clock, srv *apiserver.Server, agg *monitor.WindowMax, lag time.Duration, useMetrics bool) *ClusterCache {
 	c := &ClusterCache{
 		clk:        clk,

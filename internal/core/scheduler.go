@@ -286,6 +286,9 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 	s.stats.Passes++
 	s.mu.Unlock()
 
+	// VisitPending snapshots the queue order and walks the striped pod
+	// state one stripe at a time — pods a concurrent fleet member binds
+	// mid-walk are skipped, not handed over stale.
 	pending := s.pendingBuf[:0]
 	s.srv.VisitPending(s.cfg.Name, func(pod *api.Pod) bool {
 		pending = append(pending, *pod)

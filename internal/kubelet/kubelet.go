@@ -141,7 +141,10 @@ func (k *Kubelet) Start() error {
 	if err := k.srv.RegisterNode(node); err != nil {
 		return fmt.Errorf("kubelet %s: %w", k.nodeName, err)
 	}
-	k.unsubscribe = k.srv.SubscribeBatch(k.onEvents, k.resync)
+	// Pod events only: the kubelet reacts to bindings and terminations
+	// and discards node events, so it rides the pod topic ring and never
+	// pays batch volume (or eviction pressure) for node churn.
+	k.unsubscribe = k.srv.SubscribePodEvents(k.onEvents, k.resync)
 	return nil
 }
 

@@ -2,33 +2,53 @@
 // in-process equivalent of the Kubernetes apiserver watch cache. It
 // decouples state commits from event fan-out: a mutation appends its
 // event to a fixed-capacity ring buffer indexed by resource version in
-// O(1) and returns; subscribers consume the ring through per-subscriber
+// O(1) and returns; subscribers consume the rings through per-subscriber
 // cursors, in batches, without ever making the writer wait.
+//
+// Events are partitioned into per-topic rings (for the API server: pod
+// events and node events) that share ONE resource-version space: a rev
+// is allocated globally, and the event lands in exactly one topic's
+// ring. Subscribers choose a TopicSet; delivery merges the subscribed
+// rings back into strict rev order, so an all-topics subscriber sees
+// exactly the stream a single-ring broker would have produced, while a
+// single-topic subscriber (a kubelet that only cares about pods) never
+// pays — in ring space or batch volume — for event kinds it discards.
+// Ring eviction is per topic: a burst of pod events cannot push node
+// events off their ring.
 //
 // Two delivery modes:
 //
 //   - Sync: events are delivered inline by Flush, on the publishing
 //     goroutine, one batch per subscriber in subscription order. A
-//     single flusher runs at a time and drains the ring completely, so
+//     single flusher runs at a time and drains the rings completely, so
 //     under a single-goroutine simulation every event is handed to every
 //     subscriber before the mutating call returns — bit-for-bit
 //     reproducible, exactly like a callback list, which is what the
 //     determinism and cache≡rebuild property tests pin.
 //   - Async: every subscriber gets a pump goroutine that waits for new
 //     events, copies whatever is pending (up to the batch cap) out of
-//     the ring under the lock, and invokes the subscriber's callback
+//     the rings under the lock, and invokes the subscriber's callback
 //     without it. Slow subscribers batch up naturally; fast publishers
 //     never block on slow consumers.
 //
-// A subscriber that falls so far behind that its cursor drops off the
-// ring is "too old" (ErrTooOld): instead of stalling the writer or
-// silently corrupting the consumer, the broker invokes the subscriber's
-// resync handler, which re-primes the consumer from a fresh snapshot of
-// the source of truth and returns the snapshot's resource version as the
-// new cursor — the ListAndWatch-style relist Kubernetes clients perform
-// on a 410 Gone. Subscribers without a resync handler have the missed
-// interval counted in their back-pressure stats and continue from the
-// oldest retained event.
+// A Sequenced broker additionally accepts publishes out of rev order:
+// writers that allocate revs from an atomic counter (the sharded API
+// server) can race each other to Publish, and the broker buffers the
+// out-of-order arrivals and appends them to their rings strictly in rev
+// order once the gap fills. This requires dense revs — every rev
+// allocated must eventually be published — which holds for the API
+// server because allocation and publish are straight-line code under
+// the owning shard's lock.
+//
+// A subscriber that falls so far behind that its cursor drops off a
+// subscribed ring is "too old" (ErrTooOld): instead of stalling the
+// writer or silently corrupting the consumer, the broker invokes the
+// subscriber's resync handler, which re-primes the consumer from a
+// fresh snapshot of the source of truth and returns the snapshot's
+// resource version as the new cursor — the ListAndWatch-style relist
+// Kubernetes clients perform on a 410 Gone. Subscribers without a
+// resync handler have the missed interval counted in their
+// back-pressure stats and continue from the oldest retained event.
 //
 // Unsubscribe is safe in both modes, from anywhere: called concurrently
 // with delivery it blocks until the in-flight callback returns (so the
@@ -41,13 +61,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// ErrTooOld reports that a cursor has fallen off the ring: events
-// between the cursor and the oldest retained event were evicted, so the
-// consumer can no longer be brought current by replay alone and must
-// resync from a snapshot.
+// ErrTooOld reports that a cursor has fallen off a subscribed ring:
+// events between the cursor and the oldest retained event were evicted,
+// so the consumer can no longer be brought current by replay alone and
+// must resync from a snapshot.
 var ErrTooOld = errors.New("watch: resource version too old")
 
 // Mode selects how the broker delivers events.
@@ -70,10 +92,30 @@ func (m Mode) String() string {
 	return "sync"
 }
 
+// TopicSet selects which topic rings a subscriber consumes, one bit per
+// topic index.
+type TopicSet uint64
+
+// AllTopics subscribes to every ring — the merged stream.
+const AllTopics TopicSet = ^TopicSet(0)
+
+// TopicsOf builds a TopicSet from topic indices.
+func TopicsOf(topics ...int) TopicSet {
+	var s TopicSet
+	for _, t := range topics {
+		s |= 1 << uint(t)
+	}
+	return s
+}
+
+// Has reports whether topic t is in the set.
+func (s TopicSet) Has(t int) bool { return s&(1<<uint(t)) != 0 }
+
 // Defaults for Options.
 const (
-	// DefaultCapacity bounds the retained event window. A subscriber
-	// more than this many events behind the head resyncs.
+	// DefaultCapacity bounds each topic ring's retained event window. A
+	// subscriber more than this many events behind a subscribed ring's
+	// head resyncs.
 	DefaultCapacity = 16384
 	// DefaultMaxBatch caps the events handed to one callback invocation.
 	DefaultMaxBatch = 256
@@ -82,10 +124,20 @@ const (
 // Options parameterises a Broker.
 type Options struct {
 	Mode Mode
-	// Capacity is the ring size (DefaultCapacity when <= 0).
+	// Capacity is the per-ring size (DefaultCapacity when <= 0).
 	Capacity int
 	// MaxBatch caps one delivery batch (DefaultMaxBatch when <= 0).
 	MaxBatch int
+	// Topics is the number of per-topic rings; <= 0 means one ring (the
+	// single-stream broker).
+	Topics int
+	// TopicCapacity optionally overrides Capacity per topic ring
+	// (entries <= 0 fall back to Capacity).
+	TopicCapacity []int
+	// Sequenced accepts out-of-rev-order publishes from racing writers,
+	// buffering gaps and appending in rev order. Requires dense revs:
+	// every allocated rev must eventually be published.
+	Sequenced bool
 }
 
 // SubscriberStats is the per-subscriber back-pressure accounting.
@@ -103,18 +155,24 @@ type SubscriberStats struct {
 	// Resyncs counts ErrTooOld recoveries through the resync handler.
 	Resyncs int64
 	// Dropped counts the resource-version span skipped because the
-	// subscriber fell off the ring and had no resync handler.
+	// subscriber fell off a ring and had no resync handler.
 	Dropped int64
+}
+
+// TopicStats is the per-ring accounting.
+type TopicStats struct {
+	Published int64
+	Evicted   int64
 }
 
 // Stats is the broker-level accounting.
 type Stats struct {
-	// Published counts events appended; Evicted those overwritten by
-	// ring wrap-around before at least one subscriber consumed them is
-	// not tracked per-consumer — Evicted is simply the count pushed off
-	// the ring.
+	// Published counts events appended across all rings; Evicted those
+	// overwritten by ring wrap-around.
 	Published int64
 	Evicted   int64
+	// PerTopic breaks Published/Evicted down by topic ring.
+	PerTopic []TopicStats
 	// Subscribers is the live subscriber count; PerSubscriber their
 	// stats in subscription order.
 	Subscribers   int
@@ -127,48 +185,143 @@ type entry[T any] struct {
 	ev  T
 }
 
-// subscription is one registered consumer. All fields are guarded by the
-// broker mutex; the callback itself runs with the mutex released, fenced
-// by the delivering flag.
+// ring is one topic's bounded event window. Guarded by the broker
+// mutex.
+type ring[T any] struct {
+	buf      []entry[T]
+	capacity int // retention bound; buf grows geometrically up to it
+	start    int // index of the oldest retained event
+	count    int
+
+	evictedRev int64 // highest rev pushed off this ring
+	published  int64
+	evicted    int64
+}
+
+// append adds one event, growing the buffer geometrically up to the
+// ring's capacity and evicting the oldest once that bound is reached.
+// Lazy growth keeps a quiet topic's footprint proportional to its
+// traffic instead of paying the full window up front: a broker is
+// created per server, and preallocating every ring at capacity both
+// slows construction and leaves large pointer-bearing arrays live for
+// the GC to scan even when a topic never sees more than a handful of
+// events.
+func (r *ring[T]) append(rev int64, ev T) {
+	if r.count == len(r.buf) && r.count < r.capacity {
+		n := 2 * len(r.buf)
+		if n == 0 {
+			n = 64
+		}
+		if n > r.capacity {
+			n = r.capacity
+		}
+		buf := make([]entry[T], n)
+		for i := 0; i < r.count; i++ {
+			buf[i] = *r.at(i)
+		}
+		r.buf, r.start = buf, 0
+	}
+	if r.count == len(r.buf) {
+		old := &r.buf[r.start]
+		r.evictedRev = old.rev
+		var zero entry[T]
+		*old = zero // release the payload to the GC
+		r.start = (r.start + 1) % len(r.buf)
+		r.count--
+		r.evicted++
+	}
+	r.buf[(r.start+r.count)%len(r.buf)] = entry[T]{rev: rev, ev: ev}
+	r.count++
+	r.published++
+}
+
+// at returns the i-th oldest retained entry.
+func (r *ring[T]) at(i int) *entry[T] { return &r.buf[(r.start+i)%len(r.buf)] }
+
+// search returns the smallest ring offset whose event rev exceeds
+// afterRev (count when none does). Revisions are strictly increasing
+// along the ring, so this is a binary search.
+func (r *ring[T]) search(afterRev int64) int {
+	lo, hi := 0, r.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.at(mid).rev > afterRev {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// subStats is the internal per-subscriber accounting. Counters are
+// atomics so Stats readers never contend with the delivery path (they
+// load without taking the broker mutex for longer than the subscriber
+// walk) and so delivery-side increments are race-free with reads.
+type subStats struct {
+	delivered atomic.Int64
+	batches   atomic.Int64
+	maxBatch  atomic.Int64
+	maxLag    atomic.Int64
+	resyncs   atomic.Int64
+	dropped   atomic.Int64
+}
+
+func (s *subStats) snapshot() SubscriberStats {
+	return SubscriberStats{
+		Delivered: s.delivered.Load(),
+		Batches:   s.batches.Load(),
+		MaxBatch:  int(s.maxBatch.Load()),
+		MaxLag:    s.maxLag.Load(),
+		Resyncs:   s.resyncs.Load(),
+		Dropped:   s.dropped.Load(),
+	}
+}
+
+// subscription is one registered consumer. All fields except stats are
+// guarded by the broker mutex; the callback itself runs with the mutex
+// released, fenced by the delivering flag.
 type subscription[T any] struct {
 	id     int64
-	cursor int64 // rev of the last event consumed (or start rev)
+	cursor int64    // rev of the last event consumed (or start rev)
+	topics TopicSet // rings this subscriber merges
 	fn     func([]T)
 	resync func() int64 // nil: fall forward and count Dropped
 
-	buf []T // reused batch buffer; callbacks must not retain it
+	buf   []T   // reused batch buffer; callbacks must not retain it
+	heads []int // per-ring merge offsets, reused across batch cuts
 
 	closed      bool
 	delivering  bool
 	deliverGoid int64 // goroutine running the callback, for re-entrancy
 
-	stats SubscriberStats
+	stats subStats
 }
 
-// Broker is a versioned event broker over a fixed-capacity ring buffer.
-// The zero value is not usable; call New.
+// Broker is a versioned event broker over per-topic fixed-capacity ring
+// buffers sharing one resource-version space. The zero value is not
+// usable; call New.
 type Broker[T any] struct {
-	mode     Mode
-	capacity int
-	maxBatch int
+	mode      Mode
+	maxBatch  int
+	sequenced bool
 
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast: publish, cursor advance, delivery end, close
 
-	ring  []entry[T]
-	start int // index of the oldest retained event
-	count int
+	rings []ring[T]
 
-	lastRev    int64 // rev of the newest published event
-	evictedRev int64 // highest rev pushed off the ring
-	published  int64
-	evicted    int64
+	lastRev int64 // rev of the newest appended event
+
+	// stash holds sequenced publishes that arrived before their
+	// predecessors; drained into the rings as gaps fill.
+	stash map[int64]stashed[T]
 
 	subs   map[int64]*subscription[T]
 	order  []int64 // subscription ids, ascending (= subscription order)
 	nextID int64
 
-	// Sync-mode flush state: one flusher drains the ring for everyone;
+	// Sync-mode flush state: one flusher drains the rings for everyone;
 	// concurrent flushers wait (or return, when called re-entrantly from
 	// a delivery callback — the outer flusher picks the new events up).
 	flushing    bool
@@ -176,6 +329,12 @@ type Broker[T any] struct {
 	lastFlushed int64 // every event <= this was offered to all subscribers
 
 	closed bool
+}
+
+// stashed is one out-of-order sequenced publish awaiting its gap.
+type stashed[T any] struct {
+	topic int
+	ev    T
 }
 
 // New creates a broker.
@@ -186,12 +345,25 @@ func New[T any](opts Options) *Broker[T] {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = DefaultMaxBatch
 	}
+	if opts.Topics <= 0 {
+		opts.Topics = 1
+	}
 	b := &Broker[T]{
-		mode:     opts.Mode,
-		capacity: opts.Capacity,
-		maxBatch: opts.MaxBatch,
-		ring:     make([]entry[T], opts.Capacity),
-		subs:     make(map[int64]*subscription[T]),
+		mode:      opts.Mode,
+		maxBatch:  opts.MaxBatch,
+		sequenced: opts.Sequenced,
+		rings:     make([]ring[T], opts.Topics),
+		subs:      make(map[int64]*subscription[T]),
+	}
+	for t := range b.rings {
+		c := opts.Capacity
+		if t < len(opts.TopicCapacity) && opts.TopicCapacity[t] > 0 {
+			c = opts.TopicCapacity[t]
+		}
+		b.rings[t].capacity = c
+	}
+	if opts.Sequenced {
+		b.stash = make(map[int64]stashed[T])
 	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
@@ -200,52 +372,85 @@ func New[T any](opts Options) *Broker[T] {
 // Mode returns the delivery mode.
 func (b *Broker[T]) Mode() Mode { return b.mode }
 
-// Publish appends one event at the given resource version. Revisions
-// must be strictly increasing across calls — the caller serializes
-// publishes (typically by holding its own state lock, which is safe: the
-// append is O(1) and never runs subscriber code). When the ring is full
-// the oldest event is evicted; subscribers still needing it resync.
-func (b *Broker[T]) Publish(rev int64, ev T) {
+// Publish appends one event to topic 0 at the given resource version —
+// the single-stream broker's entry point. See PublishTopic.
+func (b *Broker[T]) Publish(rev int64, ev T) { b.PublishTopic(0, rev, ev) }
+
+// PublishTopic appends one event to the given topic ring at the given
+// resource version. On a non-sequenced broker revisions must be
+// strictly increasing across calls — the caller serializes publishes
+// (typically by holding its own state lock, which is safe: the append
+// is O(1) and never runs subscriber code). On a sequenced broker,
+// racing writers may arrive out of order; the event is buffered until
+// every lower rev has been published, then appended in rev order. When
+// a ring is full its oldest event is evicted; subscribers still needing
+// it resync.
+func (b *Broker[T]) PublishTopic(topic int, rev int64, ev T) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return
 	}
+	if topic < 0 || topic >= len(b.rings) {
+		panic(fmt.Sprintf("watch: PublishTopic topic %d out of range [0,%d)", topic, len(b.rings)))
+	}
 	if rev <= b.lastRev {
 		panic(fmt.Sprintf("watch: Publish rev %d not after %d", rev, b.lastRev))
 	}
-	if b.count == b.capacity {
-		old := &b.ring[b.start]
-		b.evictedRev = old.rev
-		var zero entry[T]
-		*old = zero // release the payload to the GC
-		b.start = (b.start + 1) % b.capacity
-		b.count--
-		b.evicted++
+	if b.sequenced && rev != b.lastRev+1 {
+		if _, dup := b.stash[rev]; dup {
+			panic(fmt.Sprintf("watch: duplicate sequenced Publish rev %d", rev))
+		}
+		b.stash[rev] = stashed[T]{topic: topic, ev: ev}
+		return
 	}
-	b.ring[(b.start+b.count)%b.capacity] = entry[T]{rev: rev, ev: ev}
-	b.count++
+	b.rings[topic].append(rev, ev)
 	b.lastRev = rev
-	b.published++
+	if b.sequenced {
+		// Drain any stashed successors whose gap just filled.
+		for {
+			next, ok := b.stash[b.lastRev+1]
+			if !ok {
+				break
+			}
+			delete(b.stash, b.lastRev+1)
+			b.lastRev++
+			b.rings[next.topic].append(b.lastRev, next.ev)
+		}
+	}
 	b.cond.Broadcast()
 }
 
-// Subscribe registers fn for every event with rev > afterRev, delivered
-// in batches in strict resource-version order with no duplicates. The
-// batch slice is reused between invocations — callbacks must not retain
-// it. resync (optional) is invoked when the subscriber falls off the
-// ring: it must re-prime the consumer from a fresh snapshot of the
-// source of truth and return that snapshot's resource version, which
-// becomes the new cursor. The returned function unsubscribes; see the
-// package comment for its safety guarantees.
+// Subscribe registers fn for every event on every topic with
+// rev > afterRev. See SubscribeTopics.
 func (b *Broker[T]) Subscribe(afterRev int64, fn func([]T), resync func() int64) (unsubscribe func()) {
+	return b.SubscribeTopics(afterRev, AllTopics, fn, resync)
+}
+
+// SubscribeTopics registers fn for every event in the given topic set
+// with rev > afterRev, delivered in batches in strict resource-version
+// order (merged across the subscribed rings) with no duplicates. The
+// batch slice is reused between invocations — callbacks must not retain
+// it. resync (optional) is invoked when the subscriber falls off a
+// subscribed ring: it must re-prime the consumer from a fresh snapshot
+// of the source of truth and return that snapshot's resource version,
+// which becomes the new cursor. The returned function unsubscribes; see
+// the package comment for its safety guarantees.
+func (b *Broker[T]) SubscribeTopics(afterRev int64, topics TopicSet, fn func([]T), resync func() int64) (unsubscribe func()) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return func() {}
 	}
 	b.nextID++
-	sub := &subscription[T]{id: b.nextID, cursor: afterRev, fn: fn, resync: resync}
+	sub := &subscription[T]{
+		id:     b.nextID,
+		cursor: afterRev,
+		topics: topics,
+		fn:     fn,
+		resync: resync,
+		heads:  make([]int, len(b.rings)),
+	}
 	b.subs[sub.id] = sub
 	b.order = append(b.order, sub.id)
 	if b.mode == Async {
@@ -288,25 +493,41 @@ func (b *Broker[T]) Close() {
 	b.cond.Broadcast()
 }
 
-// LastRev returns the resource version of the newest published event.
+// LastRev returns the resource version of the newest appended event
+// (stashed out-of-order sequenced publishes do not count until their
+// gap fills).
 func (b *Broker[T]) LastRev() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.lastRev
 }
 
-// EventsSince returns copies of the retained events with rev > afterRev,
-// or ErrTooOld when that interval has been partially evicted.
+// EventsSince returns copies of the retained events with rev > afterRev
+// across all topics, merged in rev order, or ErrTooOld when that
+// interval has been partially evicted from any ring.
 func (b *Broker[T]) EventsSince(afterRev int64) ([]T, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if afterRev < b.evictedRev {
-		return nil, fmt.Errorf("%w: have >= %d, requested > %d", ErrTooOld, b.evictedRev, afterRev)
+	var horizon int64
+	for t := range b.rings {
+		if b.rings[t].evictedRev > horizon {
+			horizon = b.rings[t].evictedRev
+		}
 	}
-	i := b.searchLocked(afterRev)
-	out := make([]T, 0, b.count-i)
-	for ; i < b.count; i++ {
-		out = append(out, b.ring[(b.start+i)%b.capacity].ev)
+	if afterRev < horizon {
+		return nil, fmt.Errorf("%w: have >= %d, requested > %d", ErrTooOld, horizon, afterRev)
+	}
+	var merged []entry[T]
+	for t := range b.rings {
+		r := &b.rings[t]
+		for i := r.search(afterRev); i < r.count; i++ {
+			merged = append(merged, *r.at(i))
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].rev < merged[j].rev })
+	out := make([]T, len(merged))
+	for i := range merged {
+		out[i] = merged[i].ev
 	}
 	return out, nil
 }
@@ -316,26 +537,29 @@ func (b *Broker[T]) EventsSince(afterRev int64) ([]T, error) {
 func (b *Broker[T]) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	st := Stats{
-		Published:   b.published,
-		Evicted:     b.evicted,
-		Subscribers: len(b.subs),
+	st := Stats{Subscribers: len(b.subs)}
+	for t := range b.rings {
+		r := &b.rings[t]
+		st.Published += r.published
+		st.Evicted += r.evicted
+		st.PerTopic = append(st.PerTopic, TopicStats{Published: r.published, Evicted: r.evicted})
 	}
 	for _, id := range b.order {
-		st.PerSubscriber = append(st.PerSubscriber, b.subs[id].stats)
+		st.PerSubscriber = append(st.PerSubscriber, b.subs[id].stats.snapshot())
 	}
 	return st
 }
 
-// Quiesce blocks until every subscriber's cursor has reached every event
-// published before the call and no delivery or flush is in flight — the
-// barrier tests and benchmarks use to observe a settled fan-out.
+// Quiesce blocks until every subscriber's cursor has reached every
+// event published before the call, no sequenced publish is stashed
+// awaiting its gap, and no delivery or flush is in flight — the barrier
+// tests and benchmarks use to observe a settled fan-out.
 func (b *Broker[T]) Quiesce() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	target := b.lastRev
 	for {
-		settled := !b.flushing
+		settled := !b.flushing && len(b.stash) == 0
 		for _, sub := range b.subs {
 			if sub.cursor < target || sub.delivering {
 				settled = false
@@ -425,25 +649,34 @@ func (b *Broker[T]) pump(sub *subscription[T]) {
 }
 
 // serveLocked moves one subscriber forward: either delivers the next
-// batch or runs its too-old recovery. Caller holds b.mu; it is released
-// around the callback. Reports whether the cursor advanced.
+// batch (merged across its subscribed rings in rev order) or runs its
+// too-old recovery. Caller holds b.mu; it is released around the
+// callback. Reports whether the cursor advanced.
 func (b *Broker[T]) serveLocked(sub *subscription[T], callerGoid int64) bool {
-	if sub.cursor < b.evictedRev {
-		// Fell off the ring.
+	// The eviction horizon is the newest rev pushed off any subscribed
+	// ring: a cursor below it may have missed events.
+	var horizon int64
+	for t := range b.rings {
+		if sub.topics.Has(t) && b.rings[t].evictedRev > horizon {
+			horizon = b.rings[t].evictedRev
+		}
+	}
+	if sub.cursor < horizon {
+		// Fell off a subscribed ring.
 		if sub.resync == nil {
-			sub.stats.Dropped += b.evictedRev - sub.cursor
-			sub.cursor = b.evictedRev
+			sub.stats.dropped.Add(horizon - sub.cursor)
+			sub.cursor = horizon
 			b.cond.Broadcast()
 			return true
 		}
-		sub.stats.Resyncs++
+		sub.stats.resyncs.Add(1)
 		before := sub.cursor
 		newCursor, ok := b.callLocked(sub, callerGoid, func() int64 { return sub.resync() })
 		if !ok {
 			return false
 		}
 		// A correct handler returns its snapshot's rev, which is >= the
-		// eviction horizon at snapshot time; if the ring wrapped again
+		// eviction horizon at snapshot time; if a ring wrapped again
 		// during the resync, the next serve detects it and resyncs again.
 		if newCursor > sub.cursor {
 			sub.cursor = newCursor
@@ -451,33 +684,71 @@ func (b *Broker[T]) serveLocked(sub *subscription[T], callerGoid int64) bool {
 		b.cond.Broadcast()
 		return sub.cursor > before
 	}
-	i := b.searchLocked(sub.cursor)
-	n := b.count - i
-	if n <= 0 {
-		return false
-	}
-	if n > b.maxBatch {
-		n = b.maxBatch
+	// Cut a batch: k-way merge of the subscribed rings by rev. heads[t]
+	// is the next unconsumed offset in ring t (-1: not subscribed).
+	for t := range b.rings {
+		if sub.topics.Has(t) {
+			sub.heads[t] = b.rings[t].search(sub.cursor)
+		} else {
+			sub.heads[t] = -1
+		}
 	}
 	batch := sub.buf[:0]
-	if cap(batch) < n {
+	if cap(batch) < b.maxBatch {
 		batch = make([]T, 0, b.maxBatch)
 	}
-	for j := 0; j < n; j++ {
-		batch = append(batch, b.ring[(b.start+i+j)%b.capacity].ev)
+	lastDelivered := sub.cursor
+	exhausted := false
+	for len(batch) < b.maxBatch {
+		best := -1
+		var bestRev int64
+		for t := range b.rings {
+			i := sub.heads[t]
+			if i < 0 || i >= b.rings[t].count {
+				continue
+			}
+			if e := b.rings[t].at(i); best == -1 || e.rev < bestRev {
+				best, bestRev = t, e.rev
+			}
+		}
+		if best == -1 {
+			exhausted = true
+			break
+		}
+		batch = append(batch, b.rings[best].at(sub.heads[best]).ev)
+		lastDelivered = bestRev
+		sub.heads[best]++
 	}
 	sub.buf = batch
-	if lag := b.lastRev - sub.cursor; lag > sub.stats.MaxLag {
-		sub.stats.MaxLag = lag
+	n := len(batch)
+	if n == 0 {
+		if sub.cursor < b.lastRev {
+			// Nothing in (cursor, lastRev] lands on a subscribed ring;
+			// fast-forward so flush/pump/Quiesce see this subscriber as
+			// current instead of spinning on foreign-topic events.
+			sub.cursor = b.lastRev
+			b.cond.Broadcast()
+			return true
+		}
+		return false
 	}
-	sub.cursor = b.ring[(b.start+i+n-1)%b.capacity].rev
+	if lag := b.lastRev - sub.cursor; lag > sub.stats.maxLag.Load() {
+		sub.stats.maxLag.Store(lag)
+	}
+	if exhausted {
+		// Every subscribed event was consumed; any newer revs are on
+		// foreign rings, so the cursor jumps to the head.
+		sub.cursor = b.lastRev
+	} else {
+		sub.cursor = lastDelivered
+	}
 	if _, ok := b.callLocked(sub, callerGoid, func() int64 { sub.fn(batch); return 0 }); !ok {
 		return false
 	}
-	sub.stats.Delivered += int64(n)
-	sub.stats.Batches++
-	if n > sub.stats.MaxBatch {
-		sub.stats.MaxBatch = n
+	sub.stats.delivered.Add(int64(n))
+	sub.stats.batches.Add(1)
+	if int64(n) > sub.stats.maxBatch.Load() {
+		sub.stats.maxBatch.Store(int64(n))
 	}
 	b.cond.Broadcast()
 	return true
@@ -502,22 +773,6 @@ func (b *Broker[T]) callLocked(sub *subscription[T], callerGoid int64, f func() 
 	sub.deliverGoid = 0
 	b.cond.Broadcast()
 	return v, true
-}
-
-// searchLocked returns the smallest ring offset whose event rev exceeds
-// afterRev (count when none does). Revisions are strictly increasing
-// along the ring, so this is a binary search.
-func (b *Broker[T]) searchLocked(afterRev int64) int {
-	lo, hi := 0, b.count
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if b.ring[(b.start+mid)%b.capacity].rev > afterRev {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
 }
 
 // goid returns the current goroutine id (parsed from the runtime stack

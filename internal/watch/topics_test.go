@@ -1,0 +1,190 @@
+package watch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTopicSubscriberMergesRevOrder: two topic rings over one rev
+// space. An all-topics subscriber sees the merged stream exactly as a
+// single-ring broker would; single-topic subscribers see only their
+// ring, still in rev order.
+func TestTopicSubscriberMergesRevOrder(t *testing.T) {
+	b := New[int64](Options{Mode: Sync, Topics: 2})
+	var all, got0, got1 []int64
+	unsubAll := b.Subscribe(0, func(evs []int64) { all = append(all, evs...) }, nil)
+	defer unsubAll()
+	unsub0 := b.SubscribeTopics(0, TopicsOf(0), func(evs []int64) { got0 = append(got0, evs...) }, nil)
+	defer unsub0()
+	unsub1 := b.SubscribeTopics(0, TopicsOf(1), func(evs []int64) { got1 = append(got1, evs...) }, nil)
+	defer unsub1()
+	for rev := int64(1); rev <= 20; rev++ {
+		b.PublishTopic(int(rev%2), rev, rev) // even revs → topic 0, odd → topic 1
+		b.Flush()
+	}
+	if len(all) != 20 {
+		t.Fatalf("all-topics subscriber got %d events, want 20", len(all))
+	}
+	checkOrdered(t, all, "merged")
+	if len(got0)+len(got1) != 20 {
+		t.Fatalf("single-topic subscribers got %d+%d events, want 20 total", len(got0), len(got1))
+	}
+	for _, r := range got0 {
+		if r%2 != 0 {
+			t.Fatalf("topic-0 subscriber saw topic-1 rev %d", r)
+		}
+	}
+	for _, r := range got1 {
+		if r%2 != 1 {
+			t.Fatalf("topic-1 subscriber saw topic-0 rev %d", r)
+		}
+	}
+	checkOrdered(t, got0, "topic 0")
+	checkOrdered(t, got1, "topic 1")
+	// Single-topic cursors fast-forward past foreign events, so the
+	// broker quiesces even though their last delivered rev is not the
+	// global head.
+	b.Quiesce()
+	events, err := b.EventsSince(0)
+	if err != nil || len(events) != 20 {
+		t.Fatalf("EventsSince(0) = %d events, %v; want 20, nil", len(events), err)
+	}
+	checkOrdered(t, events, "EventsSince merge")
+}
+
+// TestTopicRingIsolation: eviction is per ring. A burst on one topic
+// must not push the other topic's events off their ring — its
+// subscriber replays without resyncing, while an all-topics subscriber
+// (whose horizon spans both rings) is forced through recovery.
+func TestTopicRingIsolation(t *testing.T) {
+	b := New[int64](Options{Mode: Sync, Topics: 2, TopicCapacity: []int{4, 1024}})
+	var quiet []int64
+	unsubQuiet := b.SubscribeTopics(0, TopicsOf(1), func(evs []int64) { quiet = append(quiet, evs...) }, nil)
+	defer unsubQuiet()
+	var resyncs int64
+	unsubAll := b.Subscribe(0, func([]int64) {}, func() int64 {
+		resyncs++
+		return b.LastRev()
+	})
+	defer unsubAll()
+
+	rev := int64(0)
+	for i := 0; i < 2; i++ {
+		rev++
+		b.PublishTopic(1, rev, rev)
+	}
+	// Flood the small topic-0 ring far past its capacity before any
+	// delivery happens.
+	for i := 0; i < 100; i++ {
+		rev++
+		b.PublishTopic(0, rev, rev)
+	}
+	b.Flush()
+
+	if len(quiet) != 2 || quiet[0] != 1 || quiet[1] != 2 {
+		t.Fatalf("topic-1 subscriber got %v, want [1 2] despite the topic-0 flood", quiet)
+	}
+	if resyncs == 0 {
+		t.Fatal("all-topics subscriber fell off the flooded ring but never resynced")
+	}
+	st := b.Stats()
+	if st.PerTopic[0].Evicted == 0 || st.PerTopic[1].Evicted != 0 {
+		t.Fatalf("per-topic eviction = %+v, want topic 0 evicting and topic 1 intact", st.PerTopic)
+	}
+	if st.PerSubscriber[0].Resyncs != 0 || st.PerSubscriber[0].Dropped != 0 {
+		t.Fatalf("topic-1 subscriber stats = %+v, want no resyncs/drops", st.PerSubscriber[0])
+	}
+}
+
+// TestSequencedPublishReorders: writers racing an atomic rev allocator
+// may reach a sequenced broker out of order; events must still land on
+// the rings — and reach subscribers — in rev order.
+func TestSequencedPublishReorders(t *testing.T) {
+	b := New[int64](Options{Mode: Sync, Sequenced: true})
+	var got []int64
+	unsub := b.Subscribe(0, func(evs []int64) { got = append(got, evs...) }, nil)
+	defer unsub()
+	b.Publish(2, 2)
+	b.Publish(3, 3)
+	if lr := b.LastRev(); lr != 0 {
+		t.Fatalf("LastRev = %d with the gap at rev 1 unfilled, want 0", lr)
+	}
+	b.Publish(1, 1)
+	if lr := b.LastRev(); lr != 3 {
+		t.Fatalf("LastRev = %d after the gap filled, want 3", lr)
+	}
+	b.Flush()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("delivered %v, want [1 2 3]", got)
+	}
+}
+
+// TestSequencedConcurrentPublishersDeliverInOrder hammers the sequenced
+// path: goroutines allocate revs from an atomic counter, publish in
+// whatever order they are scheduled, and every subscriber must still
+// observe the full dense stream in rev order.
+func TestSequencedConcurrentPublishersDeliverInOrder(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 200
+	)
+	b := New[int64](Options{Mode: Sync, Topics: 2, Sequenced: true})
+	var mu sync.Mutex
+	var got []int64
+	unsub := b.Subscribe(0, func(evs []int64) {
+		mu.Lock()
+		got = append(got, evs...)
+		mu.Unlock()
+	}, nil)
+	defer unsub()
+
+	var seq atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				rev := seq.Add(1)
+				b.PublishTopic(int(rev%2), rev, rev)
+				b.Flush()
+			}
+		}()
+	}
+	wg.Wait()
+	b.Flush()
+	b.Quiesce()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != workers*perW {
+		t.Fatalf("delivered %d events, want %d", len(got), workers*perW)
+	}
+	checkOrdered(t, got, "sequenced concurrent")
+	if b.LastRev() != int64(workers*perW) {
+		t.Fatalf("LastRev = %d, want %d", b.LastRev(), workers*perW)
+	}
+}
+
+// TestSingleTopicQuiesceAsync: an async pump serving a single-topic
+// subscriber must not spin or hang Quiesce when every new event lands
+// on a foreign topic.
+func TestSingleTopicQuiesceAsync(t *testing.T) {
+	b := New[int64](Options{Mode: Async, Topics: 2})
+	var n atomic.Int64
+	unsub := b.SubscribeTopics(0, TopicsOf(1), func(evs []int64) { n.Add(int64(len(evs))) }, nil)
+	defer unsub()
+	for rev := int64(1); rev <= 50; rev++ {
+		b.PublishTopic(0, rev, rev) // all foreign to the subscriber
+	}
+	b.Quiesce() // must return: the pump fast-forwards the cursor
+	if n.Load() != 0 {
+		t.Fatalf("topic-1 subscriber received %d topic-0 events", n.Load())
+	}
+	b.PublishTopic(1, 51, 51)
+	b.Quiesce()
+	if n.Load() != 1 {
+		t.Fatalf("topic-1 subscriber received %d events after its topic fired, want 1", n.Load())
+	}
+}
