@@ -6,9 +6,14 @@
 // metrics like binds/s per benchmark) — the BENCH_<n>.json artifact the
 // CI bench job uploads so the repo keeps a perf trajectory.
 //
+// Figure mode accepts -cpuprofile/-memprofile to capture pprof profiles
+// of the reproduction run itself — the quickest way to see where a
+// figure's simulated cluster spends its time without wiring a benchmark
+// around it (see README.md, "Profiling").
+//
 // Usage:
 //
-//	benchreport [-seed 1] [-figs fig3,fig7,...] [-rows 24]
+//	benchreport [-seed 1] [-figs fig3,fig7,...] [-rows 24] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	benchreport -bench-input bench-head.txt [-json-out BENCH_5.json]
 package main
 
@@ -16,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,10 +43,24 @@ func run() error {
 	rows := flag.Int("rows", 24, "max rows rendered per series")
 	benchInput := flag.String("bench-input", "", "raw `go test -bench` output to convert to JSON (skips figure mode)")
 	jsonOut := flag.String("json-out", "", "JSON report destination (default: stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the figure runs to `file`")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the figure runs to `file`")
 	flag.Parse()
 
 	if *benchInput != "" {
 		return emitBenchJSON(*benchInput, *jsonOut)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	ids := sgxorch.FigureIDs()
@@ -58,6 +79,18 @@ func run() error {
 			return err
 		}
 		fmt.Printf("   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -160,4 +160,29 @@
 // mid-storm without touching any stripe, and the human-readable audit
 // trail (Server.Events) is a bounded ring that retains the newest 16k
 // entries instead of growing with cluster lifetime.
+//
+// At the million-pod scale the pass itself is sublinear in the cluster
+// (internal/core: index.go, view.go, framework.go). Each scheduler owns
+// one long-lived incremental ClusterView instead of cloning the cache
+// per pass: the cache journals which nodes each event touched, and
+// SyncView replays just that delta into the view's pooled NodeViews —
+// O(changed nodes), with a full rebuild only after epoch bumps (relist)
+// or when the backlog of journal entries exceeds the cluster size. The
+// view partitions nodes by SGX capability and buckets each partition by
+// free memory (and effective free EPC) in log2 bands, maintained
+// incrementally on every commit; a pod's candidate search walks only
+// the bands that can possibly fit its request, so infeasible nodes are
+// skipped in bulk without evaluating them. On top of that sits
+// kube-scheduler-style sampled scoring (Config.PercentageNodesToScore):
+// above 100 nodes a pass stops after an adaptive number of feasible
+// candidates (50% shrinking to a 5% floor, never below 100), and a
+// deterministic rotating start offset spreads successive searches
+// around the ring so every eligible node keeps getting considered —
+// fairness across passes rather than within one. Clusters at or below
+// 100 nodes — every testbed in the paper — always score every node, so
+// sampling changes nothing there, which the determinism and
+// cache≡rebuild property tests pin. BenchmarkMillionPod drives 5,000
+// nodes with a million bound pods and a 100k backlog through both arms;
+// the indexed, sampled pass is an order of magnitude faster than the
+// exhaustive scan at that scale.
 package sgxorch

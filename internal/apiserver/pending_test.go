@@ -204,3 +204,74 @@ func TestPreemptRejectsUnboundAndTerminalPods(t *testing.T) {
 		t.Fatalf("preempting terminal pod: err = %v, want ErrConflict", err)
 	}
 }
+
+// TestVisitPendingNWindowsDeepQueue fills the queue 100k deep and proves
+// the windowed visit returns exactly the queue head in order — and that
+// it never copies the whole queue: the per-call allocation count stays
+// O(1) because the truncated name snapshot reuses a pooled buffer sized
+// by the window, not the backlog.
+func TestVisitPendingNWindowsDeepQueue(t *testing.T) {
+	clk := clock.NewSim()
+	srv := New(clk)
+	const depth = 100_000
+	for i := 0; i < depth; i++ {
+		// Priorities cycle so the head interleaves tiers; within a tier
+		// FCFS order is submission order.
+		if err := srv.CreatePod(prioPod(fmt.Sprintf("pod-%06d", i), int32(i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var full []string
+	srv.VisitPending("s", func(p *api.Pod) bool {
+		full = append(full, p.Name)
+		return true
+	})
+	if len(full) != depth {
+		t.Fatalf("full visit saw %d pods, want %d", len(full), depth)
+	}
+
+	const window = 100
+	var head []string
+	srv.VisitPendingN("s", window, func(p *api.Pod) bool {
+		head = append(head, p.Name)
+		return true
+	})
+	if len(head) != window {
+		t.Fatalf("windowed visit saw %d pods, want %d", len(head), window)
+	}
+	for i := range head {
+		if head[i] != full[i] {
+			t.Fatalf("windowed visit[%d] = %s, want %s (order not preserved)", i, head[i], full[i])
+		}
+	}
+
+	// No O(queue) copy per call: after warmup the pooled name buffer is
+	// reused, so a windowed walk over a 100k backlog allocates (next to)
+	// nothing. A full-queue copy would show up as thousands of bytes of
+	// slice growth every run.
+	n := 0
+	visit := func() {
+		srv.VisitPendingN("s", window, func(p *api.Pod) bool {
+			n++
+			return true
+		})
+	}
+	visit() // warm the pool
+	if allocs := testing.AllocsPerRun(50, visit); allocs > 1 {
+		t.Fatalf("windowed visit allocates %.0f objects/run over a %d-deep queue, want <= 1", allocs, depth)
+	}
+	if n == 0 {
+		t.Fatal("visit callback never ran")
+	}
+
+	// Early stop from the callback still works under a window.
+	var got []string
+	srv.VisitPendingN("s", window, func(p *api.Pod) bool {
+		got = append(got, p.Name)
+		return len(got) < 7
+	})
+	if len(got) != 7 {
+		t.Fatalf("early-stopped visit saw %d pods, want 7", len(got))
+	}
+}

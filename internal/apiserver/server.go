@@ -643,14 +643,17 @@ func (s *Server) ListPods(filter func(*api.Pod) bool) []*api.Pod {
 var pendingNamesPool = sync.Pool{New: func() any { return new([]string) }}
 
 // copyPendingNames snapshots the queued names for a scheduler under
-// pendingMu alone. Callers must return the buffer to pendingNamesPool.
-func (s *Server) copyPendingNames(schedulerName string) *[]string {
+// pendingMu alone, stopping after limit names when limit > 0 — the
+// queue's ordered visit makes the truncated copy exactly the queue head,
+// so a deep backlog is never copied wholesale just to walk its prefix.
+// Callers must return the buffer to pendingNamesPool.
+func (s *Server) copyPendingNames(schedulerName string, limit int) *[]string {
 	bufp := pendingNamesPool.Get().(*[]string)
 	names := (*bufp)[:0]
 	s.pendingMu.Lock()
 	s.pending.Visit(schedulerName, func(name string) bool {
 		names = append(names, name)
-		return true
+		return limit <= 0 || len(names) < limit
 	})
 	s.pendingMu.Unlock()
 	*bufp = names
@@ -664,7 +667,7 @@ func (s *Server) copyPendingNames(schedulerName string) *[]string {
 // matches every pod. Pods that left the queue between the name snapshot
 // and the stripe visit (a concurrent bind won) are skipped.
 func (s *Server) PendingPods(schedulerName string) []*api.Pod {
-	bufp := s.copyPendingNames(schedulerName)
+	bufp := s.copyPendingNames(schedulerName, 0)
 	out := make([]*api.Pod, 0, len(*bufp))
 	for _, name := range *bufp {
 		sh := s.podShardFor(name)
@@ -706,7 +709,15 @@ func (s *Server) VisitPods(fn func(*api.Pod) bool) {
 // pods then visited stripe by stripe, so pods bound concurrently with
 // the walk are skipped rather than handed to fn stale.
 func (s *Server) VisitPending(schedulerName string, fn func(*api.Pod) bool) {
-	bufp := s.copyPendingNames(schedulerName)
+	s.VisitPendingN(schedulerName, 0, fn)
+}
+
+// VisitPendingN is VisitPending windowed to the queue's first limit pods
+// (limit <= 0 visits all). The name snapshot itself is truncated, so the
+// cost of a pass over a 100k-deep backlog is O(limit), not O(queue) —
+// the MaxPendingPerPass window schedulers use at million-pod scale.
+func (s *Server) VisitPendingN(schedulerName string, limit int, fn func(*api.Pod) bool) {
+	bufp := s.copyPendingNames(schedulerName, limit)
 	for _, name := range *bufp {
 		sh := s.podShardFor(name)
 		sh.mu.Lock()

@@ -63,6 +63,51 @@ func fillPodInfo(info *PodInfo, pod *api.Pod, req resource.List, buf []ReqPair) 
 	info.SGX = info.EPCPages > 0
 }
 
+// Sampled-scoring defaults (see Config.PercentageNodesToScore).
+const (
+	// DefaultMinFeasibleNodesToFind floors the adaptive sample size: no
+	// matter how small the percentage, a search keeps going until it has
+	// this many feasible candidates (or runs out of nodes) — kube-
+	// scheduler's minFeasibleNodesToFind.
+	DefaultMinFeasibleNodesToFind = 100
+	// samplingMinClusterSize: clusters at or below this size always score
+	// every node, so sampling never changes behaviour for the paper-scale
+	// testbeds (§VI runs tens of nodes).
+	samplingMinClusterSize = 100
+)
+
+// numFeasibleNodesToFind returns how many feasible candidates one pod's
+// search should stop after, given the configured percentage (0 =
+// adaptive, >=100 = all) and the cluster size. The adaptive default
+// mirrors kube-scheduler's percentageOfNodesToScore: 50% shrinking
+// linearly with cluster size down to a 5% floor, full scan at or below
+// samplingMinClusterSize nodes.
+func numFeasibleNodesToFind(pct, minFeasible, numNodes int) int {
+	if minFeasible <= 0 {
+		minFeasible = DefaultMinFeasibleNodesToFind
+	}
+	if pct <= 0 {
+		if numNodes <= samplingMinClusterSize {
+			return numNodes
+		}
+		pct = 50 - numNodes/125
+		if pct < 5 {
+			pct = 5
+		}
+	}
+	if pct >= 100 {
+		return numNodes
+	}
+	k := numNodes * pct / 100
+	if k < minFeasible {
+		k = minFeasible
+	}
+	if k > numNodes {
+		k = numNodes
+	}
+	return k
+}
+
 // FilterPlugin decides hard feasibility of one (pod, node) combination.
 // Filters run for every candidate node each pass, so implementations must
 // not allocate.

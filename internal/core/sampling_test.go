@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/monitor"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// TestNumFeasibleNodesToFind pins the adaptive sample-size policy:
+// full scan at paper scale, kube-style shrinking percentage above it,
+// explicit percentages honoured, and the min-feasible floor.
+func TestNumFeasibleNodesToFind(t *testing.T) {
+	cases := []struct {
+		pct, minFeasible, nodes, want int
+	}{
+		{0, 0, 20, 20},       // paper-scale cluster: always full scan
+		{0, 0, 100, 100},     // at the threshold: still full
+		{0, 0, 500, 230},     // adaptive: (50 - 500/125)% = 46% of 500
+		{0, 0, 5000, 500},    // adaptive: max(5, 50-40)% = 10% of 5000
+		{0, 0, 100000, 5000}, // deep in the 5% floor
+		{5, 0, 5000, 250},    // explicit 5%
+		{100, 0, 5000, 5000}, // explicit full scan
+		{5, 0, 1000, 100},    // floor: 5% of 1000 = 50 < minFeasible 100
+		{5, 300, 1000, 300},  // custom floor
+		{5, 300, 200, 200},   // floor clamped to cluster size
+	}
+	for _, c := range cases {
+		if got := numFeasibleNodesToFind(c.pct, c.minFeasible, c.nodes); got != c.want {
+			t.Errorf("numFeasibleNodesToFind(%d, %d, %d) = %d, want %d",
+				c.pct, c.minFeasible, c.nodes, got, c.want)
+		}
+	}
+}
+
+// TestIndexedSamplingMatchesFullScan is the tentpole's property test. It
+// drives randomized cluster churn through the API server, keeps one
+// incremental view synced, and at every checkpoint requires:
+//
+//  1. the pooled incremental view ≡ a fresh allocating Snapshot (the
+//     copy-on-write sync loses nothing);
+//  2. an exhaustive index walk (limit ≥ cluster) finds exactly the nodes
+//     the full-scan filter pipeline accepts — the index's bucket-skip
+//     provably never hides a feasible node;
+//  3. a limited walk from an arbitrary rotation offset finds only
+//     full-scan-feasible nodes, exactly min(limit, feasible) of them,
+//     with no duplicates.
+func TestIndexedSamplingMatchesFullScan(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		clk := clock.NewSim()
+		srv := apiserver.New(clk)
+		db := tsdb.New(clk)
+
+		nodeNames := make([]string, 4+rng.Intn(12))
+		for i := range nodeNames {
+			nodeNames[i] = fmt.Sprintf("n%02d", i)
+			alloc := resource.List{
+				resource.Memory: int64(1+rng.Intn(64)) * resource.GiB,
+				resource.CPU:    8000,
+			}
+			if rng.Intn(2) == 0 {
+				alloc[resource.EPCPages] = int64(500 + rng.Intn(40000))
+			}
+			if err := srv.RegisterNode(&api.Node{
+				Name: nodeNames[i], Capacity: alloc.Clone(), Allocatable: alloc, Ready: true,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := New(clk, srv, db, Config{
+			Name: "s", Policy: Binpack{}, UseMetrics: true,
+			Window: 25 * time.Second, MetricsLag: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := s.Cache().NewView()
+
+		var pods []string
+		makePod := func() *api.Pod {
+			name := fmt.Sprintf("p%03d", len(pods))
+			pods = append(pods, name)
+			req := resource.List{resource.Memory: int64(rng.Intn(16)) * resource.GiB}
+			if rng.Intn(3) == 0 {
+				req[resource.EPCPages] = int64(rng.Intn(8000))
+			}
+			return &api.Pod{
+				Name: name,
+				Spec: api.PodSpec{
+					SchedulerName: "s",
+					Containers: []api.Container{{
+						Name:      "main",
+						Resources: api.Requirements{Requests: req},
+					}},
+				},
+			}
+		}
+		probe := func(ctx string) {
+			// Probe pods sweep request magnitudes across bucket boundaries,
+			// including zero and exact powers of two.
+			for k := 0; k < 4; k++ {
+				req := resource.List{}
+				switch rng.Intn(4) {
+				case 0:
+					req[resource.Memory] = int64(rng.Intn(80)) * resource.GiB
+				case 1:
+					req[resource.Memory] = int64(1) << uint(20+rng.Intn(17))
+				case 2:
+					req[resource.Memory] = int64(rng.Intn(4)) * resource.GiB
+					req[resource.EPCPages] = int64(rng.Intn(50000))
+				case 3:
+					req[resource.EPCPages] = int64(1) << uint(rng.Intn(16))
+				}
+				pod := &api.Pod{Name: "probe", Spec: api.PodSpec{Containers: []api.Container{{
+					Name: "main", Resources: api.Requirements{Requests: req},
+				}}}}
+				info := NewPodInfo(pod, nil)
+				full := map[string]bool{}
+				for _, n := range view.Nodes {
+					if s.profile.Feasible(info, n) {
+						full[n.Name] = true
+					}
+				}
+				offset := rng.Intn(1000)
+				// Exhaustive walk: exact set equality with the full scan.
+				got, _ := view.sampleFeasible(info, s.profile, len(view.Nodes)+1, offset, nil)
+				if len(got) != len(full) {
+					t.Fatalf("%s: req=%v exhaustive walk found %d nodes, full scan %d", ctx, req, len(got), len(full))
+				}
+				for _, n := range got {
+					if !full[n.Name] {
+						t.Fatalf("%s: req=%v index selected %s which the full scan rejects", ctx, req, n.Name)
+					}
+				}
+				// Limited walk: subset, exact count, no duplicates.
+				limit := 1 + rng.Intn(3)
+				sampled, _ := view.sampleFeasible(info, s.profile, limit, offset, nil)
+				want := limit
+				if len(full) < want {
+					want = len(full)
+				}
+				if len(sampled) != want {
+					t.Fatalf("%s: req=%v limit=%d found %d candidates, want %d (feasible=%d)",
+						ctx, req, limit, len(sampled), want, len(full))
+				}
+				seen := map[string]bool{}
+				for _, n := range sampled {
+					if !full[n.Name] {
+						t.Fatalf("%s: req=%v sampled %s which the full scan rejects", ctx, req, n.Name)
+					}
+					if seen[n.Name] {
+						t.Fatalf("%s: req=%v sampled %s twice", ctx, req, n.Name)
+					}
+					seen[n.Name] = true
+				}
+			}
+		}
+
+		for op := 0; op < 120; op++ {
+			switch r := rng.Intn(100); {
+			case r < 25:
+				_ = srv.CreatePod(makePod())
+			case r < 45:
+				if queued := srv.PendingPods(""); len(queued) > 0 {
+					p := queued[rng.Intn(len(queued))]
+					_ = srv.Bind(p.Name, nodeNames[rng.Intn(len(nodeNames))])
+				}
+			case r < 55:
+				if len(pods) > 0 {
+					_ = srv.MarkRunning(pods[rng.Intn(len(pods))])
+				}
+			case r < 62:
+				if len(pods) > 0 {
+					_ = srv.MarkSucceeded(pods[rng.Intn(len(pods))])
+				}
+			case r < 68:
+				if len(pods) > 0 {
+					_ = srv.Preempt(pods[rng.Intn(len(pods))], "chaos")
+				}
+			case r < 76:
+				n, err := srv.GetNode(nodeNames[rng.Intn(len(nodeNames))])
+				if err != nil {
+					break
+				}
+				switch rng.Intn(3) {
+				case 0:
+					n.Ready = !n.Ready
+				case 1:
+					n.Unschedulable = !n.Unschedulable
+				case 2:
+					n.Allocatable[resource.Memory] += resource.GiB
+				}
+				_ = srv.UpdateNode(n)
+			case r < 88:
+				if len(pods) > 0 {
+					db.Write(monitor.MeasurementMemory,
+						tsdb.Tags{monitor.TagPod: pods[rng.Intn(len(pods))], monitor.TagNode: nodeNames[rng.Intn(len(nodeNames))]},
+						float64(int64(rng.Intn(4))*resource.GiB), clk.Now())
+				}
+			default:
+				clk.Advance(time.Duration(rng.Intn(12000)) * time.Millisecond)
+			}
+			if op%5 == 0 {
+				s.Cache().SyncView(view)
+				viewsEqual(t, view, s.Cache().Snapshot(), fmt.Sprintf("trial %d op %d", trial, op))
+				probe(fmt.Sprintf("trial %d op %d", trial, op))
+			}
+		}
+		clk.Advance(2 * time.Minute)
+		s.Cache().SyncView(view)
+		viewsEqual(t, view, s.Cache().Snapshot(), fmt.Sprintf("trial %d final", trial))
+		probe(fmt.Sprintf("trial %d final", trial))
+		s.Close()
+	}
+}
+
+// TestSyncViewCommitConverges pins the optimistic-commit contract: a
+// pass's Commit mutates the incremental view ahead of the authoritative
+// events, and once those events land the next sync replaces the node
+// with cache truth — the view converges instead of double-charging.
+func TestSyncViewCommitConverges(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	alloc := resource.List{resource.Memory: 16 * resource.GiB, resource.EPCPages: 1000}
+	if err := srv.RegisterNode(&api.Node{Name: "n1", Capacity: alloc.Clone(), Allocatable: alloc, Ready: true}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(clk, srv, nil, Config{Name: "s", Policy: Binpack{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	view := s.Cache().NewView()
+	s.Cache().SyncView(view)
+	pod := &api.Pod{Name: "p1", Spec: api.PodSpec{SchedulerName: "s", Containers: []api.Container{{
+		Name: "main", Resources: api.Requirements{Requests: resource.List{resource.Memory: resource.GiB, resource.EPCPages: 100}},
+	}}}}
+	if err := srv.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	view.Commit("n1", pod.TotalRequests()) // optimistic, ahead of the bind
+	if err := srv.Bind("p1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Cache().SyncView(view)
+	viewsEqual(t, view, s.Cache().Snapshot(), "post-bind sync")
+	n := view.Node("n1")
+	if n.Used.Get(resource.Memory) != resource.GiB || n.FreeDevices != 900 {
+		t.Fatalf("converged view wrong: used=%v free=%d", n.Used, n.FreeDevices)
+	}
+}
+
+// TestSampledSchedulingDeterministic runs an identical above-threshold
+// (sampling-engaged) sim-clock scenario twice and requires bit-identical
+// bind histories — the reproducibility half of the tentpole's acceptance
+// criteria. It also proves sampling actually engaged (Stats.Sampled).
+func TestSampledSchedulingDeterministic(t *testing.T) {
+	run := func() ([]string, Stats) {
+		clk := clock.NewSim()
+		srv := apiserver.New(clk)
+		for i := 0; i < 150; i++ {
+			alloc := resource.List{
+				resource.Memory: int64(2+i%7) * resource.GiB,
+				resource.CPU:    8000,
+			}
+			if i%4 == 0 {
+				alloc[resource.EPCPages] = int64(2000 + 500*(i%5))
+			}
+			if err := srv.RegisterNode(&api.Node{
+				Name: fmt.Sprintf("node-%03d", i), Capacity: alloc.Clone(), Allocatable: alloc, Ready: true,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := New(clk, srv, nil, Config{
+			Name: "s", Policy: Binpack{}, Interval: time.Second, MaxBindsPerPass: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq []string
+		unsub := srv.Subscribe(func(ev apiserver.WatchEvent) {
+			if ev.Type == apiserver.PodBound {
+				seq = append(seq, fmt.Sprintf("rev=%d pod=%s node=%s", ev.Rev, ev.Pod.Name, ev.Pod.Spec.NodeName))
+			}
+		})
+		defer unsub()
+		rng := rand.New(rand.NewSource(7777))
+		for i := 0; i < 300; i++ {
+			req := resource.List{resource.Memory: int64(1+rng.Intn(3)) * resource.GiB}
+			if rng.Intn(5) == 0 {
+				req[resource.EPCPages] = int64(200 + rng.Intn(1500))
+			}
+			pod := &api.Pod{Name: fmt.Sprintf("pod-%03d", i), Spec: api.PodSpec{
+				SchedulerName: "s",
+				Containers:    []api.Container{{Name: "main", Resources: api.Requirements{Requests: req}}},
+			}}
+			if err := srv.CreatePod(pod); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Start()
+		clk.Advance(40 * time.Second)
+		st := s.Stats()
+		s.Close()
+		return seq, st
+	}
+	seqA, statsA := run()
+	seqB, statsB := run()
+	if statsA.Sampled == 0 {
+		t.Fatal("sampling never engaged at 150 nodes — the determinism check is vacuous")
+	}
+	if statsA.Bound == 0 {
+		t.Fatal("no pods bound")
+	}
+	if statsA != statsB {
+		t.Fatalf("stats differ across runs:\nrun1: %+v\nrun2: %+v", statsA, statsB)
+	}
+	if len(seqA) != len(seqB) {
+		t.Fatalf("bind counts differ: %d vs %d", len(seqA), len(seqB))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("bind %d differs:\nrun1: %s\nrun2: %s", i, seqA[i], seqB[i])
+		}
+	}
+}
+
+// TestSampledRotationCovers proves the rotating offset's fairness
+// invariant: across consecutive searches the walk does not restart at
+// the same node — every eligible node is eventually visited even though
+// each search stops after one candidate.
+func TestSampledRotationCovers(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	const nNodes = 16
+	for i := 0; i < nNodes; i++ {
+		alloc := resource.List{resource.Memory: 8 * resource.GiB, resource.CPU: 8000}
+		if err := srv.RegisterNode(&api.Node{
+			Name: fmt.Sprintf("node-%02d", i), Capacity: alloc.Clone(), Allocatable: alloc, Ready: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(clk, srv, nil, Config{Name: "s", Policy: Binpack{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	view := s.Cache().NewView()
+	s.Cache().SyncView(view)
+
+	info := NewPodInfo(&api.Pod{Spec: api.PodSpec{Containers: []api.Container{{
+		Name: "main", Resources: api.Requirements{Requests: resource.List{resource.Memory: resource.GiB}},
+	}}}}, nil)
+	seen := map[string]bool{}
+	offset := 0
+	for i := 0; i < nNodes; i++ {
+		got, visited := view.sampleFeasible(info, s.profile, 1, offset, nil)
+		if len(got) != 1 {
+			t.Fatalf("search %d found %d candidates, want 1", i, len(got))
+		}
+		seen[got[0].Name] = true
+		offset += visited
+	}
+	if len(seen) != nNodes {
+		var missing []string
+		for i := 0; i < nNodes; i++ {
+			if name := fmt.Sprintf("node-%02d", i); !seen[name] {
+				missing = append(missing, name)
+			}
+		}
+		sort.Strings(missing)
+		t.Fatalf("rotation covered %d/%d nodes; never visited: %v", len(seen), nNodes, missing)
+	}
+}

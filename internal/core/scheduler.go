@@ -69,6 +69,25 @@ type Config struct {
 	// what lets the sharded multi-scheduler experiments measure how
 	// adding schedulers scales backlog draining.
 	MaxBindsPerPass int
+	// MaxPendingPerPass bounds how many queued pods one pass copies out of
+	// the API server and attempts to place (0 = all). With a 100k-deep
+	// backlog a pass would otherwise copy the whole queue every interval
+	// only to run out of MaxBindsPerPass budget after a fraction of it;
+	// the window keeps the per-pass copy O(window) while priority-then-
+	// FCFS order guarantees the head of the queue is always in it.
+	MaxPendingPerPass int
+	// PercentageNodesToScore engages sampled scoring: a pod's feasibility
+	// search stops after finding numFeasibleNodesToFind(pct, ...)
+	// candidates via the incremental view's node index instead of
+	// scanning every node. 0 selects the adaptive kube-scheduler-style
+	// default (full scan at <=100 nodes, 50% shrinking to a 5% floor
+	// above); >=100 forces a full scan. Sampling only applies to passes
+	// planning on an incremental view (the default for ScheduleOnce);
+	// explicitly supplied plain views always scan fully.
+	PercentageNodesToScore int
+	// MinFeasibleNodesToFind floors the sample size
+	// (DefaultMinFeasibleNodesToFind when zero).
+	MinFeasibleNodesToFind int
 }
 
 // Stats counts scheduler activity for tests and benchmarks.
@@ -85,6 +104,10 @@ type Stats struct {
 	// the node was cordoned mid-pass). Conflicted pods stay pending and
 	// retry on the next pass from a refreshed cache.
 	Conflicts int
+	// Sampled counts pods whose candidate search used the indexed
+	// sampling path instead of a full node scan (see
+	// Config.PercentageNodesToScore).
+	Sampled int
 }
 
 // add folds other into s (for aggregating sharded scheduler stats).
@@ -95,6 +118,7 @@ func (s *Stats) add(other Stats) {
 	s.Preemptions += other.Preemptions
 	s.Victims += other.Victims
 	s.Conflicts += other.Conflicts
+	s.Sampled += other.Sampled
 }
 
 // Scheduler is one SGX-aware scheduler instance. It is "packaged as a
@@ -134,6 +158,17 @@ type Scheduler struct {
 	infoBuf    PodInfo
 	victimBuf  []victimInfo
 	simBuf     []*NodeView
+	candBuf    []*NodeView
+	// view is the scheduler's persistent incremental cluster view: pooled
+	// NodeViews plus the candidate index, brought current via
+	// cache.SyncView at O(changed nodes) per pass instead of Snapshot's
+	// O(cluster) clone.
+	view *ClusterView
+	// sampleOffset is the rotating start position for sampled candidate
+	// searches, advanced by the nodes each search visits so coverage
+	// spreads over all eligible nodes across pods and passes. Purely a
+	// function of the pass history, so sim-clock runs stay reproducible.
+	sampleOffset int
 
 	mu    sync.Mutex
 	stop  func()
@@ -268,6 +303,25 @@ func (s *Scheduler) ScheduleOnce() int {
 	return s.schedulePass(nil)
 }
 
+// syncedView returns the scheduler's persistent incremental view brought
+// current — the O(changed) replacement for cache.Snapshot on the pass
+// path. The sharded round-robin driver calls it to capture every
+// member's round-start view before any member plans.
+func (s *Scheduler) syncedView() *ClusterView {
+	s.passMu.Lock()
+	defer s.passMu.Unlock()
+	return s.syncedViewLocked()
+}
+
+// syncedViewLocked is syncedView for callers already holding passMu.
+func (s *Scheduler) syncedViewLocked() *ClusterView {
+	if s.view == nil {
+		s.view = s.cache.NewView()
+	}
+	s.cache.SyncView(s.view)
+	return s.view
+}
+
 // schedulePass is ScheduleOnce with an optional pre-captured cluster
 // view. The sharded round-robin driver (shard.go) passes each member the
 // view snapshotted at round start — deliberately stale with respect to
@@ -288,9 +342,10 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 
 	// VisitPending snapshots the queue order and walks the striped pod
 	// state one stripe at a time — pods a concurrent fleet member binds
-	// mid-walk are skipped, not handed over stale.
+	// mid-walk are skipped, not handed over stale. MaxPendingPerPass
+	// windows the copy so a deep backlog costs O(window), not O(queue).
 	pending := s.pendingBuf[:0]
-	s.srv.VisitPending(s.cfg.Name, func(pod *api.Pod) bool {
+	s.srv.VisitPendingN(s.cfg.Name, s.cfg.MaxPendingPerPass, func(pod *api.Pod) bool {
 		pending = append(pending, *pod)
 		return true
 	})
@@ -305,13 +360,13 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 	}
 
 	if view == nil {
-		view = s.cache.Snapshot()
+		view = s.syncedViewLocked()
 	}
-	bound, unschedulable, preemptions, victims, conflicts := 0, 0, 0, 0, 0
+	bound, unschedulable, preemptions, victims, conflicts, sampledPods := 0, 0, 0, 0, 0, 0
 	// One-lock-per-pass preemption gate: no pod can preempt unless some
 	// live pod sits in a strictly lower tier. Refreshed after evictions.
 	minPrio, anyBound := s.cache.minPriority()
-	candidates := make([]*NodeView, 0, len(view.Nodes))
+	candidates := s.candBuf[:0]
 	for i := range pending {
 		pod := &pending[i]
 		req := pod.TotalRequests()
@@ -322,9 +377,28 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		fillPodInfo(info, pod, req, s.pairBuf)
 		s.pairBuf = info.Pairs
 		candidates = candidates[:0]
-		for _, n := range view.Nodes {
-			if s.profile.Feasible(info, n) {
-				candidates = append(candidates, n)
+		sampled := false
+		if view.indexed() {
+			if target := numFeasibleNodesToFind(s.cfg.PercentageNodesToScore,
+				s.cfg.MinFeasibleNodesToFind, len(view.Nodes)); target < len(view.Nodes) {
+				// Sampled path: walk only the index buckets that can fit
+				// the pod, stop after enough feasible candidates. Candidate
+				// order differs from the name-sorted full scan (best-fit
+				// buckets first), which only matters to order-sensitive
+				// tie-breaks — acceptable by construction: sampling itself
+				// already trades exhaustive choice for pass cost.
+				var visited int
+				candidates, visited = view.sampleFeasible(info, s.profile, target, s.sampleOffset, candidates)
+				s.sampleOffset += visited
+				sampled = true
+				sampledPods++
+			}
+		}
+		if !sampled {
+			for _, n := range view.Nodes {
+				if s.profile.Feasible(info, n) {
+					candidates = append(candidates, n)
+				}
 			}
 		}
 		nodeName, ok := s.profile.selectInfo(info, candidates, view)
@@ -336,7 +410,7 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 			if target, evicted, preempted := s.preempt(info); preempted {
 				preemptions++
 				victims += evicted
-				view = s.cache.Snapshot()
+				view = s.syncedViewLocked()
 				minPrio, anyBound = s.cache.minPriority()
 				// The planner already replayed the pipeline against the
 				// predicted post-eviction state, but re-run it against
@@ -386,12 +460,14 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 			break // per-pass throughput budget spent; the rest stays queued
 		}
 	}
+	s.candBuf = candidates
 	s.mu.Lock()
 	s.stats.Bound += bound
 	s.stats.Unschedulable += unschedulable
 	s.stats.Preemptions += preemptions
 	s.stats.Victims += victims
 	s.stats.Conflicts += conflicts
+	s.stats.Sampled += sampledPods
 	s.mu.Unlock()
 	return bound
 }

@@ -147,9 +147,12 @@ func (ss *ShardedSchedulers) RunRound() int {
 	}
 	views := make([]*ClusterView, len(ss.members))
 	for i, m := range ss.members {
-		// Snapshot every cache before any pass runs: member k's view must
-		// not include members 0..k-1's binds from this round.
-		views[i] = m.cache.Snapshot()
+		// Sync every member's persistent view before any pass runs: member
+		// k's view must not include members 0..k-1's binds from this
+		// round. Each member owns its incremental view, so the round-start
+		// capture costs O(nodes changed since the member's last round)
+		// instead of N full cache snapshots.
+		views[i] = m.syncedView()
 	}
 	bound := 0
 	for i, m := range ss.members {

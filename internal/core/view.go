@@ -37,6 +37,15 @@ type NodeView struct {
 	// accounting; the device plugin enforces this bound at admission, so
 	// the scheduler must never exceed it (§V-A: no EPC over-commitment).
 	FreeDevices int64
+
+	// Index locator fields, maintained by nodeIndex (index.go) for nodes
+	// held in an incremental view; zero and meaningless in the plain
+	// allocating snapshots produced by BuildView and Snapshot.
+	idxPart   int8
+	memBucket int8
+	epcBucket int8
+	memPos    int32
+	epcPos    int32
 }
 
 // Free returns the usage-based headroom (floored at zero per resource).
@@ -83,12 +92,40 @@ func (v *NodeView) LoadFraction(name resource.Name) float64 {
 // ClusterView is the scheduler's snapshot of all schedulable nodes for one
 // pass. Nodes are kept sorted by name: "the order of the nodes stays
 // consistent by always sorting them in the same way" (§IV).
+//
+// Two flavours exist. Plain views (BuildView, ClusterCache.Snapshot) are
+// freshly allocated each time and carry only Nodes. Incremental views
+// (newIndexedView, kept current via ClusterCache.SyncView) additionally
+// maintain a name map, the candidate index of index.go, and a pool of
+// retired NodeViews so that bringing the view up to date after a pass is
+// O(changed nodes) instead of O(cluster). Incremental views are owned by
+// one scheduler and must only be mutated through Commit and SyncView.
 type ClusterView struct {
 	Nodes []*NodeView
+
+	// Incremental-view state; all nil/zero in plain views.
+	byName     map[string]*NodeView
+	idx        *nodeIndex
+	epoch      uint64
+	syncedTo   int64
+	freeNodes  []*NodeView
+	seqScratch [][]*NodeView
 }
+
+// newIndexedView returns an empty incremental view; ClusterCache.SyncView
+// populates it.
+func newIndexedView() *ClusterView {
+	return &ClusterView{byName: make(map[string]*NodeView), idx: &nodeIndex{}}
+}
+
+// indexed reports whether this view maintains the candidate index.
+func (c *ClusterView) indexed() bool { return c.idx != nil }
 
 // Node returns the view of the named node, or nil.
 func (c *ClusterView) Node(name string) *NodeView {
+	if c.byName != nil {
+		return c.byName[name]
+	}
 	for _, n := range c.Nodes {
 		if n.Name == name {
 			return n
@@ -99,7 +136,9 @@ func (c *ClusterView) Node(name string) *NodeView {
 
 // Commit records a placement decided in this pass so later decisions in
 // the same pass see the node's reduced headroom. Used is mutated in
-// place; views built by BuildView always carry a writable map.
+// place; views built by BuildView always carry a writable map. On an
+// incremental view the node is also re-bucketed so candidate generation
+// sees the reduced headroom immediately.
 func (c *ClusterView) Commit(nodeName string, req resource.List) {
 	n := c.Node(nodeName)
 	if n == nil {
@@ -107,11 +146,96 @@ func (c *ClusterView) Commit(nodeName string, req resource.List) {
 	}
 	n.Used.AddInPlace(req)
 	n.FreeDevices -= req.Get(resource.EPCPages)
+	if c.idx != nil {
+		c.idx.rebucket(n)
+	}
 }
 
 // sortNodes normalises node order.
 func (c *ClusterView) sortNodes() {
 	sort.Slice(c.Nodes, func(i, j int) bool { return c.Nodes[i].Name < c.Nodes[j].Name })
+}
+
+// takeNodeView returns a NodeView for the named node, recycling a retired
+// one (and its maps) when available.
+func (c *ClusterView) takeNodeView(name string) *NodeView {
+	if k := len(c.freeNodes); k > 0 {
+		n := c.freeNodes[k-1]
+		c.freeNodes[k-1] = nil
+		c.freeNodes = c.freeNodes[:k-1]
+		n.Name = name
+		return n
+	}
+	return &NodeView{
+		Name:        name,
+		Allocatable: make(resource.List, 4),
+		Used:        make(resource.List, 2),
+	}
+}
+
+// fillNode overwrites a NodeView's scheduling state in place, reusing its
+// maps. It does not touch the index; callers re-bucket or insert.
+func (c *ClusterView) fillNode(n *NodeView, sgx bool, alloc resource.List, memUsed, epcUsed, freeDev int64) {
+	n.SGX = sgx
+	clear(n.Allocatable)
+	for k, q := range alloc {
+		n.Allocatable[k] = q
+	}
+	clear(n.Used)
+	n.Used[resource.Memory] = memUsed
+	n.Used[resource.EPCPages] = epcUsed
+	n.FreeDevices = freeDev
+}
+
+// setNode reconciles one node into an incremental view: inserts it (kept
+// name-sorted) if absent, otherwise updates it in place and re-buckets.
+func (c *ClusterView) setNode(name string, sgx bool, alloc resource.List, memUsed, epcUsed, freeDev int64) {
+	if n := c.byName[name]; n != nil {
+		if n.SGX != sgx {
+			// Partition flip: reinsert under the other hardware class.
+			c.idx.remove(n)
+			c.fillNode(n, sgx, alloc, memUsed, epcUsed, freeDev)
+			c.idx.insert(n)
+			return
+		}
+		c.fillNode(n, sgx, alloc, memUsed, epcUsed, freeDev)
+		c.idx.rebucket(n)
+		return
+	}
+	n := c.takeNodeView(name)
+	c.fillNode(n, sgx, alloc, memUsed, epcUsed, freeDev)
+	i := sort.Search(len(c.Nodes), func(i int) bool { return c.Nodes[i].Name >= name })
+	c.Nodes = append(c.Nodes, nil)
+	copy(c.Nodes[i+1:], c.Nodes[i:])
+	c.Nodes[i] = n
+	c.byName[name] = n
+	c.idx.insert(n)
+}
+
+// dropNode removes a node from an incremental view and retires its
+// NodeView to the pool.
+func (c *ClusterView) dropNode(name string) {
+	n := c.byName[name]
+	if n == nil {
+		return
+	}
+	delete(c.byName, name)
+	c.idx.remove(n)
+	i := sort.Search(len(c.Nodes), func(i int) bool { return c.Nodes[i].Name >= name })
+	c.Nodes = append(c.Nodes[:i], c.Nodes[i+1:]...)
+	c.freeNodes = append(c.freeNodes, n)
+}
+
+// recycleAll retires every node to the pool and empties the index,
+// preparing the view for a full rebuild.
+func (c *ClusterView) recycleAll() {
+	c.freeNodes = append(c.freeNodes, c.Nodes...)
+	for i := range c.Nodes {
+		c.Nodes[i] = nil
+	}
+	c.Nodes = c.Nodes[:0]
+	clear(c.byName)
+	c.idx.reset()
 }
 
 // podUsage is the per-pod fusion of measured usage and declared requests.
