@@ -563,6 +563,29 @@ func benchPod(job borg.Job, sgxJob bool) *api.Pod {
 	}
 }
 
+// BenchmarkGangSchedule drains the gang-scheduling backlog (8 gangs of
+// 4 + solo churn on 8 nodes, 2 sharded schedulers sharing one gang
+// director) end to end per op and reports gang outcomes. The op fails
+// outright if the all-or-nothing invariant breaks or a permit leaks,
+// so the bench gate doubles as a correctness tripwire.
+func BenchmarkGangSchedule(b *testing.B) {
+	var res experiments.GangExpResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.GangDrain(experiments.GangExpConfig{Seed: benchSeed, Shards: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed || res.PartialPlacements != 0 || res.Violations != 0 || res.LeakedPermits != 0 {
+			b.Fatalf("gang invariant broken: %+v", res)
+		}
+	}
+	b.ReportMetric(float64(res.GangsCommitted), "gangs_committed")
+	b.ReportMetric(float64(res.PermitTimeouts), "permit_timeouts")
+	b.ReportMetric(res.MeanTimeToFullGang.Seconds(), "mean_to_full_gang_s")
+	b.ReportMetric(res.MaxTimeToFullGang.Seconds(), "max_to_full_gang_s")
+}
+
 // BenchmarkInfluxQLListing1 measures the paper's Listing 1 query over a
 // populated metrics database.
 func BenchmarkInfluxQLListing1(b *testing.B) {

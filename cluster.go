@@ -112,6 +112,7 @@ type Cluster struct {
 	srv   *apiserver.Server
 	db    *tsdb.DB
 	sched *core.Scheduler
+	gang  *core.GangDirector
 
 	kubelets []*kubelet.Kubelet
 	heapster *monitor.Heapster
@@ -191,11 +192,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.heapster.Start()
 	c.probes = monitor.DeployProbes(clk, c.db, c.kubelets, cfg.ScrapeInterval)
 
+	c.gang = core.NewGangDirector(clk, c.srv, core.GangConfig{})
 	sched, err := core.New(clk, c.srv, c.db, core.Config{
 		Name:       schedulerName,
 		Policy:     policy,
 		Interval:   cfg.SchedulerInterval,
 		UseMetrics: !cfg.DisableMetrics,
+		Gang:       c.gang,
 	})
 	if err != nil {
 		return nil, err
@@ -212,6 +215,7 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	c.sched.Close()
+	c.gang.Close()
 	c.heapster.Stop()
 	c.probes.Stop()
 	for _, kl := range c.kubelets {
@@ -262,6 +266,15 @@ type JobSpec struct {
 	// killed, §V-D) and to EPCUsageBytes (the burst peak) for DynamicEPC
 	// jobs.
 	EPCLimitBytes int64
+	// Gang names the job's pod group: members of the same gang schedule
+	// all-or-nothing — each one binds conditionally (a permit holding its
+	// capacity) until GangMinMember co-members hold permits, then the
+	// whole group commits atomically; if the quorum never arrives the
+	// permits roll back wholesale at the permit timeout.
+	Gang string
+	// GangMinMember is the quorum (defaults to 1; members of one gang
+	// should agree on it).
+	GangMinMember int
 }
 
 // SubmitJob queues a job with the cluster's scheduler.
@@ -320,6 +333,8 @@ func (c *Cluster) SubmitJob(spec JobSpec) error {
 		Spec: api.PodSpec{
 			SchedulerName: schedulerName,
 			Priority:      spec.Priority,
+			PodGroup:      spec.Gang,
+			MinMember:     spec.GangMinMember,
 			Containers: []api.Container{{
 				Name:      "workload",
 				Resources: api.Requirements{Requests: requests, Limits: limits},
@@ -445,4 +460,17 @@ func (c *Cluster) SchedulerStats() SchedulerStats {
 		Preemptions:   s.Preemptions,
 		Victims:       s.Victims,
 	}
+}
+
+// GangStats reports gang-scheduling outcomes: gangs committed at quorum
+// and whole-gang permit rollbacks at the timeout.
+type GangStats struct {
+	Commits  int64
+	Timeouts int64
+}
+
+// GangStats returns the gang director's counters.
+func (c *Cluster) GangStats() GangStats {
+	s := c.gang.Stats()
+	return GangStats{Commits: s.Commits, Timeouts: s.Timeouts}
 }

@@ -428,3 +428,55 @@ func TestDrainNodeThroughFacade(t *testing.T) {
 		t.Fatal("draining unknown node succeeded")
 	}
 }
+
+// TestGangJobsScheduleAllOrNothing drives the gang lifecycle through
+// the public facade: four co-members commit together and finish, and
+// the director reports the commit.
+func TestGangJobsScheduleAllOrNothing(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const members = 4
+	for i := 0; i < members; i++ {
+		if err := c.SubmitJob(JobSpec{
+			Name:               "rank-" + string(rune('a'+i)),
+			Gang:               "train-1",
+			GangMinMember:      members,
+			Duration:           time.Minute,
+			MemoryRequestBytes: GiB,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.WaitAll(time.Hour) {
+		t.Fatal("gang did not finish")
+	}
+	var waits []time.Duration
+	for i := 0; i < members; i++ {
+		st, err := c.JobStatus("rank-" + string(rune('a'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Phase != "Succeeded" {
+			t.Fatalf("member %d phase = %s (%s)", i, st.Phase, st.Reason)
+		}
+		waits = append(waits, st.Waiting)
+	}
+	// Atomic commit: all members were submitted at the same instant, so
+	// equal waiting times mean the gang bound in one commit burst, not
+	// trickled over passes.
+	for _, w := range waits[1:] {
+		if w != waits[0] {
+			t.Fatalf("gang bound across instants: waits = %v", waits)
+		}
+	}
+	gs := c.GangStats()
+	if gs.Commits != 1 {
+		t.Fatalf("gang commits = %d, want 1", gs.Commits)
+	}
+	if gs.Timeouts != 0 {
+		t.Fatalf("gang timeouts = %d, want 0", gs.Timeouts)
+	}
+}

@@ -12,9 +12,15 @@
 // allocation counts shift more readily — and sometimes deliberately, as
 // a trade for speed. Set either threshold to 0 to disable that gate.
 //
+// The gate also refuses vacuous comparisons: an input with no benchmark
+// sections at all (what benchstat emits when a bench file was empty or
+// missing) exits non-zero, and the optional -base/-head flags validate
+// the raw bench files themselves before the comparison is trusted.
+//
 // Usage:
 //
 //	benchstat base.txt head.txt | benchgate -threshold 20 -alloc-threshold 30
+//	benchgate -base bench-base.txt -head bench-head.txt benchstat.txt
 package main
 
 import (
@@ -32,7 +38,29 @@ func main() {
 	log.SetPrefix("benchgate: ")
 	threshold := flag.Float64("threshold", 20, "maximum tolerated significant time/op regression, in percent (0 disables)")
 	allocThreshold := flag.Float64("alloc-threshold", 30, "maximum tolerated significant B/op or allocs/op regression, in percent (0 disables)")
+	basePath := flag.String("base", "", "raw base bench output to sanity-check (missing/empty file fails the gate)")
+	headPath := flag.String("head", "", "raw head bench output to sanity-check (missing/empty file fails the gate)")
 	flag.Parse()
+
+	// An empty or missing side makes benchstat print an empty table,
+	// which would gate as a vacuous pass; refuse it loudly instead.
+	for _, side := range []struct{ label, path string }{
+		{"base", *basePath},
+		{"head", *headPath},
+	} {
+		if side.path == "" {
+			continue
+		}
+		f, err := os.Open(side.path)
+		if err != nil {
+			log.Fatalf("%s bench file: %v", side.label, err)
+		}
+		err = benchgate.ValidateBench(side.label+" ("+side.path+")", f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {

@@ -14,7 +14,7 @@
 // Usage:
 //
 //	benchreport [-seed 1] [-figs fig3,fig7,...] [-rows 24] [-cpuprofile cpu.out] [-memprofile mem.out]
-//	benchreport -bench-input bench-head.txt [-json-out BENCH_5.json]
+//	benchreport -bench-input bench-head.txt [-json-out BENCH_5.json] [-commit SHA]
 package main
 
 import (
@@ -43,12 +43,13 @@ func run() error {
 	rows := flag.Int("rows", 24, "max rows rendered per series")
 	benchInput := flag.String("bench-input", "", "raw `go test -bench` output to convert to JSON (skips figure mode)")
 	jsonOut := flag.String("json-out", "", "JSON report destination (default: stdout)")
+	commit := flag.String("commit", "", "VCS revision to stamp into the JSON report")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the figure runs to `file`")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the figure runs to `file`")
 	flag.Parse()
 
 	if *benchInput != "" {
-		return emitBenchJSON(*benchInput, *jsonOut)
+		return emitBenchJSON(*benchInput, *jsonOut, *commit)
 	}
 
 	if *cpuProfile != "" {
@@ -97,7 +98,7 @@ func run() error {
 
 // emitBenchJSON converts raw benchmark output into the JSON perf
 // artifact.
-func emitBenchJSON(inputPath, outPath string) error {
+func emitBenchJSON(inputPath, outPath, commit string) error {
 	in, err := os.Open(inputPath)
 	if err != nil {
 		return err
@@ -108,6 +109,7 @@ func emitBenchJSON(inputPath, outPath string) error {
 		return err
 	}
 	rep.Source = inputPath
+	rep.Commit = commit
 	out := os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)

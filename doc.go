@@ -10,9 +10,10 @@
 // exposes:
 //
 //   - Cluster: assemble a cluster (standard + SGX nodes), submit jobs —
-//     optionally with priorities — and observe placements, waiting times
-//     and turnaround times; the simulated clock replays hours of cluster
-//     time in milliseconds.
+//     optionally with priorities, or grouped into all-or-nothing gangs
+//     (JobSpec.Gang/GangMinMember) — and observe placements, waiting
+//     times and turnaround times; the simulated clock replays hours of
+//     cluster time in milliseconds.
 //   - Policies: the paper's binpack and spread strategies plus a
 //     request-only baseline mirroring Kubernetes' default scheduler.
 //   - ReplayBorgTrace: replay the paper's Google Borg trace slice (663
@@ -160,6 +161,41 @@
 // mid-storm without touching any stripe, and the human-readable audit
 // trail (Server.Events) is a bounded ring that retains the newest 16k
 // entries instead of growing with cluster lifetime.
+//
+// Pod groups schedule as gangs — all or nothing (internal/core/gang.go,
+// internal/apiserver/gang.go). A job that is useless until every member
+// runs (distributed training, MPI) sets PodSpec.PodGroup/MinMember, and
+// its members flow through two new framework plugin points. PreFilter
+// gates a member before candidate generation: the gang director sums
+// per-node slots for the group's remaining quorum against the
+// scheduler's current view and rejects the pass early when the whole
+// gang cannot possibly fit — no capacity is taken that must be given
+// back, and an age-based priority boost (pass-local, never mutating the
+// declared priority) keeps old gangs from starving behind a stream of
+// younger solo pods. Permit intercepts the member after a node is
+// chosen: instead of binding, the scheduler calls Server.Reserve — a
+// conditional bind that charges the node's committed accounting under
+// the same striped admission path as Bind but leaves the pod unbound,
+// holding a permit (PodPermitHeld). When MinMember co-members hold
+// permits, the director commits the whole group atomically
+// (CommitGroup: every member binds under the world ladder with
+// consecutive revisions, no re-admission — the capacity is already
+// charged); if the quorum never arrives, a sim-clock permit timeout
+// rolls the gang back wholesale (ReleaseGroup: capacity returned,
+// members re-queued, PodPermitReleased) and the gang retries. The
+// pending queue coalesces co-members within a priority tier so quorums
+// assemble in one pass instead of trickling, preemption treats a gang
+// as one victim unit priced at its cluster-wide membership (evict the
+// whole gang — held and bound members both — or none, via
+// PreemptGroup), and one director serves a whole sharded fleet, so
+// gangs split across schedulers still reach cluster-wide quorum. A
+// watch-stream replay property test pins the invariant: across every
+// event prefix, under sharded contention included, no gang is ever
+// partially bound outside its own atomic commit burst. The gang
+// experiment (internal/experiments.GangScenario, walked through in
+// examples/gang) drains a Borg backlog of k-pod gangs plus solo churn
+// at 1/2/4 schedulers, measuring deadlock-freedom, time-to-full-gang,
+// and post-hoc permit-leak accounting.
 //
 // At the million-pod scale the pass itself is sublinear in the cluster
 // (internal/core: index.go, view.go, framework.go). Each scheduler owns

@@ -1,0 +1,48 @@
+// Gang scheduling: MPI-style jobs whose pods are useless until every
+// member runs. Each member passes the gang PreFilter (is there any
+// chance the whole group fits?) and then binds *conditionally* at the
+// Permit stage — the API server reserves its capacity but leaves the
+// pod unbound, holding a permit. When MinMember co-members hold
+// permits the director commits the whole group atomically through the
+// striped admission path; if the quorum never arrives, the permit
+// timeout rolls every member back wholesale and the gang retries. This
+// walkthrough drains a Borg backlog of 4-pod gangs mixed with solo
+// churn using 1, 2 and 4 sharded schedulers that share one gang
+// director, and proves the all-or-nothing invariant from the watch
+// event stream alone.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "github.com/sgxorch/sgxorch/internal/experiments"
+
+func main() {
+	fmt.Println("Gang backlog drain (8 gangs x 4 members + 16 solo jobs, 8 std nodes)")
+	fmt.Println("Lifecycle per gang: PreFilter gate -> Permit (hold) -> quorum -> atomic commit,")
+	fmt.Println("or permit timeout -> wholesale rollback -> retry.")
+	fmt.Println()
+
+	results, err := experiments.GangScenario(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-11s %-9s %-12s %-9s %-9s %-14s %-9s %-7s\n",
+		"schedulers", "drained", "drain", "commits", "timeouts", "mean-to-full", "partials", "leaks")
+	for _, r := range results {
+		fmt.Printf("%-11d %-9t %-12s %-9d %-9d %-14s %-9d %-7d\n",
+			r.Shards, r.Completed, r.DrainTime, r.GangsCommitted, r.PermitTimeouts,
+			r.MeanTimeToFullGang, r.PartialPlacements, r.LeakedPermits)
+		if !r.Completed || r.PartialPlacements != 0 || r.Violations != 0 || r.LeakedPermits != 0 {
+			log.Fatalf("invariant broken at %d schedulers: %+v", r.Shards, r)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Permit timeouts are recoverable — the gang's held capacity is returned and")
+	fmt.Println("its members requeue. The partials column replays the watch stream: outside")
+	fmt.Println("a gang's own atomic commit burst, no gang was ever partially placed, at any")
+	fmt.Println("fleet size; leaks proves every rollback returned all held capacity.")
+}

@@ -119,6 +119,34 @@ type PodSpec struct {
 	// The zero value is the default tier, mirroring Kubernetes'
 	// PriorityClass semantics.
 	Priority int32
+	// PodGroup names the gang this pod belongs to. Members of one group
+	// schedule all-or-nothing: they hold conditional permits instead of
+	// binding individually, commit together once MinMember of them hold
+	// permits, and are preempted as a unit (a whole gang is evicted or
+	// none of it). Empty means the pod schedules alone — the default.
+	// Members of one gang should share a Priority: the pending queue only
+	// coalesces gang members within a priority tier.
+	PodGroup string
+	// MinMember is the gang quorum: how many members must hold permits
+	// before any of them binds (distributed training/MPI jobs deadlock
+	// under partial placement). Meaningful only when PodGroup is set;
+	// values below 1 are treated as 1.
+	MinMember int
+}
+
+// InGang reports whether the pod schedules as part of a pod group.
+func (s *PodSpec) InGang() bool { return s.PodGroup != "" }
+
+// GangMinMember returns the effective quorum (floored at 1) for gang
+// pods, and 0 for solo pods.
+func (s *PodSpec) GangMinMember() int {
+	if s.PodGroup == "" {
+		return 0
+	}
+	if s.MinMember < 1 {
+		return 1
+	}
+	return s.MinMember
 }
 
 // PodStatus is the system-maintained part of a pod.

@@ -1,0 +1,437 @@
+package apiserver
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+)
+
+// Gang (pod-group) primitives: the server-side half of all-or-nothing
+// scheduling. A scheduler places a gang member with Reserve instead of
+// Bind — the same admission-checked conditional commit, except the pod
+// stays unbound: its capacity is committed on the node (so concurrent
+// schedulers cannot steal the headroom) while the pod holds a *permit*.
+// Once enough co-members hold permits, CommitGroup flips every held
+// member to bound in one atomic step under the world ladder — no event
+// stream ever observes a partially bound gang becoming visible
+// piecemeal with other commits interleaved that could invalidate it.
+// If the quorum never arrives, ReleaseGroup rolls every permit back
+// wholesale: capacity returns and the members re-enter the pending
+// queue. PreemptGroup extends the eviction path with the same
+// atomicity: a gang is evicted whole or not at all.
+//
+// Locking: Reserve runs under one pod stripe + one node stripe, exactly
+// like Bind. CommitGroup/ReleaseGroup/PreemptGroup take the world
+// ladder — they touch many stripes and their atomicity guarantee *is*
+// "no other commit interleaves". The reservation tables themselves sit
+// under resMu, a leaf lock (see Server) so any path can consult them.
+
+// GangStats counts gang operation outcomes. All counters are atomics;
+// reads never contend with the commit path.
+type GangStats struct {
+	// Permits counts successful Reserve calls; PermitRejected the
+	// refused ones (pod/node state or capacity admission).
+	Permits        int64
+	PermitRejected int64
+	// MembersBound counts members bound via CommitGroup;
+	// MembersReleased counts permits rolled back via ReleaseGroup.
+	MembersBound    int64
+	MembersReleased int64
+	// GroupsCommitted / GroupsReleased / GroupsPreempted count the
+	// group-level operations.
+	GroupsCommitted int64
+	GroupsReleased  int64
+	GroupsPreempted int64
+}
+
+type gangCounters struct {
+	permits         atomic.Int64
+	permitRejected  atomic.Int64
+	membersBound    atomic.Int64
+	membersReleased atomic.Int64
+	groupsCommitted atomic.Int64
+	groupsReleased  atomic.Int64
+	groupsPreempted atomic.Int64
+}
+
+func (c *gangCounters) snapshot() GangStats {
+	return GangStats{
+		Permits:         c.permits.Load(),
+		PermitRejected:  c.permitRejected.Load(),
+		MembersBound:    c.membersBound.Load(),
+		MembersReleased: c.membersReleased.Load(),
+		GroupsCommitted: c.groupsCommitted.Load(),
+		GroupsReleased:  c.groupsReleased.Load(),
+		GroupsPreempted: c.groupsPreempted.Load(),
+	}
+}
+
+// GangStats returns a copy of the gang operation counters.
+func (s *Server) GangStats() GangStats {
+	return s.gangs.snapshot()
+}
+
+// --- reservation table helpers (resMu leaf discipline: lock, touch the
+// maps, unlock — never acquire anything else while held) ---
+
+// reservedNode returns the node a pod holds a permit on, if any.
+func (s *Server) reservedNode(pod string) (string, bool) {
+	s.resMu.Lock()
+	r, ok := s.reservations[pod]
+	s.resMu.Unlock()
+	return r.node, ok
+}
+
+func (s *Server) putReservation(pod, node, group string) {
+	s.resMu.Lock()
+	s.reservations[pod] = reservation{node: node, group: group}
+	holds := s.groupHolds[group]
+	if holds == nil {
+		holds = make(map[string]string)
+		s.groupHolds[group] = holds
+	}
+	holds[pod] = node
+	s.resMu.Unlock()
+}
+
+// dropReservation removes a pod's permit from both tables, returning it
+// so the caller can release the committed capacity.
+func (s *Server) dropReservation(pod string) (reservation, bool) {
+	s.resMu.Lock()
+	r, ok := s.reservations[pod]
+	if ok {
+		delete(s.reservations, pod)
+		if holds := s.groupHolds[r.group]; holds != nil {
+			delete(holds, pod)
+			if len(holds) == 0 {
+				delete(s.groupHolds, r.group)
+			}
+		}
+	}
+	s.resMu.Unlock()
+	return r, ok
+}
+
+func (s *Server) addGroupBound(group, pod string) {
+	s.resMu.Lock()
+	members := s.groupBound[group]
+	if members == nil {
+		members = make(map[string]bool)
+		s.groupBound[group] = members
+	}
+	members[pod] = true
+	s.resMu.Unlock()
+}
+
+func (s *Server) dropGroupBound(group, pod string) {
+	s.resMu.Lock()
+	if members := s.groupBound[group]; members != nil {
+		delete(members, pod)
+		if len(members) == 0 {
+			delete(s.groupBound, group)
+		}
+	}
+	s.resMu.Unlock()
+}
+
+// HoldCount returns how many members of the group currently hold
+// permits.
+func (s *Server) HoldCount(group string) int {
+	s.resMu.Lock()
+	n := len(s.groupHolds[group])
+	s.resMu.Unlock()
+	return n
+}
+
+// ReservationCount returns the total number of permits currently held
+// across all gangs — the post-hoc accounting checks in experiments
+// assert it returns to zero after a rollback.
+func (s *Server) ReservationCount() int {
+	s.resMu.Lock()
+	n := len(s.reservations)
+	s.resMu.Unlock()
+	return n
+}
+
+// BoundGroupCount returns how many members of the group are currently
+// bound.
+func (s *Server) BoundGroupCount(group string) int {
+	s.resMu.Lock()
+	n := len(s.groupBound[group])
+	s.resMu.Unlock()
+	return n
+}
+
+// BoundGroupMembers returns the names of the group's live bound
+// members, sorted.
+func (s *Server) BoundGroupMembers(group string) []string {
+	s.resMu.Lock()
+	out := make([]string, 0, len(s.groupBound[group]))
+	for name := range s.groupBound[group] {
+		out = append(out, name)
+	}
+	s.resMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// VisitReservations calls fn for every held permit (pod, node, group),
+// in sorted pod-name order. The table is copied out under resMu first,
+// so fn may call back into the server.
+func (s *Server) VisitReservations(fn func(pod, node, group string)) {
+	type hold struct{ pod, node, group string }
+	s.resMu.Lock()
+	holds := make([]hold, 0, len(s.reservations))
+	for pod, r := range s.reservations {
+		holds = append(holds, hold{pod, r.node, r.group})
+	}
+	s.resMu.Unlock()
+	sort.Slice(holds, func(i, j int) bool { return holds[i].pod < holds[j].pod })
+	for _, h := range holds {
+		fn(h.pod, h.node, h.group)
+	}
+}
+
+// Reserve grants a gang member a permit on a node: the same conditional
+// commit as Bind — admission re-validated against authoritative state
+// under the pod's and node's stripes, capacity moved into the node's
+// committed accounting, pod removed from the pending queue — except the
+// pod's binding stays empty. The member is now held in the waiting
+// area: CommitGroup binds it for real, ReleaseGroup rolls it back. The
+// emitted PodPermitHeld event carries the reserved node in the pod
+// copy's Spec.NodeName so watch-driven caches charge the capacity,
+// even though authoritative state keeps the pod unbound.
+func (s *Server) Reserve(podName, nodeName string) error {
+	psh := s.podShardFor(podName)
+	psh.mu.Lock()
+	p, ok := psh.pods[podName]
+	if !ok {
+		s.gangs.permitRejected.Add(1)
+		psh.mu.Unlock()
+		return fmt.Errorf("%w: pod %s", ErrNotFound, podName)
+	}
+	if !p.Spec.InGang() {
+		s.gangs.permitRejected.Add(1)
+		psh.mu.Unlock()
+		return fmt.Errorf("%w: pod %s is not in a pod group", ErrConflict, podName)
+	}
+	if p.Spec.NodeName != "" {
+		s.gangs.permitRejected.Add(1)
+		psh.mu.Unlock()
+		return fmt.Errorf("%w: pod %s already bound to %s", ErrConflict, podName, p.Spec.NodeName)
+	}
+	if p.Status.Phase != api.PodPending {
+		s.gangs.permitRejected.Add(1)
+		psh.mu.Unlock()
+		return fmt.Errorf("%w: pod %s in phase %s", ErrConflict, podName, p.Status.Phase)
+	}
+	if node, held := s.reservedNode(podName); held {
+		s.gangs.permitRejected.Add(1)
+		psh.mu.Unlock()
+		return fmt.Errorf("%w: pod %s already holds a permit on %s", ErrConflict, podName, node)
+	}
+	nsh := s.nodeShardFor(nodeName)
+	nsh.mu.Lock()
+	n, ok := nsh.nodes[nodeName]
+	if !ok {
+		s.gangs.permitRejected.Add(1)
+		s.rejectBind(podName, "node "+nodeName+" unknown")
+		nsh.mu.Unlock()
+		psh.mu.Unlock()
+		return fmt.Errorf("%w: node %s", ErrNotFound, nodeName)
+	}
+	req := p.TotalRequests()
+	if err := s.admitBind(p, n, nsh.committed[nodeName], req); err != nil {
+		s.gangs.permitRejected.Add(1)
+		s.rejectBind(podName, err.Error())
+		nsh.mu.Unlock()
+		psh.mu.Unlock()
+		return err
+	}
+	commit(nsh, nodeName, req, +1)
+	s.gangs.permits.Add(1)
+	s.removePending(p)
+	s.putReservation(podName, nodeName, p.Spec.PodGroup)
+	s.recordEvent("pod/"+podName, "PermitHeld",
+		"gang "+p.Spec.PodGroup+" reserved node "+nodeName)
+	ev := p.Clone()
+	ev.Spec.NodeName = nodeName
+	s.emit(WatchEvent{Type: PodPermitHeld, Pod: ev})
+	nsh.mu.Unlock()
+	psh.mu.Unlock()
+	s.broker.Flush()
+	return nil
+}
+
+// CommitGroup atomically binds every member of the group currently
+// holding a permit, in sorted name order, under the world ladder: the
+// PodBound events occupy consecutive resource versions with no foreign
+// commit interleaved, so every consistent prefix of the event log sees
+// either no member bound or the binding sequence in progress with all
+// capacity already safely committed since Reserve. Returns how many
+// members were bound. Capacity is NOT re-admitted — it was committed at
+// Reserve time and nothing could have stolen it since.
+func (s *Server) CommitGroup(group string) (int, error) {
+	s.lockWorld()
+	s.resMu.Lock()
+	members := make([]string, 0, len(s.groupHolds[group]))
+	for name := range s.groupHolds[group] {
+		members = append(members, name)
+	}
+	s.resMu.Unlock()
+	sort.Strings(members)
+	now := s.clk.Now()
+	bound := 0
+	for _, name := range members {
+		p, ok := s.podShards[stripeFor(name)].pods[name]
+		r, held := s.dropReservation(name)
+		if !held {
+			continue
+		}
+		if !ok || p.IsTerminal() || p.Spec.NodeName != "" {
+			// The permit outlived the pod's schedulability (it should
+			// have been dropped at the terminal transition); release
+			// the capacity defensively rather than leak it.
+			if ok {
+				commit(&s.nodeShards[stripeFor(r.node)], r.node, p.TotalRequests(), -1)
+			}
+			continue
+		}
+		p.Spec.NodeName = r.node
+		p.Status.ScheduledAt = now
+		s.addGroupBound(group, name)
+		s.gangs.membersBound.Add(1)
+		s.recordEvent("pod/"+name, "Bound", "gang "+group+" committed to node "+r.node)
+		s.emit(WatchEvent{Type: PodBound, Pod: p.Clone()})
+		bound++
+	}
+	if bound > 0 {
+		s.gangs.groupsCommitted.Add(1)
+	}
+	s.unlockWorld()
+	s.broker.Flush()
+	if bound == 0 {
+		return 0, fmt.Errorf("%w: group %s holds no permits", ErrConflict, group)
+	}
+	return bound, nil
+}
+
+// ReleaseGroup rolls back every permit the group holds, wholesale,
+// under the world ladder: committed capacity returns to the nodes and
+// the members re-enter the pending queue at the tail of their priority
+// tier. This is the permit-timeout path — a gang that cannot reach
+// quorum must not camp on capacity other work could use. Returns how
+// many permits were released.
+func (s *Server) ReleaseGroup(group, reason string) (int, error) {
+	if reason == "" {
+		reason = "permit released"
+	}
+	s.lockWorld()
+	s.resMu.Lock()
+	members := make([]string, 0, len(s.groupHolds[group]))
+	for name := range s.groupHolds[group] {
+		members = append(members, name)
+	}
+	s.resMu.Unlock()
+	sort.Strings(members)
+	released := 0
+	for _, name := range members {
+		r, held := s.dropReservation(name)
+		if !held {
+			continue
+		}
+		p, ok := s.podShards[stripeFor(name)].pods[name]
+		if !ok {
+			continue
+		}
+		commit(&s.nodeShards[stripeFor(r.node)], r.node, p.TotalRequests(), -1)
+		if !p.IsTerminal() {
+			// pendingMu is held by the world ladder: push directly.
+			s.pending.Push(name, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup)
+			p.Status.Reason = reason
+		}
+		s.gangs.membersReleased.Add(1)
+		s.recordEvent("pod/"+name, "PermitReleased", "gang "+group+": "+reason)
+		s.emit(WatchEvent{Type: PodPermitReleased, Pod: p.Clone()})
+		released++
+	}
+	if released > 0 {
+		s.gangs.groupsReleased.Add(1)
+	}
+	s.unlockWorld()
+	s.broker.Flush()
+	return released, nil
+}
+
+// PreemptGroup evicts every live bound member of the gang — and rolls
+// back any permits it still holds — in one atomic step under the world
+// ladder: a gang is preempted whole or not at all, so preemption can
+// never strand a partial gang on the cluster. Members re-enter the
+// pending queue with scheduling timestamps reset, exactly like Preempt.
+// Returns how many members were evicted (bound) plus released (held).
+func (s *Server) PreemptGroup(group, reason string) (int, error) {
+	if reason == "" {
+		reason = "Preempted"
+	} else {
+		reason = "Preempted: " + reason
+	}
+	s.lockWorld()
+	s.resMu.Lock()
+	members := make([]string, 0, len(s.groupBound[group])+len(s.groupHolds[group]))
+	for name := range s.groupBound[group] {
+		members = append(members, name)
+	}
+	for name := range s.groupHolds[group] {
+		members = append(members, name)
+	}
+	s.resMu.Unlock()
+	sort.Strings(members)
+	evicted := 0
+	for _, name := range members {
+		p, ok := s.podShards[stripeFor(name)].pods[name]
+		if !ok {
+			s.dropReservation(name)
+			s.dropGroupBound(group, name)
+			continue
+		}
+		if r, held := s.dropReservation(name); held {
+			// Held, unbound member: roll the permit back.
+			commit(&s.nodeShards[stripeFor(r.node)], r.node, p.TotalRequests(), -1)
+			if !p.IsTerminal() {
+				s.pending.Push(name, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup)
+				p.Status.Reason = reason
+			}
+			s.recordEvent("pod/"+name, "PermitReleased", "gang "+group+": "+reason)
+			s.emit(WatchEvent{Type: PodPermitReleased, Pod: p.Clone()})
+			evicted++
+			continue
+		}
+		if p.IsTerminal() || p.Spec.NodeName == "" {
+			s.dropGroupBound(group, name)
+			continue
+		}
+		commit(&s.nodeShards[stripeFor(p.Spec.NodeName)], p.Spec.NodeName, p.TotalRequests(), -1)
+		p.Spec.NodeName = ""
+		p.Status.Phase = api.PodPending
+		p.Status.Reason = reason
+		p.Status.ScheduledAt = time.Time{}
+		p.Status.StartedAt = time.Time{}
+		s.dropGroupBound(group, name)
+		s.pending.Push(name, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup)
+		s.recordEvent("pod/"+name, "Preempted", reason)
+		s.emit(WatchEvent{Type: PodUpdated, Pod: p.Clone()})
+		evicted++
+	}
+	if evicted > 0 {
+		s.gangs.groupsPreempted.Add(1)
+	}
+	s.unlockWorld()
+	s.broker.Flush()
+	if evicted == 0 {
+		return 0, fmt.Errorf("%w: group %s has no live members", ErrConflict, group)
+	}
+	return evicted, nil
+}

@@ -8,10 +8,19 @@ import "sort"
 // with the tombstone-and-compact layout the plain FCFS queue used, so
 // enqueue and remove stay O(1) amortized and a full visit is O(live +
 // tiers). Pod names are unique across the whole queue.
+//
+// The queue is gang-aware: pods pushed with a pod-group name are
+// coalesced on Visit — the first-encountered member of a group pulls
+// its live co-members in the same priority tier forward, so a
+// scheduling pass sees a whole gang adjacently instead of interleaved
+// with unrelated pods (which would strand permits across passes).
+// Buckets with no gang members take the historical zero-overhead path.
 type pendingQueue struct {
 	prios   []int32 // distinct priorities present, sorted descending
 	buckets map[int32]*pendingBucket
-	idx     map[string]int32 // pod name → its bucket's priority
+	idx     map[string]int32  // pod name → its bucket's priority
+	groupOf map[string]string // pod name → pod group (gang members only)
+	seen    map[string]bool   // visit scratch, cleared after each use
 }
 
 // pendingBucket is one priority tier's FCFS queue. Removed entries are
@@ -20,20 +29,25 @@ type pendingBucket struct {
 	names  []string
 	byName map[string]int
 	dead   int
+	// groups indexes the bucket's gang members by group, in push order,
+	// so Visit can emit a gang adjacently without scanning the bucket.
+	groups map[string][]string
 }
 
 func newPendingQueue() *pendingQueue {
 	return &pendingQueue{
 		buckets: make(map[int32]*pendingBucket),
 		idx:     make(map[string]int32),
+		groupOf: make(map[string]string),
 	}
 }
 
 // Len returns the number of queued pods.
 func (q *pendingQueue) Len() int { return len(q.idx) }
 
-// Push appends a pod at the tail of its priority tier.
-func (q *pendingQueue) Push(name string, prio int32) {
+// Push appends a pod at the tail of its priority tier. A non-empty
+// group registers the pod for gang coalescing within the tier.
+func (q *pendingQueue) Push(name string, prio int32, group string) {
 	b, ok := q.buckets[prio]
 	if !ok {
 		b = &pendingBucket{byName: make(map[string]int)}
@@ -47,6 +61,13 @@ func (q *pendingQueue) Push(name string, prio int32) {
 	b.byName[name] = len(b.names)
 	b.names = append(b.names, name)
 	q.idx[name] = prio
+	if group != "" {
+		if b.groups == nil {
+			b.groups = make(map[string][]string)
+		}
+		b.groups[group] = append(b.groups[group], name)
+		q.groupOf[name] = group
+	}
 }
 
 // Remove drops a pod from the queue (no-op when absent): its slot is
@@ -63,6 +84,19 @@ func (q *pendingQueue) Remove(name string) {
 	b.names[b.byName[name]] = ""
 	delete(b.byName, name)
 	b.dead++
+	if g, gang := q.groupOf[name]; gang {
+		delete(q.groupOf, name)
+		members := b.groups[g]
+		for i, m := range members {
+			if m == name {
+				b.groups[g] = append(members[:i], members[i+1:]...)
+				break
+			}
+		}
+		if len(b.groups[g]) == 0 {
+			delete(b.groups, g)
+		}
+	}
 	if len(b.byName) == 0 {
 		delete(q.buckets, prio)
 		i := sort.Search(len(q.prios), func(i int) bool { return q.prios[i] <= prio })
@@ -87,17 +121,66 @@ func (q *pendingQueue) Remove(name string) {
 	b.dead = 0
 }
 
-// Visit calls fn for every queued pod name in priority-then-FCFS order;
-// returning false stops the walk.
+// Visit calls fn for every queued pod name in priority-then-FCFS order,
+// with gang members coalesced: the first live member of a group
+// encountered in a tier is immediately followed by its remaining live
+// co-members in that tier (in their own FCFS order), so a windowed
+// walk (VisitPendingN) sees whole gangs instead of a truncated prefix
+// of one. Returning false stops the walk.
 func (q *pendingQueue) Visit(fn func(name string) bool) {
 	for _, prio := range q.prios {
-		for _, name := range q.buckets[prio].names {
+		b := q.buckets[prio]
+		if len(b.groups) == 0 {
+			// No gang members in this tier: the historical walk.
+			for _, name := range b.names {
+				if name == "" {
+					continue
+				}
+				if !fn(name) {
+					return
+				}
+			}
+			continue
+		}
+		if q.seen == nil {
+			q.seen = make(map[string]bool)
+		}
+		stopped := false
+		for _, name := range b.names {
 			if name == "" {
 				continue
 			}
-			if !fn(name) {
-				return
+			g := q.groupOf[name]
+			if g != "" {
+				if q.seen[name] {
+					continue
+				}
+				q.seen[name] = true
 			}
+			if !fn(name) {
+				stopped = true
+				break
+			}
+			if g == "" {
+				continue
+			}
+			for _, m := range b.groups[g] {
+				if q.seen[m] {
+					continue
+				}
+				q.seen[m] = true
+				if !fn(m) {
+					stopped = true
+					break
+				}
+			}
+			if stopped {
+				break
+			}
+		}
+		clear(q.seen)
+		if stopped {
+			return
 		}
 	}
 }
@@ -136,9 +219,10 @@ func (ps *pendingSet) Len() int { return ps.all.Len() }
 
 // Push appends a pod at the tail of its priority tier, globally and in
 // its scheduler's sub-queue. Pods with no scheduler name live only in
-// the global view — lookups for "" short-circuit to it.
-func (ps *pendingSet) Push(name, sched string, prio int32) {
-	ps.all.Push(name, prio)
+// the global view — lookups for "" short-circuit to it. A non-empty
+// group enables gang coalescing on Visit (see pendingQueue).
+func (ps *pendingSet) Push(name, sched string, prio int32, group string) {
+	ps.all.Push(name, prio, group)
 	if sched == "" {
 		return
 	}
@@ -147,7 +231,7 @@ func (ps *pendingSet) Push(name, sched string, prio int32) {
 		q = newPendingQueue()
 		ps.bySched[sched] = q
 	}
-	q.Push(name, prio)
+	q.Push(name, prio, group)
 }
 
 // Remove drops a pod from both views (no-op when absent).

@@ -88,7 +88,7 @@ func TestPendingQueueRandomizedAgainstReference(t *testing.T) {
 		case rng.Intn(3) > 0 || len(model) == 0:
 			name := fmt.Sprintf("p%05d", seq)
 			prio := int32(rng.Intn(5) - 2)
-			q.Push(name, prio)
+			q.Push(name, prio, "")
 			model = append(model, entry{name: name, prio: prio, seq: seq})
 			seq++
 		default:

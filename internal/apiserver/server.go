@@ -218,6 +218,16 @@ const (
 	NodeRegistered
 	// NodeUpdated fires on node status/allocatable changes.
 	NodeUpdated
+	// PodPermitHeld fires when a gang member takes a conditional
+	// reservation (Reserve): capacity is committed on the node but the
+	// pod is not bound. The event's pod copy carries the reserved node in
+	// Spec.NodeName so caches can charge it, even though authoritative
+	// state keeps the pod unbound until CommitGroup.
+	PodPermitHeld
+	// PodPermitReleased fires when a reservation is rolled back
+	// (ReleaseGroup): the capacity returns and the pod re-enters the
+	// pending queue.
+	PodPermitReleased
 )
 
 // WatchEvent is delivered to subscribers on state changes. Pod/Node are
@@ -293,19 +303,45 @@ type Server struct {
 	pending   *pendingSet
 
 	binds bindCounters
+	gangs gangCounters
+
+	// resMu guards the gang reservation tables (reservations, groupHolds,
+	// groupBound). It is a leaf lock like eventLog.mu: acquired and
+	// released without ever taking another lock while held, so it may be
+	// taken from any point of the ladder. All mutations additionally
+	// happen while holding the affected pod's stripe (or the world), which
+	// is what makes a read under a pod stripe stable.
+	resMu sync.Mutex
+	// reservations maps a pod holding a permit to its reservation;
+	// groupHolds indexes the same reservations by gang.
+	reservations map[string]reservation
+	groupHolds   map[string]map[string]string // group → pod → node
+	// groupBound indexes the live *bound* members of each gang, so
+	// PreemptGroup can evict a whole gang without scanning every stripe.
+	groupBound map[string]map[string]bool
 
 	// log is the bounded human-readable event log (kubectl-get-events
 	// analogue); it has its own mutex below the stripes in the ordering.
 	log *eventLog
 }
 
+// reservation is one held permit: capacity for the pod is committed on
+// node, pending the gang's CommitGroup or ReleaseGroup.
+type reservation struct {
+	node  string
+	group string
+}
+
 // New creates an empty API server with guarded bind admission and
 // synchronous watch delivery.
 func New(clk clock.Clock, opts ...Option) *Server {
 	s := &Server{
-		clk:     clk,
-		pending: newPendingSet(),
-		log:     newEventLog(maxEvents),
+		clk:          clk,
+		pending:      newPendingSet(),
+		log:          newEventLog(maxEvents),
+		reservations: make(map[string]reservation),
+		groupHolds:   make(map[string]map[string]string),
+		groupBound:   make(map[string]map[string]bool),
 	}
 	for _, o := range opts {
 		o(s)
@@ -597,7 +633,7 @@ func (s *Server) CreatePod(p *api.Pod) error {
 	stored.Status.SubmittedAt = s.clk.Now()
 	sh.pods[stored.Name] = stored
 	s.pendingMu.Lock()
-	s.pending.Push(stored.Name, stored.Spec.SchedulerName, stored.Spec.Priority)
+	s.pending.Push(stored.Name, stored.Spec.SchedulerName, stored.Spec.Priority, stored.Spec.PodGroup)
 	s.pendingMu.Unlock()
 	s.recordEvent("pod/"+stored.Name, "Created", "queued as pending")
 	s.emit(WatchEvent{Type: PodCreated, Pod: stored.Clone()})
@@ -788,6 +824,13 @@ func (s *Server) Bind(podName, nodeName string) error {
 		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s in phase %s", ErrConflict, podName, p.Status.Phase)
 	}
+	if node, held := s.reservedNode(podName); held {
+		s.binds.rejectedPodState.Add(1)
+		nsh.mu.Unlock()
+		psh.mu.Unlock()
+		return fmt.Errorf("%w: pod %s holds a gang permit on %s (use CommitGroup)",
+			ErrConflict, podName, node)
+	}
 	req := p.TotalRequests()
 	if err := s.admitBind(p, n, nsh.committed[nodeName], req); err != nil {
 		if errors.Is(err, ErrOutdated) {
@@ -805,6 +848,9 @@ func (s *Server) Bind(podName, nodeName string) error {
 	commit(nsh, nodeName, req, +1)
 	s.binds.bound.Add(1)
 	s.removePending(p)
+	if p.Spec.InGang() {
+		s.addGroupBound(p.Spec.PodGroup, p.Name)
+	}
 	s.recordEvent("pod/"+podName, "Bound", "assigned to node "+nodeName)
 	s.emit(WatchEvent{Type: PodBound, Pod: p.Clone()})
 	nsh.mu.Unlock()
@@ -931,6 +977,17 @@ func (s *Server) transition(podName string, phase api.PodPhase, event, reason st
 			nsh.mu.Lock()
 			commit(nsh, p.Spec.NodeName, p.TotalRequests(), -1)
 			nsh.mu.Unlock()
+		} else if r, held := s.dropReservation(podName); held {
+			// A gang member evicted while holding a permit is unbound but
+			// has capacity committed on its reserved node — release it or
+			// the node leaks headroom forever.
+			nsh := s.nodeShardFor(r.node)
+			nsh.mu.Lock()
+			commit(nsh, r.node, p.TotalRequests(), -1)
+			nsh.mu.Unlock()
+		}
+		if p.Spec.InGang() {
+			s.dropGroupBound(p.Spec.PodGroup, podName)
 		}
 		// A pod failed before start (e.g. admission denial) still leaves
 		// the queue.
@@ -984,8 +1041,11 @@ func (s *Server) Preempt(podName, reason string) error {
 	p.Status.Reason = reason
 	p.Status.ScheduledAt = time.Time{}
 	p.Status.StartedAt = time.Time{}
+	if p.Spec.InGang() {
+		s.dropGroupBound(p.Spec.PodGroup, podName)
+	}
 	s.pendingMu.Lock()
-	s.pending.Push(podName, p.Spec.SchedulerName, p.Spec.Priority)
+	s.pending.Push(podName, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup)
 	s.pendingMu.Unlock()
 	s.recordEvent("pod/"+podName, "Preempted", reason)
 	s.emit(WatchEvent{Type: PodUpdated, Pod: p.Clone()})

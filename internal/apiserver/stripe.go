@@ -28,6 +28,14 @@ import (
 // the queued names under pendingMu alone and release it before touching
 // pod stripes — pendingMu is only ever acquired while holding stripes,
 // never the reverse.
+//
+// The gang reservation tables' resMu (see Server) sits outside the
+// ladder entirely: it is a strict leaf, locked and unlocked without
+// ever acquiring another lock while held, so it may be taken from any
+// rung — including while the world is held. Reads of a pod's
+// reservation are stable under that pod's stripe because every
+// reservation mutation for a pod happens while its stripe (or the
+// world) is held.
 const numStripes = 64
 
 // podShard is one stripe of the pod map. Padded so neighbouring

@@ -28,8 +28,12 @@ type BenchResult struct {
 
 // BenchReport is the JSON artifact schema.
 type BenchReport struct {
-	Schema     string        `json:"schema"`
-	Source     string        `json:"source,omitempty"`
+	Schema string `json:"schema"`
+	Source string `json:"source,omitempty"`
+	// Commit is the VCS revision the benchmarks ran at, so nightly
+	// artifacts are attributable to a commit without consulting job
+	// metadata.
+	Commit     string        `json:"commit,omitempty"`
 	Goos       string        `json:"goos,omitempty"`
 	Goarch     string        `json:"goarch,omitempty"`
 	Pkg        string        `json:"pkg,omitempty"`
@@ -141,6 +145,33 @@ func ParseBench(r io.Reader) (BenchReport, error) {
 		rep.Benchmarks = append(rep.Benchmarks, res)
 	}
 	return rep, nil
+}
+
+// ValidateBench checks one side of a comparison: raw `go test -bench`
+// output must contain at least one benchmark result line, or the
+// comparison downstream is vacuous (benchstat prints an empty table for
+// empty inputs, which would gate as a pass). name labels the side in
+// the error ("base", "head", or a file path).
+func ValidateBench(name string, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	empty := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			empty = false
+		}
+		if strings.HasPrefix(line, "Benchmark") && len(strings.Fields(line)) >= 4 {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if empty {
+		return fmt.Errorf("%s: bench output is empty — did the benchmark run produce anything?", name)
+	}
+	return fmt.Errorf("%s: bench output contains no benchmark result lines", name)
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -11,10 +11,18 @@ package benchgate
 
 import (
 	"bufio"
+	"errors"
 	"regexp"
 	"strconv"
 	"strings"
 )
+
+// ErrNoComparison is returned by Check when the input contains no
+// benchmark comparison sections at all. A healthy benchstat run always
+// emits at least one unit header (even when every row is insignificant),
+// so an empty table means one side of the comparison was empty or
+// missing — a vacuous pass the gate must not grant.
+var ErrNoComparison = errors.New("no benchmark comparison sections in input (empty or missing base/head bench file?)")
 
 // Unit classifies a benchstat section.
 type Unit string
@@ -114,6 +122,7 @@ func (t Thresholds) threshold(u Unit) (float64, bool) {
 func Check(benchstatOutput string, thresholds Thresholds) (Report, error) {
 	var rep Report
 	unit := UnitOther
+	sawSection := false
 	sc := bufio.NewScanner(strings.NewReader(benchstatOutput))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -123,6 +132,7 @@ func Check(benchstatOutput string, thresholds Thresholds) (Report, error) {
 		// time/op" once per section.
 		if u, ok := sectionUnit(line); ok {
 			unit = u
+			sawSection = true
 			continue
 		}
 		if unit == UnitOther {
@@ -148,5 +158,11 @@ func Check(benchstatOutput string, thresholds Thresholds) (Report, error) {
 			Regression:   gated && delta > limit,
 		})
 	}
-	return rep, sc.Err()
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if !sawSection {
+		return rep, ErrNoComparison
+	}
+	return rep, nil
 }

@@ -1,6 +1,10 @@
 package benchgate
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
+)
 
 // defaultThresholds mirror the CI configuration: 20% time, 30% alloc.
 var defaultThresholds = Thresholds{TimePercent: 20, AllocPercent: 30}
@@ -178,6 +182,53 @@ geomean  144.2µ        144.9µ       +0.49%
 	}
 	if len(rep.Rows) != 0 || rep.Failed() {
 		t.Fatalf("quiet comparison produced %+v", rep)
+	}
+}
+
+// TestCheckEmptyComparisonFails: benchstat prints an empty table when a
+// bench file is empty or missing; the gate must refuse that instead of
+// passing vacuously.
+func TestCheckEmptyComparisonFails(t *testing.T) {
+	for _, input := range []string{
+		"",
+		"\n\n",
+		"goos: linux\ngoarch: amd64\n", // metadata but no comparison sections
+	} {
+		if _, err := Check(input, defaultThresholds); !errors.Is(err, ErrNoComparison) {
+			t.Fatalf("Check(%q) err = %v, want ErrNoComparison", input, err)
+		}
+	}
+	// A table whose only rows are insignificant is still a valid
+	// comparison — only a sectionless input is vacuous.
+	const quiet = `       │ base.txt │           head.txt           │
+       │  sec/op  │   sec/op    vs base          │
+Pass     144.2µ ± 1%   144.9µ ± 2%  ~ (p=0.529 n=10)
+`
+	if _, err := Check(quiet, defaultThresholds); err != nil {
+		t.Fatalf("quiet-but-valid comparison rejected: %v", err)
+	}
+}
+
+// TestValidateBench: one side of the comparison must contain actual
+// benchmark result lines before the gate trusts the benchstat output.
+func TestValidateBench(t *testing.T) {
+	good := "goos: linux\nBenchmarkSchedulerPass \t 100 \t 12345 ns/op\nPASS\n"
+	if err := ValidateBench("head", strings.NewReader(good)); err != nil {
+		t.Fatalf("valid bench output rejected: %v", err)
+	}
+	for name, input := range map[string]string{
+		"empty":         "",
+		"whitespace":    "  \n\t\n",
+		"no-benchmarks": "goos: linux\nPASS\nok \tpkg\t0.1s\n",
+		"truncated-row": "BenchmarkSchedulerPass\n", // name but no measurements
+	} {
+		err := ValidateBench("base", strings.NewReader(input))
+		if err == nil {
+			t.Fatalf("%s: ValidateBench accepted %q", name, input)
+		}
+		if !strings.Contains(err.Error(), "base") {
+			t.Fatalf("%s: error %q does not identify the side", name, err)
+		}
 	}
 }
 

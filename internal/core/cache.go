@@ -44,15 +44,21 @@ import (
 // property-tested identical to a from-scratch build.
 type ClusterCache struct {
 	clk        clock.Clock
+	srv        *apiserver.Server
 	agg        *monitor.WindowMax // nil when usage-aware scheduling is off
 	lag        time.Duration
 	useMetrics bool
 
-	mu       sync.Mutex
-	rev      int64 // latest applied resource version (events at or below are dropped)
-	nodes    map[string]*cachedNode
-	names    []string // node names, sorted
-	pods     map[string]*cachedPod
+	mu    sync.Mutex
+	rev   int64 // latest applied resource version (events at or below are dropped)
+	nodes map[string]*cachedNode
+	names []string // node names, sorted
+	pods  map[string]*cachedPod
+	// groups indexes tracked pods (bound and permit-holding alike) by pod
+	// group, cluster-wide — the preemption planner evicts a gang wholesale
+	// or not at all, so it needs every member's priority and charge, not
+	// just the ones on the candidate node.
+	groups   map[string]map[string]*cachedPod
 	maturity matHeap
 	unsub    func()
 	// prioCount counts live bound pods per priority tier and prios keeps
@@ -94,12 +100,18 @@ type cachedNode struct {
 type cachedPod struct {
 	name      string
 	node      string
+	group     string // pod group ("" for solo pods)
 	priority  int32
 	reqMem    int64
 	reqEPC    int64
 	startedAt time.Time
 	memBytes  int64 // fused contribution currently charged to the node
 	epcPages  int64
+	// reserved marks a gang member holding a conditional permit: its
+	// capacity is committed on the node (charged here exactly like a
+	// bind) but the pod is still unbound in authoritative state. A
+	// PodBound event flips it; PodPermitReleased removes it.
+	reserved bool
 }
 
 // newClusterCache performs the informer handshake against the API server
@@ -114,6 +126,7 @@ type cachedPod struct {
 func newClusterCache(clk clock.Clock, srv *apiserver.Server, agg *monitor.WindowMax, lag time.Duration, useMetrics bool) *ClusterCache {
 	c := &ClusterCache{
 		clk:        clk,
+		srv:        srv,
 		agg:        agg,
 		lag:        lag,
 		useMetrics: useMetrics,
@@ -141,6 +154,7 @@ func (c *ClusterCache) primeLocked(snap apiserver.Snapshot) {
 	c.nodes = make(map[string]*cachedNode, len(snap.Nodes))
 	c.names = c.names[:0]
 	c.pods = make(map[string]*cachedPod, len(snap.Pods))
+	c.groups = make(map[string]map[string]*cachedPod)
 	c.maturity = c.maturity[:0]
 	c.prioCount = make(map[int32]int)
 	c.prios = c.prios[:0]
@@ -149,8 +163,36 @@ func (c *ClusterCache) primeLocked(snap apiserver.Snapshot) {
 	}
 	now := c.clk.Now()
 	for _, p := range snap.Pods {
-		c.addPodLocked(p, now)
+		c.addPodLocked(p, now, false)
 	}
+	// In-flight gang permits are invisible in the snapshot's pod state
+	// (the pods are still unbound) but their capacity is committed on the
+	// nodes; charge them so a cache primed (or resynced) mid-gang matches
+	// the server. PodPermitHeld events past snap.Rev find the pod already
+	// tracked and no-op; released-before-prime permits simply never
+	// appear, and their PodPermitReleased delivery no-ops too.
+	c.srv.VisitReservations(func(pod, node, group string) {
+		if _, ok := c.pods[pod]; ok {
+			return
+		}
+		if _, ok := c.nodes[node]; !ok {
+			return
+		}
+		p, err := c.srv.GetPod(pod)
+		if err != nil || p.IsTerminal() {
+			return
+		}
+		req := p.TotalRequests()
+		c.trackPodLocked(&cachedPod{
+			name:     pod,
+			node:     node,
+			group:    group,
+			priority: p.Spec.Priority,
+			reqMem:   req.Get(resource.Memory),
+			reqEPC:   req.Get(resource.EPCPages),
+			reserved: true,
+		}, now)
+	})
 }
 
 // resync is the broker's ring-overflow recovery: the cache missed
@@ -342,7 +384,19 @@ func (c *ClusterCache) applyLocked(ev *apiserver.WatchEvent, now time.Time) {
 	case apiserver.PodCreated:
 		// Still pending: no node to account against yet.
 	case apiserver.PodBound:
-		c.addPodLocked(ev.Pod, now)
+		c.addPodLocked(ev.Pod, now, false)
+	case apiserver.PodPermitHeld:
+		// A gang member's conditional reservation: capacity committed on
+		// the node (the event pod carries the reserved node in its spec)
+		// while the pod stays unbound. Charged exactly like a bind so
+		// passes see the held headroom.
+		c.addPodLocked(ev.Pod, now, true)
+	case apiserver.PodPermitReleased:
+		// Whole-gang rollback (permit timeout or preemption of held
+		// members): the reservation's charge comes off the node.
+		if cp, ok := c.pods[ev.Pod.Name]; ok && cp.reserved {
+			c.removePodLocked(cp)
+		}
 	case apiserver.PodUpdated:
 		c.podUpdatedLocked(ev.Pod, now)
 	}
@@ -381,12 +435,24 @@ func (c *ClusterCache) upsertNodeLocked(n *api.Node) {
 	c.touchLocked(cn.name)
 }
 
-// addPodLocked starts tracking a live bound pod and charges its node.
-func (c *ClusterCache) addPodLocked(p *api.Pod, now time.Time) {
+// addPodLocked starts tracking a live pod with a node to account against
+// — a bind, or (reserved=true) a gang permit — and charges that node.
+func (c *ClusterCache) addPodLocked(p *api.Pod, now time.Time, reserved bool) {
 	if p.Spec.NodeName == "" || p.IsTerminal() {
 		return
 	}
-	if _, ok := c.pods[p.Name]; ok {
+	if cp, ok := c.pods[p.Name]; ok {
+		// A PodBound for a tracked reservation is the gang commit: the
+		// capacity charge is already on the node (Reserve committed it),
+		// so only the tracking state flips.
+		if cp.reserved && !reserved && cp.node == p.Spec.NodeName {
+			cp.reserved = false
+			if !cp.startedAt.Equal(p.Status.StartedAt) {
+				cp.startedAt = p.Status.StartedAt
+				c.pushMaturityLocked(cp, now)
+				c.fusePodLocked(cp, now)
+			}
+		}
 		return
 	}
 	if _, ok := c.nodes[p.Spec.NodeName]; !ok {
@@ -399,10 +465,12 @@ func (c *ClusterCache) addPodLocked(p *api.Pod, now time.Time) {
 	c.trackPodLocked(&cachedPod{
 		name:      p.Name,
 		node:      p.Spec.NodeName,
+		group:     p.Spec.PodGroup,
 		priority:  p.Spec.Priority,
 		reqMem:    req.Get(resource.Memory),
 		reqEPC:    req.Get(resource.EPCPages),
 		startedAt: p.Status.StartedAt,
+		reserved:  reserved,
 	}, now)
 }
 
@@ -413,6 +481,14 @@ func (c *ClusterCache) trackPodLocked(cp *cachedPod, now time.Time) {
 	cn := c.nodes[cp.node]
 	c.pods[cp.name] = cp
 	cn.pods[cp.name] = cp
+	if cp.group != "" {
+		g := c.groups[cp.group]
+		if g == nil {
+			g = make(map[string]*cachedPod)
+			c.groups[cp.group] = g
+		}
+		g[cp.name] = cp
+	}
 	if c.prioCount[cp.priority]++; c.prioCount[cp.priority] == 1 {
 		i := sort.Search(len(c.prios), func(i int) bool { return c.prios[i] >= cp.priority })
 		c.prios = append(c.prios, 0)
@@ -438,7 +514,7 @@ func (c *ClusterCache) podUpdatedLocked(p *api.Pod, now time.Time) {
 		return
 	}
 	if !ok {
-		c.addPodLocked(p, now) // robustness: bound pods normally enter via PodBound
+		c.addPodLocked(p, now, false) // robustness: bound pods normally enter via PodBound
 		return
 	}
 	if !cp.startedAt.Equal(p.Status.StartedAt) {
@@ -457,6 +533,14 @@ func (c *ClusterCache) removePodLocked(cp *cachedPod) {
 	cn.epcUsed -= cp.epcPages
 	delete(cn.pods, cp.name)
 	delete(c.pods, cp.name)
+	if cp.group != "" {
+		if g := c.groups[cp.group]; g != nil {
+			delete(g, cp.name)
+			if len(g) == 0 {
+				delete(c.groups, cp.group)
+			}
+		}
+	}
 	c.touchLocked(cp.node)
 	if c.prioCount[cp.priority]--; c.prioCount[cp.priority] <= 0 {
 		delete(c.prioCount, cp.priority)
@@ -470,7 +554,10 @@ func (c *ClusterCache) removePodLocked(cp *cachedPod) {
 // moves the delta into its node's sums.
 func (c *ClusterCache) fusePodLocked(cp *cachedPod, now time.Time) {
 	var measuredMem, measuredEPC float64
-	if c.useMetrics && c.agg != nil {
+	// Reserved pods are not running: any series under their name is stale
+	// history from an earlier placement. Fuse from requests alone, the
+	// same charge BuildView applies to reservations.
+	if c.useMetrics && c.agg != nil && !cp.reserved {
 		if v, ok := c.agg.Max(monitor.MeasurementMemory, cp.name, cp.node); ok {
 			measuredMem = v
 		}
@@ -518,14 +605,21 @@ func (c *ClusterCache) refreshMaturityLocked(now time.Time) {
 	}
 }
 
-// victimInfo describes one live bound pod as preemption material: its
-// priority and the exact charges the cache would release if it left.
+// victimInfo describes one eviction unit as preemption material: a solo
+// bound pod, or (group != "") a whole gang that can only be evicted
+// all-or-nothing. For a gang unit the charges are the members' summed
+// contributions on the candidate node, the priority is the gang's
+// highest member priority anywhere (every member must be outranked
+// before the unit is evictable), and count is the cluster-wide member
+// count the eviction would displace.
 type victimInfo struct {
-	name     string
+	name     string // pod name, or the group name for a gang unit
+	group    string // "" for solo pods
 	priority int32
+	count    int   // pods displaced by evicting this unit
 	memBytes int64 // fused memory currently charged to the node
 	epcPages int64 // fused EPC pages currently charged to the node
-	reqEPC   int64 // device items the pod's departure returns
+	reqEPC   int64 // device items the unit's departure returns on this node
 }
 
 // minPriority returns the lowest priority tier occupied by a live bound
@@ -542,10 +636,12 @@ func (c *ClusterCache) minPriority() (prio int32, ok bool) {
 	return c.prios[0], true
 }
 
-// victimsBelow appends node's live bound pods with priority strictly below
+// victimsBelow appends node's eviction units with priority strictly below
 // prio to buf and returns it sorted by (priority ascending, name
 // ascending) — the deterministic eviction-preference order: cheapest
-// victims first, stable across runs.
+// victims first, stable across runs. Solo pods are units of one; gang
+// members collapse into one unit per group (evict the whole gang or
+// none), eligible only when every member anywhere sits below prio.
 func (c *ClusterCache) victimsBelow(node string, prio int32, buf []victimInfo) []victimInfo {
 	c.mu.Lock()
 	cn, ok := c.nodes[node]
@@ -553,15 +649,48 @@ func (c *ClusterCache) victimsBelow(node string, prio int32, buf []victimInfo) [
 		c.mu.Unlock()
 		return buf
 	}
+	var nodeGroups map[string]bool
 	for _, cp := range cn.pods {
+		if cp.group != "" {
+			if nodeGroups == nil {
+				nodeGroups = make(map[string]bool)
+			}
+			nodeGroups[cp.group] = true
+			continue
+		}
 		if cp.priority < prio {
 			buf = append(buf, victimInfo{
 				name:     cp.name,
 				priority: cp.priority,
+				count:    1,
 				memBytes: cp.memBytes,
 				epcPages: cp.epcPages,
 				reqEPC:   cp.reqEPC,
 			})
+		}
+	}
+	for g := range nodeGroups {
+		members := c.groups[g]
+		unit := victimInfo{name: g, group: g, count: len(members)}
+		eligible := true
+		first := true
+		for _, m := range members {
+			if m.priority >= prio {
+				eligible = false
+				break
+			}
+			if first || m.priority > unit.priority {
+				unit.priority = m.priority
+				first = false
+			}
+			if m.node == node {
+				unit.memBytes += m.memBytes
+				unit.epcPages += m.epcPages
+				unit.reqEPC += m.reqEPC
+			}
+		}
+		if eligible {
+			buf = append(buf, unit)
 		}
 	}
 	c.mu.Unlock()

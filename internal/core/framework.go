@@ -108,6 +108,52 @@ func numFeasibleNodesToFind(pct, minFeasible, numNodes int) int {
 	return k
 }
 
+// PreFilterPlugin runs once per pod per pass, before any per-node work.
+// Returning false rejects the pass for this pod early — the pod stays
+// queued and is retried later — which is how gang scheduling skips a
+// member whose co-members cannot possibly fit this pass instead of
+// taking a permit that would only be rolled back. PreFilter may mutate
+// the PodInfo (e.g. a starvation-prevention priority boost); the
+// mutation is scoped to this pass, never written back to the pod.
+type PreFilterPlugin interface {
+	Name() string
+	PreFilter(pod *PodInfo, view *ClusterView) bool
+}
+
+// PermitDecision is a PermitPlugin's verdict on a selected placement.
+type PermitDecision int
+
+const (
+	// PermitAllow binds the pod immediately (the default for every pod
+	// when no permit plugin objects).
+	PermitAllow PermitDecision = iota
+	// PermitWait converts the bind into a conditional reservation
+	// (apiserver.Reserve): capacity commits on the node but the pod
+	// waits in the permit area until its gang reaches quorum
+	// (CommitGroup) or times out (ReleaseGroup).
+	PermitWait
+	// PermitDeny refuses the placement outright; the pod stays queued.
+	PermitDeny
+)
+
+// PermitPlugin runs after a node has been selected and decides how the
+// placement commits. The first non-Allow decision wins. Plugins that
+// also implement ReserveObserver are notified after a PermitWait
+// reservation actually commits on the API server — the hook the gang
+// director uses to count permits toward quorum.
+type PermitPlugin interface {
+	Name() string
+	Permit(pod *PodInfo, nodeName string) PermitDecision
+}
+
+// ReserveObserver is an optional PermitPlugin extension: OnReserved is
+// called (outside any scheduler lock) after the pod's reservation
+// committed on the API server. The observer may call back into the
+// server (e.g. CommitGroup when quorum is reached).
+type ReserveObserver interface {
+	OnReserved(pod *PodInfo, nodeName string)
+}
+
 // FilterPlugin decides hard feasibility of one (pod, node) combination.
 // Filters run for every candidate node each pass, so implementations must
 // not allocate.
@@ -146,10 +192,12 @@ type WeightedScore struct {
 // Binpack/Spread/LeastRequested values are thin wrappers over canned
 // profiles.
 type Profile struct {
-	name     string
-	filters  []FilterPlugin
-	preScore []PreScorePlugin
-	scores   []WeightedScore
+	name       string
+	preFilters []PreFilterPlugin
+	filters    []FilterPlugin
+	preScore   []PreScorePlugin
+	scores     []WeightedScore
+	permits    []PermitPlugin
 	// minScore rejects candidates scoring at or below it (LeastRequested's
 	// historical "-1.0 or worse declines" contract); defaults to -Inf.
 	minScore float64
@@ -168,6 +216,18 @@ type ProfileOpt func(*Profile)
 // feasibility set (SGX capability, EPC device fit, resource saturation).
 func WithFilters(filters ...FilterPlugin) ProfileOpt {
 	return func(p *Profile) { p.filters = append(p.filters, filters...) }
+}
+
+// WithPreFilters appends per-pod early-reject plugins (run once per pod
+// per pass, before any per-node work).
+func WithPreFilters(plugins ...PreFilterPlugin) ProfileOpt {
+	return func(p *Profile) { p.preFilters = append(p.preFilters, plugins...) }
+}
+
+// WithPermits appends permit plugins (run after node selection, deciding
+// whether the placement binds immediately, waits, or is denied).
+func WithPermits(plugins ...PermitPlugin) ProfileOpt {
+	return func(p *Profile) { p.permits = append(p.permits, plugins...) }
 }
 
 // WithPreScore appends candidate-narrowing preference plugins.
@@ -202,6 +262,52 @@ func NewProfile(name string, opts ...ProfileOpt) *Profile {
 
 // Name implements Policy.
 func (p *Profile) Name() string { return p.name }
+
+// clone returns a shallow copy with its own plugin slices, so appending
+// plugins to the copy never leaks into the original (profileFor passes
+// caller-owned *Profile values through unchanged, and the built-in
+// policies share pooled instances).
+func (p *Profile) clone() *Profile {
+	c := *p
+	c.preFilters = append([]PreFilterPlugin(nil), p.preFilters...)
+	c.filters = append([]FilterPlugin(nil), p.filters...)
+	c.preScore = append([]PreScorePlugin(nil), p.preScore...)
+	c.scores = append([]WeightedScore(nil), p.scores...)
+	c.permits = append([]PermitPlugin(nil), p.permits...)
+	return &c
+}
+
+// runPreFilter runs the pre-filter stage; false rejects the pod's pass.
+func (p *Profile) runPreFilter(pod *PodInfo, view *ClusterView) bool {
+	for _, pf := range p.preFilters {
+		if !pf.PreFilter(pod, view) {
+			return false
+		}
+	}
+	return true
+}
+
+// runPermit runs the permit stage for a selected placement; the first
+// non-Allow decision wins.
+func (p *Profile) runPermit(pod *PodInfo, nodeName string) PermitDecision {
+	for _, pp := range p.permits {
+		if d := pp.Permit(pod, nodeName); d != PermitAllow {
+			return d
+		}
+	}
+	return PermitAllow
+}
+
+// notifyReserved tells permit plugins implementing ReserveObserver that
+// the pod's reservation committed. Called outside server and scheduler
+// locks, so observers may call back into the API server.
+func (p *Profile) notifyReserved(pod *PodInfo, nodeName string) {
+	for _, pp := range p.permits {
+		if obs, ok := pp.(ReserveObserver); ok {
+			obs.OnReserved(pod, nodeName)
+		}
+	}
+}
 
 // Feasible runs the filter pipeline for one (pod, node) combination.
 func (p *Profile) Feasible(pod *PodInfo, node *NodeView) bool {

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// gangTestbed wires an API server, a shared gang director, and a
+// scheduler fleet (1..n members) over plain registered nodes — no
+// kubelets, so placement is the only moving part.
+type gangTestbed struct {
+	clk   *clock.Sim
+	srv   *apiserver.Server
+	dir   *GangDirector
+	fleet *ShardedSchedulers
+}
+
+func newGangTestbed(t *testing.T, nodes int, memPerNode int64, gcfg GangConfig, shards int) *gangTestbed {
+	t.Helper()
+	clk := clock.NewSim()
+	srv := apiserver.New(clk, apiserver.WithAdmission(apiserver.AdmitStrict))
+	for i := 0; i < nodes; i++ {
+		n := &api.Node{
+			Name:        fmt.Sprintf("n%02d", i+1),
+			Capacity:    resource.List{resource.Memory: memPerNode},
+			Allocatable: resource.List{resource.Memory: memPerNode},
+			Ready:       true,
+		}
+		if err := srv.RegisterNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := NewGangDirector(clk, srv, gcfg)
+	fleet, err := NewSharded(clk, srv, tsdb.New(clk), Config{
+		Name:     "s",
+		Policy:   Binpack{},
+		Interval: time.Second,
+		Gang:     dir,
+	}, shards, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		fleet.Close()
+		dir.Close()
+	})
+	return &gangTestbed{clk: clk, srv: srv, dir: dir, fleet: fleet}
+}
+
+func (tb *gangTestbed) submit(t *testing.T, p *api.Pod) {
+	t.Helper()
+	tb.fleet.Assign(p)
+	if err := tb.srv.CreatePod(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func memPod(name string, mem int64, prio int32) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{
+			Priority: prio,
+			Containers: []api.Container{{
+				Name:      "main",
+				Resources: api.Requirements{Requests: resource.List{resource.Memory: mem}},
+			}},
+		},
+	}
+}
+
+func memGangPod(name, group string, minMember int, mem int64, prio int32) *api.Pod {
+	p := memPod(name, mem, prio)
+	p.Spec.PodGroup = group
+	p.Spec.MinMember = minMember
+	return p
+}
+
+// TestGangWaitsForQuorumThenCommits: members below quorum hold permits
+// without binding; the member that completes the quorum triggers the
+// atomic whole-gang commit in the same pass.
+func TestGangWaitsForQuorumThenCommits(t *testing.T) {
+	tb := newGangTestbed(t, 2, resource.GiB, GangConfig{}, 1)
+	for _, name := range []string{"g-a", "g-b"} {
+		tb.submit(t, memGangPod(name, "g", 3, resource.MiB, 0))
+	}
+	tb.fleet.RunRound()
+
+	if n := tb.srv.ReservationCount(); n != 2 {
+		t.Fatalf("permits after partial gang = %d, want 2", n)
+	}
+	if n := tb.srv.BoundGroupCount("g"); n != 0 {
+		t.Fatalf("bound members before quorum = %d, want 0", n)
+	}
+	stats := tb.fleet.Stats()
+	if stats.Held != 2 || stats.Bound != 0 {
+		t.Fatalf("stats = %+v, want Held 2 Bound 0", stats)
+	}
+
+	tb.submit(t, memGangPod("g-c", "g", 3, resource.MiB, 0))
+	tb.fleet.RunRound()
+	if got := fmt.Sprint(tb.srv.BoundGroupMembers("g")); got != "[g-a g-b g-c]" {
+		t.Fatalf("bound members after quorum = %v", got)
+	}
+	if n := tb.srv.ReservationCount(); n != 0 {
+		t.Fatalf("permits after commit = %d, want 0", n)
+	}
+	if s := tb.dir.Stats(); s.Commits != 1 || s.Timeouts != 0 {
+		t.Fatalf("director stats = %+v", s)
+	}
+}
+
+// TestGangPermitTimeoutRollsBackAndRecovers: a gang stuck below quorum
+// releases every permit (and all held capacity) at the sim-clock
+// timeout, then schedules cleanly once the missing member arrives.
+func TestGangPermitTimeoutRollsBackAndRecovers(t *testing.T) {
+	tb := newGangTestbed(t, 1, resource.GiB, GangConfig{PermitTimeout: 10 * time.Second}, 1)
+	for _, name := range []string{"g-a", "g-b"} {
+		tb.submit(t, memGangPod(name, "g", 3, resource.MiB, 0))
+	}
+	tb.fleet.RunRound()
+	if n := tb.srv.ReservationCount(); n != 2 {
+		t.Fatalf("permits = %d, want 2", n)
+	}
+
+	tb.clk.Advance(10 * time.Second)
+	// Post-hoc accounting: the rollback returned every held resource.
+	if n := tb.srv.ReservationCount(); n != 0 {
+		t.Fatalf("permits after timeout = %d, want 0", n)
+	}
+	if got := tb.srv.Committed("n01").Get(resource.Memory); got != 0 {
+		t.Fatalf("committed after timeout = %d, want 0", got)
+	}
+	if s := tb.dir.Stats(); s.Timeouts != 1 || s.Commits != 0 {
+		t.Fatalf("director stats = %+v", s)
+	}
+	gs := tb.srv.GangStats()
+	if gs.MembersReleased != 2 || gs.GroupsReleased != 1 {
+		t.Fatalf("gang stats = %+v", gs)
+	}
+
+	tb.submit(t, memGangPod("g-c", "g", 3, resource.MiB, 0))
+	// The released members are back in the queue; the next rounds reach
+	// quorum and commit.
+	for i := 0; i < 3 && tb.srv.BoundGroupCount("g") < 3; i++ {
+		tb.fleet.RunRound()
+	}
+	if n := tb.srv.BoundGroupCount("g"); n != 3 {
+		t.Fatalf("bound members after recovery = %d, want 3", n)
+	}
+}
+
+// TestGangPreFilterGatesImpossibleGangs: when the cluster cannot possibly
+// hold the group's remaining members, no member takes a permit — gated
+// gangs must not camp on capacity they can never complete with.
+func TestGangPreFilterGatesImpossibleGangs(t *testing.T) {
+	tb := newGangTestbed(t, 1, 2*resource.MiB, GangConfig{}, 1)
+	for _, name := range []string{"g-a", "g-b", "g-c"} {
+		tb.submit(t, memGangPod(name, "g", 3, resource.MiB, 0))
+	}
+	tb.fleet.RunRound()
+	stats := tb.fleet.Stats()
+	if stats.Gated != 3 || stats.Held != 0 {
+		t.Fatalf("stats = %+v, want Gated 3 Held 0", stats)
+	}
+	if n := tb.srv.ReservationCount(); n != 0 {
+		t.Fatalf("permits = %d, want 0 (gang cannot fit)", n)
+	}
+}
+
+// TestGangStarvationBoost: PreFilter raises a waiting gang member's
+// pass-local priority by one tier per BoostEvery of group age, capped at
+// MaxBoost, without rewriting the pod's declared priority.
+func TestGangStarvationBoost(t *testing.T) {
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	dir := NewGangDirector(clk, srv, GangConfig{BoostEvery: time.Minute, MaxBoost: 3})
+	defer dir.Close()
+	pod := memGangPod("g-a", "g", 2, resource.MiB, 5)
+	view := &ClusterView{Nodes: []*NodeView{{
+		Name:        "n1",
+		Allocatable: resource.List{resource.Memory: resource.GiB},
+		Used:        resource.List{},
+	}}}
+
+	info := NewPodInfo(pod, nil)
+	if !dir.PreFilter(info, view) {
+		t.Fatal("feasible gang member gated")
+	}
+	if info.Priority != 5 {
+		t.Fatalf("fresh gang boosted: priority = %d, want 5", info.Priority)
+	}
+
+	clk.Advance(2 * time.Minute)
+	info = NewPodInfo(pod, nil)
+	dir.PreFilter(info, view)
+	if info.Priority != 7 {
+		t.Fatalf("priority after 2min = %d, want 7", info.Priority)
+	}
+
+	clk.Advance(time.Hour)
+	info = NewPodInfo(pod, nil)
+	dir.PreFilter(info, view)
+	if info.Priority != 8 {
+		t.Fatalf("priority after an hour = %d, want 8 (capped at +3)", info.Priority)
+	}
+	if pod.Spec.Priority != 5 {
+		t.Fatalf("declared priority mutated: %d", pod.Spec.Priority)
+	}
+}
+
+// checkNoPartialGang replays an event stream prefix by prefix and fails
+// if any prefix observes a partially committed gang with a foreign event
+// interleaved: once a group's commit burst starts (first PodBound while
+// co-members still hold permits), every following event must be another
+// PodBound of the same group until no permits remain — the replay
+// witness that CommitGroup is atomic under the world ladder.
+func checkNoPartialGang(t *testing.T, events []apiserver.WatchEvent, minMember map[string]int) {
+	t.Helper()
+	held := map[string]map[string]bool{}  // group -> permit holders
+	bound := map[string]map[string]bool{} // group -> bound members
+	for i, ev := range events {
+		if ev.Pod == nil || !ev.Pod.Spec.InGang() {
+			continue
+		}
+		g := ev.Pod.Spec.PodGroup
+		switch ev.Type {
+		case apiserver.PodPermitHeld:
+			if held[g] == nil {
+				held[g] = map[string]bool{}
+			}
+			held[g][ev.Pod.Name] = true
+		case apiserver.PodPermitReleased:
+			delete(held[g], ev.Pod.Name)
+		case apiserver.PodBound:
+			delete(held[g], ev.Pod.Name)
+			if bound[g] == nil {
+				bound[g] = map[string]bool{}
+			}
+			bound[g][ev.Pod.Name] = true
+		case apiserver.PodUpdated:
+			if ev.Pod.Spec.NodeName == "" || ev.Pod.IsTerminal() {
+				delete(bound[g], ev.Pod.Name)
+			}
+		}
+		// Prefix invariant: a group mid-commit (some members bound, some
+		// still holding permits) only ever appears inside its own commit
+		// burst, i.e. the next event continues it.
+		if len(bound[g]) > 0 && len(held[g]) > 0 {
+			if i+1 >= len(events) {
+				t.Fatalf("event stream ends with gang %s partially committed (%d bound, %d held)",
+					g, len(bound[g]), len(held[g]))
+			}
+			next := events[i+1]
+			if next.Type != apiserver.PodBound || next.Pod == nil || next.Pod.Spec.PodGroup != g {
+				t.Fatalf("event %d: gang %s partially committed (%d bound, %d held) with foreign event %v interleaved",
+					i, g, len(bound[g]), len(held[g]), next.Type)
+			}
+		}
+		// Once settled (no permits outstanding), a gang is bound fully or
+		// not at all.
+		if n := len(bound[g]); len(held[g]) == 0 && n > 0 && n < minMember[g] {
+			t.Fatalf("event %d: gang %s settled at %d/%d members bound", i, g, n, minMember[g])
+		}
+	}
+}
+
+// TestGangNeverPartiallyBoundAcrossEventPrefixes: the replay-witness
+// property over a churning single-scheduler run — every event-stream
+// prefix sees each gang either fully committed, mid-atomic-burst, or not
+// placed at all. Solo pods interleave freely throughout.
+func TestGangNeverPartiallyBoundAcrossEventPrefixes(t *testing.T) {
+	tb := newGangTestbed(t, 4, 8*resource.MiB, GangConfig{PermitTimeout: 5 * time.Second}, 1)
+	var events []apiserver.WatchEvent
+	unsub := tb.srv.Subscribe(func(ev apiserver.WatchEvent) { events = append(events, ev) })
+	defer unsub()
+
+	minMember := map[string]int{}
+	k := 3
+	for wave := 0; wave < 4; wave++ {
+		group := fmt.Sprintf("gang-%d", wave)
+		minMember[group] = k
+		for m := 0; m < k; m++ {
+			tb.submit(t, memGangPod(fmt.Sprintf("%s-m%d", group, m), group, k, resource.MiB, 0))
+		}
+		for s := 0; s < 2; s++ {
+			tb.submit(t, memPod(fmt.Sprintf("solo-%d-%d", wave, s), resource.MiB, 0))
+		}
+		tb.fleet.RunRound()
+		tb.clk.Advance(time.Second)
+	}
+	for i := 0; i < 6; i++ {
+		tb.fleet.RunRound()
+		tb.clk.Advance(2 * time.Second)
+	}
+
+	checkNoPartialGang(t, events, minMember)
+	if n := tb.srv.ReservationCount(); n != 0 {
+		t.Fatalf("permits outstanding at end = %d, want 0", n)
+	}
+}
+
+// TestGangShardedContentionNoPartialBinding: two schedulers share the
+// gang director; gang members hash across both, so quorum needs permits
+// from different members' passes. The same prefix property must hold
+// under the contention, and runs must be deterministic.
+func TestGangShardedContentionNoPartialBinding(t *testing.T) {
+	run := func() ([]apiserver.WatchEvent, map[string]int, int) {
+		tb := newGangTestbed(t, 4, 8*resource.MiB, GangConfig{PermitTimeout: 5 * time.Second}, 2)
+		var events []apiserver.WatchEvent
+		unsub := tb.srv.Subscribe(func(ev apiserver.WatchEvent) { events = append(events, ev) })
+		defer unsub()
+
+		minMember := map[string]int{}
+		for wave := 0; wave < 3; wave++ {
+			group := fmt.Sprintf("cgang-%d", wave)
+			minMember[group] = 4
+			for m := 0; m < 4; m++ {
+				tb.submit(t, memGangPod(fmt.Sprintf("%s-m%d", group, m), group, 4, resource.MiB, 0))
+			}
+			tb.submit(t, memPod(fmt.Sprintf("csolo-%d", wave), resource.MiB, 0))
+			tb.fleet.RunRound()
+			tb.clk.Advance(time.Second)
+		}
+		for i := 0; i < 8; i++ {
+			tb.fleet.RunRound()
+			tb.clk.Advance(2 * time.Second)
+		}
+		checkNoPartialGang(t, events, minMember)
+		if n := tb.srv.ReservationCount(); n != 0 {
+			t.Fatalf("permits outstanding at end = %d, want 0", n)
+		}
+		bound := 0
+		for g := range minMember {
+			bound += tb.srv.BoundGroupCount(g)
+		}
+		return events, minMember, bound
+	}
+
+	evA, _, boundA := run()
+	evB, _, boundB := run()
+	if boundA != boundB || len(evA) != len(evB) {
+		t.Fatalf("nondeterministic: run A bound %d (%d events), run B bound %d (%d events)",
+			boundA, len(evA), boundB, len(evB))
+	}
+	for i := range evA {
+		if evA[i].Type != evB[i].Type || evA[i].Pod == nil != (evB[i].Pod == nil) {
+			t.Fatalf("event %d diverges between identical runs", i)
+		}
+	}
+	// The member split really crossed schedulers: at least one gang must
+	// have members on both shards.
+	split := false
+	for wave := 0; wave < 3 && !split; wave++ {
+		first := ShardIndex(fmt.Sprintf("cgang-%d-m0", wave), 2)
+		for m := 1; m < 4; m++ {
+			if ShardIndex(fmt.Sprintf("cgang-%d-m%d", wave, m), 2) != first {
+				split = true
+				break
+			}
+		}
+	}
+	if !split {
+		t.Fatal("test vacuous: no gang straddled the two schedulers")
+	}
+}
+
+// TestGangPreemptionEvictsWholeGang: a high-priority solo pod that needs
+// the space displaces the entire low-priority gang — bound members
+// everywhere, not just on the candidate node — or nothing.
+func TestGangPreemptionEvictsWholeGang(t *testing.T) {
+	tb := newGangTestbed(t, 2, 2*resource.MiB, GangConfig{}, 1)
+	for m := 0; m < 4; m++ {
+		tb.submit(t, memGangPod(fmt.Sprintf("g-m%d", m), "g", 4, resource.MiB, 0))
+	}
+	tb.fleet.RunRound()
+	if n := tb.srv.BoundGroupCount("g"); n != 4 {
+		t.Fatalf("gang not placed: %d/4 bound", n)
+	}
+
+	tb.submit(t, memPod("vip", 2*resource.MiB, 10))
+	for i := 0; i < 3; i++ {
+		tb.fleet.RunRound()
+	}
+	vip, _ := tb.srv.GetPod("vip")
+	if vip.Spec.NodeName == "" {
+		t.Fatal("high-priority pod not placed by gang preemption")
+	}
+	if n := tb.srv.BoundGroupCount("g"); n != 0 {
+		t.Fatalf("gang partially survived preemption: %d members still bound", n)
+	}
+	if s := tb.srv.GangStats(); s.GroupsPreempted != 1 {
+		t.Fatalf("gang stats = %+v, want GroupsPreempted 1", s)
+	}
+}

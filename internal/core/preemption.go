@@ -21,7 +21,12 @@ import (
 //   - victims are returned to the pending queue (not failed) and
 //     reschedule later on their own merits;
 //   - a pod whose requests no victim set can satisfy preempts nothing and
-//     simply stays queued.
+//     simply stays queued;
+//   - gang members are never evicted individually: a gang is one victim
+//     unit, eligible only when every member everywhere is outranked, and
+//     evicted wholesale through the API server's PreemptGroup (held
+//     permits roll back, bound members re-queue) — partial placements
+//     cannot be created by preemption any more than by placement.
 
 // preempt tries to make room for pod. On success it returns the chosen
 // node, having already evicted the victims through the API server (the
@@ -89,9 +94,30 @@ func (s *Scheduler) preempt(pod *PodInfo) (node string, victims int, preempted b
 		// its charge from the cache. Failures (a victim racing to
 		// completion) are benign: the fit re-check after re-snapshot
 		// decides whether the bind still happens.
+		if v.group != "" {
+			// All-or-nothing in both directions: the whole gang goes,
+			// including members on other nodes and members still holding
+			// permits.
+			_, _ = s.srv.PreemptGroup(v.group, "higher-priority pod "+pod.Pod.Name)
+			continue
+		}
 		_ = s.srv.Preempt(v.name, "higher-priority pod "+pod.Pod.Name)
 	}
-	return bestNode, len(bestSet), true
+	return bestNode, victimCount(bestSet), true
+}
+
+// victimCount sums the pods displaced by a victim set — a gang unit
+// displaces its whole cluster-wide membership, not one pod.
+func victimCount(set []victimInfo) int {
+	n := 0
+	for _, v := range set {
+		if v.count > 1 {
+			n += v.count
+			continue
+		}
+		n++
+	}
+	return n
 }
 
 // pipelineAcceptsAfterEvictions simulates the node with the victim set's
@@ -196,10 +222,14 @@ func minimalVictimSet(pod *PodInfo, node *NodeView, victims []victimInfo) ([]vic
 }
 
 // betterVictimSet orders candidate victim sets across nodes: fewest
-// victims first, then the lower priority vector compared from the most
+// displaced pods first (a gang unit counts its whole membership), then
+// fewest units, then the lower priority vector compared from the most
 // important victim down. Node-name order breaks full ties because nodes
 // are visited sorted and only strict improvements replace the incumbent.
 func betterVictimSet(a, b []victimInfo) bool {
+	if ca, cb := victimCount(a), victimCount(b); ca != cb {
+		return ca < cb
+	}
 	if len(a) != len(b) {
 		return len(a) < len(b)
 	}

@@ -88,6 +88,12 @@ type Config struct {
 	// MinFeasibleNodesToFind floors the sample size
 	// (DefaultMinFeasibleNodesToFind when zero).
 	MinFeasibleNodesToFind int
+	// Gang attaches a gang-scheduling director: the policy's profile is
+	// cloned and the director's PreFilter/Permit plugins appended, so
+	// pod-group members reserve conditionally and commit at quorum
+	// instead of binding individually. A sharded fleet must pass the
+	// same director to every member — quorum is cluster-wide.
+	Gang *GangDirector
 }
 
 // Stats counts scheduler activity for tests and benchmarks.
@@ -108,6 +114,12 @@ type Stats struct {
 	// sampling path instead of a full node scan (see
 	// Config.PercentageNodesToScore).
 	Sampled int
+	// Gated counts pods a PreFilter plugin rejected before any per-node
+	// work (e.g. a gang whose remaining members cannot fit this pass).
+	Gated int
+	// Held counts successful conditional reservations (gang permits)
+	// taken in place of immediate binds.
+	Held int
 }
 
 // add folds other into s (for aggregating sharded scheduler stats).
@@ -119,6 +131,8 @@ func (s *Stats) add(other Stats) {
 	s.Victims += other.Victims
 	s.Conflicts += other.Conflicts
 	s.Sampled += other.Sampled
+	s.Gated += other.Gated
+	s.Held += other.Held
 }
 
 // Scheduler is one SGX-aware scheduler instance. It is "packaged as a
@@ -210,6 +224,13 @@ func newScheduler(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Confi
 		return nil, fmt.Errorf("core: window %v exceeds metrics retention %v", cfg.Window, db.Retention())
 	}
 	s := &Scheduler{clk: clk, srv: srv, db: db, cfg: cfg, profile: profileFor(cfg.Policy)}
+	if cfg.Gang != nil {
+		// Clone before appending: profileFor may have passed through a
+		// caller-owned or pooled *Profile shared with other schedulers.
+		s.profile = s.profile.clone()
+		s.profile.preFilters = append(s.profile.preFilters, cfg.Gang)
+		s.profile.permits = append(s.profile.permits, cfg.Gang)
+	}
 	s.epcQuery = perPodPeakQuery(monitor.MeasurementEPC, "epc", cfg.Window)
 	s.memQuery = perPodPeakQuery(monitor.MeasurementMemory, "mem", cfg.Window)
 
@@ -363,6 +384,7 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		view = s.syncedViewLocked()
 	}
 	bound, unschedulable, preemptions, victims, conflicts, sampledPods := 0, 0, 0, 0, 0, 0
+	gated, held := 0, 0
 	// One-lock-per-pass preemption gate: no pod can preempt unless some
 	// live pod sits in a strictly lower tier. Refreshed after evictions.
 	minPrio, anyBound := s.cache.minPriority()
@@ -376,6 +398,12 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		info := &s.infoBuf
 		fillPodInfo(info, pod, req, s.pairBuf)
 		s.pairBuf = info.Pairs
+		// Pre-filter stage: per-pod early rejects (and pass-scoped
+		// mutations like the gang age boost) before any per-node work.
+		if !s.profile.runPreFilter(info, view) {
+			gated++
+			continue
+		}
 		candidates = candidates[:0]
 		sampled := false
 		if view.indexed() {
@@ -431,6 +459,39 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 			unschedulable++
 			continue
 		}
+		// Permit stage: a plugin may convert the bind into a conditional
+		// reservation (gang members wait for quorum) or deny it.
+		if dec := s.profile.runPermit(info, nodeName); dec != PermitAllow {
+			if dec == PermitDeny {
+				unschedulable++
+				continue
+			}
+			// PermitWait: take a conditional reservation instead of a
+			// bind. The same conflict taxonomy as Bind applies.
+			if err := s.srv.Reserve(pod.Name, nodeName); err != nil {
+				if errors.Is(err, apiserver.ErrConflict) {
+					conflicts++
+					if errors.Is(err, apiserver.ErrOutdated) {
+						break // view is provably stale; end the pass
+					}
+				}
+				continue
+			}
+			// Charge the view so later decisions this pass see the
+			// reserved headroom, exactly as a bind would.
+			view.Commit(nodeName, req)
+			held++
+			// Notify observers (the gang director counts the permit
+			// toward quorum and may commit the whole gang). Outside the
+			// server critical sections; the pass view is unaffected —
+			// a commit emits PodBound events the cache absorbs for the
+			// *next* pass.
+			s.profile.notifyReserved(info, nodeName)
+			if s.cfg.MaxBindsPerPass > 0 && bound+held >= s.cfg.MaxBindsPerPass {
+				break // per-pass throughput budget spent
+			}
+			continue
+		}
 		if err := s.srv.Bind(pod.Name, nodeName); err != nil {
 			if errors.Is(err, apiserver.ErrConflict) {
 				conflicts++
@@ -456,7 +517,7 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		// headroom.
 		view.Commit(nodeName, req)
 		bound++
-		if s.cfg.MaxBindsPerPass > 0 && bound >= s.cfg.MaxBindsPerPass {
+		if s.cfg.MaxBindsPerPass > 0 && bound+held >= s.cfg.MaxBindsPerPass {
 			break // per-pass throughput budget spent; the rest stays queued
 		}
 	}
@@ -468,6 +529,8 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 	s.stats.Victims += victims
 	s.stats.Conflicts += conflicts
 	s.stats.Sampled += sampledPods
+	s.stats.Gated += gated
+	s.stats.Held += held
 	s.mu.Unlock()
 	return bound
 }
@@ -518,6 +581,26 @@ func (s *Scheduler) BuildView() *ClusterView {
 		// Device items are reserved by request for the pod's lifetime.
 		nv.FreeDevices -= req.Get(resource.EPCPages)
 		return true
+	})
+	// Conditional gang reservations: the pod is still unbound in
+	// authoritative state (VisitPods saw no NodeName), but Reserve already
+	// committed its capacity on the node. Charge requests directly — a
+	// reserved pod has not started, so the fusion above would floor at
+	// requests anyway — keeping this reference view equivalent to the
+	// event-driven cache's PodPermitHeld accounting.
+	s.srv.VisitReservations(func(pod, node, _ string) {
+		nv, ok := nodeByName[node]
+		if !ok {
+			return
+		}
+		p, err := s.srv.GetPod(pod)
+		if err != nil {
+			return
+		}
+		req := p.TotalRequests()
+		nv.Used[resource.Memory] += req.Get(resource.Memory)
+		nv.Used[resource.EPCPages] += req.Get(resource.EPCPages)
+		nv.FreeDevices -= req.Get(resource.EPCPages)
 	})
 	view.sortNodes()
 	return view

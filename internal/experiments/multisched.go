@@ -142,7 +142,14 @@ func (w *capacityWatcher) onEvent(ev apiserver.WatchEvent) {
 	switch ev.Type {
 	case apiserver.NodeRegistered, apiserver.NodeUpdated:
 		w.alloc[ev.Node.Name] = ev.Node.Allocatable.Clone()
-	case apiserver.PodBound:
+	case apiserver.PodBound, apiserver.PodPermitHeld:
+		// A gang permit commits its capacity on the node exactly like a
+		// bind; the later PodBound from the group commit must not
+		// double-charge the member.
+		if _, held := w.bound[ev.Pod.Name]; held && ev.Type == apiserver.PodBound {
+			w.check(ev.Pod.Spec.NodeName)
+			return
+		}
 		req := ev.Pod.TotalRequests()
 		com, ok := w.committed[ev.Pod.Spec.NodeName]
 		if !ok {
@@ -152,9 +159,9 @@ func (w *capacityWatcher) onEvent(ev apiserver.WatchEvent) {
 		com.AddInPlace(req)
 		w.bound[ev.Pod.Name] = boundCharge{node: ev.Pod.Spec.NodeName, req: req}
 		w.check(ev.Pod.Spec.NodeName)
-	case apiserver.PodUpdated:
+	case apiserver.PodUpdated, apiserver.PodPermitReleased:
 		c, ok := w.bound[ev.Pod.Name]
-		if ok && (ev.Pod.IsTerminal() || ev.Pod.Spec.NodeName == "") {
+		if ok && (ev.Type == apiserver.PodPermitReleased || ev.Pod.IsTerminal() || ev.Pod.Spec.NodeName == "") {
 			com := w.committed[c.node]
 			for k, v := range c.req {
 				com[k] -= v
