@@ -309,6 +309,45 @@ func BenchmarkSchedulerPass(b *testing.B) {
 	}
 }
 
+// BenchmarkClassifiedPass is BenchmarkSchedulerPass with the workload
+// class registry attached and the whole backlog declaring classes, so
+// every pod in every pass takes the per-class resolution path
+// (slot lookup, profile swap, sampling/preemption gate overrides) and
+// the per-class stats fold. Gating this next to BenchmarkSchedulerPass
+// bounds the toll class routing adds to the scheduler's hot loop.
+func BenchmarkClassifiedPass(b *testing.B) {
+	classes := core.NewClassRegistry(core.NewWorkloadClassifier(core.ClassifierConfig{}))
+	tb, err := experiments.NewTestbed(experiments.TestbedConfig{
+		UseMetrics: true, Enforcement: true, Classes: classes,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	trace := borg.NewGenerator(borg.DefaultConfig(benchSeed)).EvalSlice()
+	tiers := []struct {
+		class api.WorkloadClass
+		prio  int32
+	}{
+		{api.ClassLatencySensitive, 100},
+		{api.ClassBatch, 10},
+		{api.ClassBestEffort, 0},
+	}
+	for i, job := range trace.Jobs {
+		pod := benchPod(job, i%2 == 0)
+		tier := tiers[i%len(tiers)]
+		pod.Spec.Class = tier.class
+		pod.Spec.Priority = tier.prio
+		if err := tb.Srv.CreatePod(pod); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Scheduler.ScheduleOnce()
+	}
+}
+
 // BenchmarkSchedulerPassScaling demonstrates that with the event-driven
 // cluster cache a scheduling pass costs O(pending pods + nodes), not
 // O(total pods): a cluster with thousands of bound pods and a handful of

@@ -44,6 +44,28 @@ const (
 	PolicyLeastRequested Policy = "least-requested"
 )
 
+// Workload classes jobs can declare (JobSpec.Class). A class routes the
+// job through its own scheduling profile — pipeline, sampling bounds and
+// preemption rights — without changing what it runs:
+//
+//   - ClassLatencySensitive: serving-style jobs; usage-aware scoring,
+//     never sampled below a raised feasibility floor, may preempt lower
+//     tiers and best-effort jobs.
+//   - ClassBatch: throughput jobs; bin-packed (SGX nodes last), gang
+//     support rides along, never preempts.
+//   - ClassBestEffort: preemptible filler; spread across the fleet,
+//     never preempts, and always preemption-eligible regardless of
+//     priority.
+//
+// Jobs with no class take the cluster's configured Policy pipeline,
+// exactly as before classes existed. ClusterConfig.InferClasses extends
+// classification to undeclared jobs from their scheduling signals.
+const (
+	ClassLatencySensitive = string(api.ClassLatencySensitive)
+	ClassBatch            = string(api.ClassBatch)
+	ClassBestEffort       = string(api.ClassBestEffort)
+)
+
 func (p Policy) corePolicy() (core.Policy, error) {
 	switch p {
 	case PolicyBinpack, "":
@@ -92,6 +114,11 @@ type ClusterConfig struct {
 	SchedulerInterval time.Duration
 	// ScrapeInterval is the monitoring period (10 s default).
 	ScrapeInterval time.Duration
+	// InferClasses classifies jobs that declare no workload class from
+	// their scheduling signals (priority tier, declared runtime, gang
+	// membership, EPC demand) instead of leaving them on the default
+	// pipeline. Declared classes are honoured either way.
+	InferClasses bool
 }
 
 // PaperTestbedNodes returns the §VI-A cluster shape.
@@ -193,12 +220,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.probes = monitor.DeployProbes(clk, c.db, c.kubelets, cfg.ScrapeInterval)
 
 	c.gang = core.NewGangDirector(clk, c.srv, core.GangConfig{})
+	// Always class-aware: with inference off the registry only routes
+	// explicitly declared classes, and undeclared jobs schedule exactly
+	// as a class-free scheduler would — so attaching it unconditionally
+	// costs legacy callers nothing.
+	classes := core.NewClassRegistry(core.NewWorkloadClassifier(core.ClassifierConfig{
+		Infer: cfg.InferClasses,
+	}))
 	sched, err := core.New(clk, c.srv, c.db, core.Config{
 		Name:       schedulerName,
 		Policy:     policy,
 		Interval:   cfg.SchedulerInterval,
 		UseMetrics: !cfg.DisableMetrics,
 		Gang:       c.gang,
+		Classes:    classes,
 	})
 	if err != nil {
 		return nil, err
@@ -275,6 +310,11 @@ type JobSpec struct {
 	// GangMinMember is the quorum (defaults to 1; members of one gang
 	// should agree on it).
 	GangMinMember int
+	// Class declares the job's workload class (ClassLatencySensitive,
+	// ClassBatch or ClassBestEffort; empty for the default pipeline).
+	// The class selects the scheduling profile the job routes through
+	// and, for ClassBestEffort, marks it always preemption-eligible.
+	Class string
 }
 
 // SubmitJob queues a job with the cluster's scheduler.
@@ -284,6 +324,10 @@ func (c *Cluster) SubmitJob(spec JobSpec) error {
 	}
 	if spec.Duration < 0 {
 		return fmt.Errorf("sgxorch: negative duration %v", spec.Duration)
+	}
+	class := api.WorkloadClass(spec.Class)
+	if spec.Class != "" && !class.Known() {
+		return fmt.Errorf("sgxorch: unknown workload class %q", spec.Class)
 	}
 	requests := resource.List{}
 	if spec.MemoryRequestBytes > 0 {
@@ -335,6 +379,7 @@ func (c *Cluster) SubmitJob(spec JobSpec) error {
 			Priority:      spec.Priority,
 			PodGroup:      spec.Gang,
 			MinMember:     spec.GangMinMember,
+			Class:         class,
 			Containers: []api.Container{{
 				Name:      "workload",
 				Resources: api.Requirements{Requests: requests, Limits: limits},
@@ -448,18 +493,62 @@ type SchedulerStats struct {
 	// jobs to make room; Victims counts the jobs evicted by them.
 	Preemptions int
 	Victims     int
+	// ByClass breaks the outcomes down per declared (or inferred)
+	// workload class, keyed by the Class* constants; jobs on the default
+	// pipeline appear under the empty key. Only classes with activity
+	// have entries.
+	ByClass map[string]ClassSchedulerStats
+}
+
+// ClassSchedulerStats is the per-workload-class slice of SchedulerStats.
+type ClassSchedulerStats struct {
+	Bound         int
+	Unschedulable int
+	// Preemptions/Victims count evictions inflicted *by* this class's
+	// jobs.
+	Preemptions int
+	Victims     int
 }
 
 // SchedulerStats returns the scheduler's counters.
 func (c *Cluster) SchedulerStats() SchedulerStats {
 	s := c.sched.Stats()
-	return SchedulerStats{
+	out := SchedulerStats{
 		Passes:        s.Passes,
 		Bound:         s.Bound,
 		Unschedulable: s.Unschedulable,
 		Preemptions:   s.Preemptions,
 		Victims:       s.Victims,
 	}
+	for _, class := range []api.WorkloadClass{
+		api.ClassUnspecified, api.ClassLatencySensitive, api.ClassBatch, api.ClassBestEffort,
+	} {
+		cs := s.Class(class)
+		if cs == (core.ClassStats{}) {
+			continue
+		}
+		if out.ByClass == nil {
+			out.ByClass = make(map[string]ClassSchedulerStats)
+		}
+		out.ByClass[string(class)] = ClassSchedulerStats{
+			Bound:         cs.Bound,
+			Unschedulable: cs.Unschedulable,
+			Preemptions:   cs.Preemptions,
+			Victims:       cs.Victims,
+		}
+	}
+	return out
+}
+
+// PendingByClass returns the scheduler's queue depth per workload class
+// (empty key = unclassified jobs). Only classes with queued jobs have
+// entries.
+func (c *Cluster) PendingByClass() map[string]int {
+	out := make(map[string]int)
+	for class, n := range c.srv.PendingCountByClass(schedulerName) {
+		out[string(class)] = n
+	}
+	return out
 }
 
 // GangStats reports gang-scheduling outcomes: gangs committed at quorum

@@ -17,8 +17,15 @@
 // missing) exits non-zero, and the optional -base/-head flags validate
 // the raw bench files themselves before the comparison is trusted.
 //
+// With -benchstat, the gate runs benchstat itself over -base and -head
+// and gates its output — and a benchstat that fails to run fails the
+// gate. The shell-pipeline form ("benchstat ... | benchgate") cannot do
+// this: the pipe discards benchstat's exit status, so a benchstat that
+// died mid-table used to gate whatever it had printed.
+//
 // Usage:
 //
+//	benchgate -benchstat benchstat -base bench-base.txt -head bench-head.txt
 //	benchstat base.txt head.txt | benchgate -threshold 20 -alloc-threshold 30
 //	benchgate -base bench-base.txt -head bench-head.txt benchstat.txt
 package main
@@ -29,6 +36,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"github.com/sgxorch/sgxorch/internal/benchgate"
 )
@@ -40,6 +48,7 @@ func main() {
 	allocThreshold := flag.Float64("alloc-threshold", 30, "maximum tolerated significant B/op or allocs/op regression, in percent (0 disables)")
 	basePath := flag.String("base", "", "raw base bench output to sanity-check (missing/empty file fails the gate)")
 	headPath := flag.String("head", "", "raw head bench output to sanity-check (missing/empty file fails the gate)")
+	benchstatCmd := flag.String("benchstat", "", "benchstat command to run over -base and -head (e.g. \"benchstat -alpha 0.05\"); its failure fails the gate")
 	flag.Parse()
 
 	// An empty or missing side makes benchstat print an empty table,
@@ -62,18 +71,33 @@ func main() {
 		}
 	}
 
-	in := io.Reader(os.Stdin)
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	var data []byte
+	if *benchstatCmd != "" {
+		// Run benchstat ourselves so its exit status is part of the
+		// verdict instead of vanishing down a pipe.
+		if *basePath == "" || *headPath == "" {
+			log.Fatal("-benchstat requires both -base and -head")
+		}
+		out, err := benchgate.RunBenchstat(strings.Fields(*benchstatCmd), *basePath, *headPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		in = f
-	}
-	data, err := io.ReadAll(in)
-	if err != nil {
-		log.Fatal(err)
+		data = []byte(out)
+	} else {
+		in := io.Reader(os.Stdin)
+		if flag.NArg() > 0 {
+			f, err := os.Open(flag.Arg(0))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		var err error
+		data, err = io.ReadAll(in)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	report, err := benchgate.Check(string(data), benchgate.Thresholds{

@@ -1,0 +1,52 @@
+// Command covergate fails CI when statement coverage drops below the
+// checked-in floor: it computes total statement coverage from a raw
+// "go test -coverprofile" profile and compares it against the floor
+// file (a ratchet — move it up as the suite grows, never down).
+//
+// Usage:
+//
+//	go test -coverprofile=coverage.out ./internal/...
+//	covergate -profile coverage.out -floor COVERAGE_FLOOR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/sgxorch/sgxorch/internal/covergate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("covergate: ")
+	profilePath := flag.String("profile", "coverage.out", "cover profile from go test -coverprofile")
+	floorPath := flag.String("floor", "COVERAGE_FLOOR", "checked-in coverage floor file")
+	flag.Parse()
+
+	profile, err := os.Open(*profilePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	percent, err := covergate.Percent(profile)
+	profile.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	floorFile, err := os.Open(*floorPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	floor, err := covergate.Floor(floorFile)
+	floorFile.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("statement coverage %.2f%% (floor %.2f%%)\n", percent, floor)
+	if err := covergate.Check(percent, floor); err != nil {
+		log.Fatal(err)
+	}
+}

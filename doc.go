@@ -197,6 +197,32 @@
 // at 1/2/4 schedulers, measuring deadlock-freedom, time-to-full-gang,
 // and post-hoc permit-leak accounting.
 //
+// Workloads classify into per-class scheduling profiles
+// (internal/core/classify.go). A pod declares PodSpec.Class —
+// latency-sensitive, batch or best-effort — or, with inference enabled
+// (ClusterConfig.InferClasses), is classified from its spec: gang
+// members batch, priority ≥ 100 latency-sensitive, negative priority
+// best-effort, max container duration ≥ 5m batch, SGX jobs
+// latency-sensitive. A ClassRegistry (Config.Classes) maps each class
+// to a full pipeline profile plus sampling and preemption gates,
+// resolved per pod inside the pass: latency-sensitive scores
+// usage-aware with a sampling floor (DefaultLatencyMinFeasible) and may
+// preempt — including best-effort pods at any priority, the one
+// documented exception to strictly-lower-priority victim selection;
+// batch bin-packs and never preempts; best-effort spreads, never
+// preempts, and its bound pods are always eviction-eligible (tracked
+// from the declared class, so a sharded fleet agrees on eligibility).
+// Unclassified pods take the scheduler's own pipeline untouched — a
+// property test pins the event stream with a registry attached
+// bit-identical to a class-free scheduler on unclassified workloads.
+// Per-class Stats.ByClass and Server.PendingCountByClass split the
+// ledger by tier; class never affects pending-queue order. The
+// mixed-fleet experiment (internal/experiments.ClassesMixedFleet,
+// walked through in examples/classes) saturates the testbed with
+// best-effort fillers, lands latency-sensitive and batch waves on top,
+// and checks latency-sensitive p99 wait strictly below both other
+// tiers with zero capacity violations.
+//
 // At the million-pod scale the pass itself is sublinear in the cluster
 // (internal/core: index.go, view.go, framework.go). Each scheduler owns
 // one long-lived incremental ClusterView instead of cloning the cache

@@ -83,6 +83,42 @@ type WorkloadSpec struct {
 	BaseBytes int64
 }
 
+// WorkloadClass partitions pods into scheduling classes. A class selects
+// the scheduling profile a pending pod is routed through — plugins, score
+// weights, candidate-sampling bounds and preemption eligibility — without
+// changing what the pod runs. The empty class is the default: such pods
+// take the scheduler's single configured pipeline, exactly as before
+// classes existed.
+type WorkloadClass string
+
+// The workload classes.
+const (
+	// ClassUnspecified routes the pod through the scheduler's default
+	// pipeline — bit-identical to the pre-class behaviour.
+	ClassUnspecified WorkloadClass = ""
+	// ClassLatencySensitive marks serving-style jobs that must start
+	// fast: they may preempt lower tiers and their candidate search is
+	// never sampled below a raised feasibility floor.
+	ClassLatencySensitive WorkloadClass = "latency-sensitive"
+	// ClassBatch marks throughput-style jobs (training, MPI ranks): they
+	// bin-pack to preserve contiguous headroom and carry gang support.
+	ClassBatch WorkloadClass = "batch"
+	// ClassBestEffort marks preemptible filler: it spreads across the
+	// fleet, never preempts anything, and is always preemption-eligible —
+	// a higher class may evict it regardless of priority tiers.
+	ClassBestEffort WorkloadClass = "best-effort"
+)
+
+// Known reports whether c is one of the three defined classes (the empty
+// unspecified class is not "known": it names the absence of a class).
+func (c WorkloadClass) Known() bool {
+	switch c {
+	case ClassLatencySensitive, ClassBatch, ClassBestEffort:
+		return true
+	}
+	return false
+}
+
 // Requirements carries the user-declared resource requests and limits
 // (§V-A: "end-users must declare that their SGX-enabled pods use some
 // amount of the SGX resource" via requests and limits).
@@ -132,6 +168,28 @@ type PodSpec struct {
 	// under partial placement). Meaningful only when PodGroup is set;
 	// values below 1 are treated as 1.
 	MinMember int
+	// Class is the pod's explicit workload class. When set to a known
+	// class, a class-aware scheduler routes the pod through that class's
+	// profile; the empty (or unknown) value leaves classification to the
+	// scheduler's classifier — or, with inference off, to the default
+	// pipeline. The explicit class is also what marks a bound pod
+	// always-preemptible (best-effort): eviction eligibility must be
+	// deterministic cluster-wide, so it keys off this declared field,
+	// never off per-scheduler inference.
+	Class WorkloadClass
+}
+
+// Classified reports whether the pod declares a known workload class.
+func (s *PodSpec) Classified() bool { return s.Class.Known() }
+
+// WorkloadClass returns the declared class, folding unknown strings into
+// ClassUnspecified so downstream consumers only ever see the four defined
+// values.
+func (s *PodSpec) WorkloadClass() WorkloadClass {
+	if s.Class.Known() {
+		return s.Class
+	}
+	return ClassUnspecified
 }
 
 // InGang reports whether the pod schedules as part of a pod group.

@@ -350,7 +350,7 @@ func (s *Server) ReleaseGroup(group, reason string) (int, error) {
 		commit(&s.nodeShards[stripeFor(r.node)], r.node, p.TotalRequests(), -1)
 		if !p.IsTerminal() {
 			// pendingMu is held by the world ladder: push directly.
-			s.pending.Push(name, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup)
+			s.pending.Push(name, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup, p.Spec.WorkloadClass())
 			p.Status.Reason = reason
 		}
 		s.gangs.membersReleased.Add(1)
@@ -401,7 +401,7 @@ func (s *Server) PreemptGroup(group, reason string) (int, error) {
 			// Held, unbound member: roll the permit back.
 			commit(&s.nodeShards[stripeFor(r.node)], r.node, p.TotalRequests(), -1)
 			if !p.IsTerminal() {
-				s.pending.Push(name, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup)
+				s.pending.Push(name, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup, p.Spec.WorkloadClass())
 				p.Status.Reason = reason
 			}
 			s.recordEvent("pod/"+name, "PermitReleased", "gang "+group+": "+reason)
@@ -420,7 +420,7 @@ func (s *Server) PreemptGroup(group, reason string) (int, error) {
 		p.Status.ScheduledAt = time.Time{}
 		p.Status.StartedAt = time.Time{}
 		s.dropGroupBound(group, name)
-		s.pending.Push(name, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup)
+		s.pending.Push(name, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup, p.Spec.WorkloadClass())
 		s.recordEvent("pod/"+name, "Preempted", reason)
 		s.emit(WatchEvent{Type: PodUpdated, Pod: p.Clone()})
 		evicted++

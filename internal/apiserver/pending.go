@@ -1,6 +1,10 @@
 package apiserver
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+)
 
 // pendingQueue is the server's persistent queue of unscheduled pods:
 // priority-then-FCFS (§IV's first-come first-served order, refined by
@@ -21,6 +25,14 @@ type pendingQueue struct {
 	idx     map[string]int32  // pod name → its bucket's priority
 	groupOf map[string]string // pod name → pod group (gang members only)
 	seen    map[string]bool   // visit scratch, cleared after each use
+	// classOf/classCount surface per-workload-class queue depth (classOf
+	// holds classified pods only, like groupOf holds gang members;
+	// unclassified depth is Len minus the classified sum). Accounting
+	// only — class never affects queue order: within a tier the queue
+	// stays strictly FCFS regardless of class, so class-aware routing
+	// lives entirely in the scheduler, not the server.
+	classOf    map[string]api.WorkloadClass
+	classCount map[api.WorkloadClass]int
 }
 
 // pendingBucket is one priority tier's FCFS queue. Removed entries are
@@ -45,9 +57,28 @@ func newPendingQueue() *pendingQueue {
 // Len returns the number of queued pods.
 func (q *pendingQueue) Len() int { return len(q.idx) }
 
+// ClassCounts folds the queue's per-workload-class depth into out
+// (allocating it when nil): one entry per known class with queued pods,
+// plus api.ClassUnspecified for the unclassified remainder.
+func (q *pendingQueue) ClassCounts(out map[api.WorkloadClass]int) map[api.WorkloadClass]int {
+	if out == nil {
+		out = make(map[api.WorkloadClass]int, len(q.classCount)+1)
+	}
+	classified := 0
+	for c, n := range q.classCount {
+		out[c] += n
+		classified += n
+	}
+	if rest := q.Len() - classified; rest > 0 {
+		out[api.ClassUnspecified] += rest
+	}
+	return out
+}
+
 // Push appends a pod at the tail of its priority tier. A non-empty
-// group registers the pod for gang coalescing within the tier.
-func (q *pendingQueue) Push(name string, prio int32, group string) {
+// group registers the pod for gang coalescing within the tier; a known
+// class registers it in the per-class depth accounting.
+func (q *pendingQueue) Push(name string, prio int32, group string, class api.WorkloadClass) {
 	b, ok := q.buckets[prio]
 	if !ok {
 		b = &pendingBucket{byName: make(map[string]int)}
@@ -68,6 +99,14 @@ func (q *pendingQueue) Push(name string, prio int32, group string) {
 		b.groups[group] = append(b.groups[group], name)
 		q.groupOf[name] = group
 	}
+	if class.Known() {
+		if q.classOf == nil {
+			q.classOf = make(map[string]api.WorkloadClass)
+			q.classCount = make(map[api.WorkloadClass]int)
+		}
+		q.classOf[name] = class
+		q.classCount[class]++
+	}
 }
 
 // Remove drops a pod from the queue (no-op when absent): its slot is
@@ -80,6 +119,12 @@ func (q *pendingQueue) Remove(name string) {
 		return
 	}
 	delete(q.idx, name)
+	if c, ok := q.classOf[name]; ok {
+		delete(q.classOf, name)
+		if q.classCount[c]--; q.classCount[c] <= 0 {
+			delete(q.classCount, c)
+		}
+	}
 	b := q.buckets[prio]
 	b.names[b.byName[name]] = ""
 	delete(b.byName, name)
@@ -220,9 +265,10 @@ func (ps *pendingSet) Len() int { return ps.all.Len() }
 // Push appends a pod at the tail of its priority tier, globally and in
 // its scheduler's sub-queue. Pods with no scheduler name live only in
 // the global view — lookups for "" short-circuit to it. A non-empty
-// group enables gang coalescing on Visit (see pendingQueue).
-func (ps *pendingSet) Push(name, sched string, prio int32, group string) {
-	ps.all.Push(name, prio, group)
+// group enables gang coalescing on Visit (see pendingQueue); a known
+// class feeds the per-class depth accounting (ClassCounts).
+func (ps *pendingSet) Push(name, sched string, prio int32, group string, class api.WorkloadClass) {
+	ps.all.Push(name, prio, group, class)
 	if sched == "" {
 		return
 	}
@@ -231,7 +277,7 @@ func (ps *pendingSet) Push(name, sched string, prio int32, group string) {
 		q = newPendingQueue()
 		ps.bySched[sched] = q
 	}
-	q.Push(name, prio, group)
+	q.Push(name, prio, group, class)
 }
 
 // Remove drops a pod from both views (no-op when absent).
@@ -258,6 +304,18 @@ func (ps *pendingSet) Visit(sched string, fn func(name string) bool) {
 	if q, ok := ps.bySched[sched]; ok {
 		q.Visit(fn)
 	}
+}
+
+// ClassCounts returns the named scheduler's queued pods per workload
+// class (the empty name reports the global queue).
+func (ps *pendingSet) ClassCounts(sched string) map[api.WorkloadClass]int {
+	if sched == "" {
+		return ps.all.ClassCounts(nil)
+	}
+	if q, ok := ps.bySched[sched]; ok {
+		return q.ClassCounts(nil)
+	}
+	return map[api.WorkloadClass]int{}
 }
 
 // SchedLen returns the named scheduler's queued pod count.

@@ -88,7 +88,7 @@ func TestPendingQueueRandomizedAgainstReference(t *testing.T) {
 		case rng.Intn(3) > 0 || len(model) == 0:
 			name := fmt.Sprintf("p%05d", seq)
 			prio := int32(rng.Intn(5) - 2)
-			q.Push(name, prio, "")
+			q.Push(name, prio, "", "")
 			model = append(model, entry{name: name, prio: prio, seq: seq})
 			seq++
 		default:
@@ -115,6 +115,106 @@ func TestPendingQueueRandomizedAgainstReference(t *testing.T) {
 				t.Fatalf("op %d: position %d = %s, model %s", op, i, got[i], sorted[i].name)
 			}
 		}
+	}
+}
+
+// TestGangCoalescingStaysWithinPriorityTier: gang coalescing never
+// crosses tiers. Co-members of one group split across two priorities
+// coalesce independently inside each tier — the high tier's first
+// member pulls only its same-tier peers forward, and the low-tier
+// members keep their place behind every higher-priority pod instead of
+// being hoisted up to join the gang.
+func TestGangCoalescingStaysWithinPriorityTier(t *testing.T) {
+	q := newPendingQueue()
+	// Tier 5: solo, gang, solo, gang — g-hi-2 should coalesce up next
+	// to g-hi-1, but no further than its own tier.
+	q.Push("solo-hi-1", 5, "", "")
+	q.Push("g-hi-1", 5, "ring", "")
+	q.Push("solo-hi-2", 5, "", "")
+	q.Push("g-hi-2", 5, "ring", "")
+	// Tier 0: same shape, same group name.
+	q.Push("solo-lo-1", 0, "", "")
+	q.Push("g-lo-1", 0, "ring", "")
+	q.Push("solo-lo-2", 0, "", "")
+	q.Push("g-lo-2", 0, "ring", "")
+
+	want := []string{
+		"solo-hi-1", "g-hi-1", "g-hi-2", "solo-hi-2",
+		"solo-lo-1", "g-lo-1", "g-lo-2", "solo-lo-2",
+	}
+	if got := q.Snapshot(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("cross-tier gang order = %v, want %v", got, want)
+	}
+
+	// Removing one tier's members must not disturb the other tier's
+	// coalescing (the group indexes are per-bucket).
+	q.Remove("g-hi-1")
+	q.Remove("solo-lo-1")
+	want = []string{
+		"solo-hi-1", "solo-hi-2", "g-hi-2",
+		"g-lo-1", "g-lo-2", "solo-lo-2",
+	}
+	if got := q.Snapshot(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after removals = %v, want %v", got, want)
+	}
+
+	// Draining the high tier entirely leaves the low tier's gang intact
+	// and adjacent.
+	for _, name := range []string{"solo-hi-1", "solo-hi-2", "g-hi-2"} {
+		q.Remove(name)
+	}
+	want = []string{"g-lo-1", "g-lo-2", "solo-lo-2"}
+	if got := q.Snapshot(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after draining the high tier = %v, want %v", got, want)
+	}
+}
+
+// TestGangCoalescingCrossTierWindowedVisit: the server-level windowed
+// walk over a gang that straddles tiers returns the high-tier members
+// coalesced inside the window and never pulls the low-tier co-members
+// past higher-priority solo pods to fill it.
+func TestGangCoalescingCrossTierWindowedVisit(t *testing.T) {
+	clk := clock.NewSim()
+	srv := New(clk)
+	gangPod := func(name string, prio int32, group string) *api.Pod {
+		p := prioPod(name, prio)
+		p.Spec.PodGroup = group
+		return p
+	}
+	for _, p := range []*api.Pod{
+		gangPod("m-hi-1", 5, "mpi"),
+		prioPod("solo-hi", 5),
+		gangPod("m-hi-2", 5, "mpi"),
+		prioPod("solo-lo", 0),
+		gangPod("m-lo-1", 0, "mpi"),
+		gangPod("m-lo-2", 0, "mpi"),
+	} {
+		if err := srv.CreatePod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	srv.VisitPendingN("s", 4, func(p *api.Pod) bool {
+		got = append(got, p.Name)
+		return true
+	})
+	// The window sees the whole high tier (gang coalesced ahead of the
+	// solo pushed between its members), then FCFS into tier 0: solo-lo
+	// arrived first and keeps its place — the low-tier gang members do
+	// not jump it to rejoin their high-tier co-members.
+	want := []string{"m-hi-1", "m-hi-2", "solo-hi", "solo-lo"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("windowed cross-tier visit = %v, want %v", got, want)
+	}
+
+	var full []string
+	srv.VisitPending("s", func(p *api.Pod) bool {
+		full = append(full, p.Name)
+		return true
+	})
+	wantFull := []string{"m-hi-1", "m-hi-2", "solo-hi", "solo-lo", "m-lo-1", "m-lo-2"}
+	if fmt.Sprint(full) != fmt.Sprint(wantFull) {
+		t.Fatalf("full cross-tier visit = %v, want %v", full, wantFull)
 	}
 }
 

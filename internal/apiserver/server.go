@@ -633,7 +633,7 @@ func (s *Server) CreatePod(p *api.Pod) error {
 	stored.Status.SubmittedAt = s.clk.Now()
 	sh.pods[stored.Name] = stored
 	s.pendingMu.Lock()
-	s.pending.Push(stored.Name, stored.Spec.SchedulerName, stored.Spec.Priority, stored.Spec.PodGroup)
+	s.pending.Push(stored.Name, stored.Spec.SchedulerName, stored.Spec.Priority, stored.Spec.PodGroup, stored.Spec.WorkloadClass())
 	s.pendingMu.Unlock()
 	s.recordEvent("pod/"+stored.Name, "Created", "queued as pending")
 	s.emit(WatchEvent{Type: PodCreated, Pod: stored.Clone()})
@@ -775,6 +775,18 @@ func (s *Server) PendingCount() int {
 	s.pendingMu.Lock()
 	defer s.pendingMu.Unlock()
 	return s.pending.Len()
+}
+
+// PendingCountByClass returns the named scheduler's queue depth per
+// workload class (the empty name reports the global queue): one entry
+// per known class with queued pods, plus api.ClassUnspecified for the
+// unclassified remainder. The per-class counters are maintained on
+// push/remove, so this is O(classes) under the pending lock — cheap
+// enough for per-pass backlog monitoring.
+func (s *Server) PendingCountByClass(schedulerName string) map[api.WorkloadClass]int {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	return s.pending.ClassCounts(schedulerName)
 }
 
 // Bind assigns a pending pod to a node (§IV step Í: "the scheduler
@@ -1045,7 +1057,7 @@ func (s *Server) Preempt(podName, reason string) error {
 		s.dropGroupBound(p.Spec.PodGroup, podName)
 	}
 	s.pendingMu.Lock()
-	s.pending.Push(podName, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup)
+	s.pending.Push(podName, p.Spec.SchedulerName, p.Spec.Priority, p.Spec.PodGroup, p.Spec.WorkloadClass())
 	s.pendingMu.Unlock()
 	s.recordEvent("pod/"+podName, "Preempted", reason)
 	s.emit(WatchEvent{Type: PodUpdated, Pod: p.Clone()})

@@ -1,0 +1,35 @@
+package benchgate
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"strings"
+)
+
+// RunBenchstat runs a benchstat command over the base and head bench
+// files and returns its stdout for Check. The command's failure is the
+// gate's failure: a missing binary, a start error or a non-zero exit
+// all surface as errors (with benchstat's stderr attached), never as an
+// empty-but-trusted comparison. This matters because the shell-pipeline
+// form ("benchstat base head | benchgate") throws benchstat's exit
+// status away — a benchstat that died after printing a partial table
+// would gate whatever it managed to emit.
+func RunBenchstat(command []string, base, head string) (string, error) {
+	if len(command) == 0 || command[0] == "" {
+		return "", fmt.Errorf("benchgate: empty benchstat command")
+	}
+	args := append(append([]string(nil), command[1:]...), base, head)
+	cmd := exec.Command(command[0], args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg != "" {
+			return "", fmt.Errorf("benchgate: running %q: %w: %s", strings.Join(command, " "), err, msg)
+		}
+		return "", fmt.Errorf("benchgate: running %q: %w", strings.Join(command, " "), err)
+	}
+	return stdout.String(), nil
+}

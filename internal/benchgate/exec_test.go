@@ -1,0 +1,65 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunBenchstatPropagatesFailure is the regression test for the gate
+// trusting a dead benchstat: a subprocess that prints a perfectly
+// plausible comparison table but exits non-zero must surface an error —
+// under the old shell-pipeline wiring its exit status was discarded and
+// the partial table gated as a pass.
+func TestRunBenchstatPropagatesFailure(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "fakebenchstat.sh")
+	table := `goos: linux
+            │ base │            head             │
+            │ sec/op │   sec/op     vs base      │
+SchedulerPass-8   1.000m   1.100m  +10.00% (p=0.000 n=10)
+`
+	if err := os.WriteFile(script, []byte("#!/bin/sh\ncat <<'EOF'\n"+table+"EOF\necho 'benchstat: corrupt bench file' >&2\nexit 3\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunBenchstat([]string{script}, "base.txt", "head.txt")
+	if err == nil {
+		t.Fatalf("RunBenchstat returned no error for exit 3; stdout was %q", out)
+	}
+	if !strings.Contains(err.Error(), "exit status 3") {
+		t.Fatalf("error does not carry the exit status: %v", err)
+	}
+	if !strings.Contains(err.Error(), "corrupt bench file") {
+		t.Fatalf("error does not carry benchstat's stderr: %v", err)
+	}
+}
+
+// TestRunBenchstatSuccess: a healthy run hands back stdout verbatim with
+// the base/head paths appended to the command.
+func TestRunBenchstatSuccess(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "fakebenchstat.sh")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\necho \"args: $@\"\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunBenchstat([]string{script, "-alpha", "0.05"}, "b.txt", "h.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "args: -alpha 0.05 b.txt h.txt" {
+		t.Fatalf("stdout = %q, want the flags then base then head", out)
+	}
+}
+
+// TestRunBenchstatRejectsBadCommands: empty commands and unresolvable
+// binaries are errors, not empty output.
+func TestRunBenchstatRejectsBadCommands(t *testing.T) {
+	if _, err := RunBenchstat(nil, "b", "h"); err == nil {
+		t.Fatal("nil command did not error")
+	}
+	if _, err := RunBenchstat([]string{""}, "b", "h"); err == nil {
+		t.Fatal("empty command did not error")
+	}
+	if _, err := RunBenchstat([]string{"/nonexistent/benchstat-binary"}, "b", "h"); err == nil {
+		t.Fatal("missing binary did not error")
+	}
+}

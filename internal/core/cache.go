@@ -68,6 +68,12 @@ type ClusterCache struct {
 	// this gate runs once per unschedulable pod per pass).
 	prioCount map[int32]int
 	prios     []int32
+	// beCount counts live tracked pods that declared the best-effort
+	// workload class — the always-preemption-eligible tier. Like prios it
+	// feeds the O(1) per-pass preemption gate: a class allowed to take
+	// best-effort victims only plans victim searches when at least one
+	// such pod is charged somewhere.
+	beCount int
 
 	// Change journal for incremental views (SyncView): the names of nodes
 	// whose scheduling-relevant state changed, in change order.
@@ -112,6 +118,13 @@ type cachedPod struct {
 	// bind) but the pod is still unbound in authoritative state. A
 	// PodBound event flips it; PodPermitReleased removes it.
 	reserved bool
+	// bestEffort marks a pod that *declared* the best-effort workload
+	// class in its spec, making it preemption-eligible regardless of
+	// priority tier. Deliberately keyed off the declared field and never
+	// off classifier inference: eviction eligibility must be identical
+	// for every scheduler watching the cluster, while each fleet may run
+	// its own inference configuration.
+	bestEffort bool
 }
 
 // newClusterCache performs the informer handshake against the API server
@@ -158,6 +171,7 @@ func (c *ClusterCache) primeLocked(snap apiserver.Snapshot) {
 	c.maturity = c.maturity[:0]
 	c.prioCount = make(map[int32]int)
 	c.prios = c.prios[:0]
+	c.beCount = 0
 	for _, n := range snap.Nodes {
 		c.upsertNodeLocked(n)
 	}
@@ -184,13 +198,14 @@ func (c *ClusterCache) primeLocked(snap apiserver.Snapshot) {
 		}
 		req := p.TotalRequests()
 		c.trackPodLocked(&cachedPod{
-			name:     pod,
-			node:     node,
-			group:    group,
-			priority: p.Spec.Priority,
-			reqMem:   req.Get(resource.Memory),
-			reqEPC:   req.Get(resource.EPCPages),
-			reserved: true,
+			name:       pod,
+			node:       node,
+			group:      group,
+			priority:   p.Spec.Priority,
+			reqMem:     req.Get(resource.Memory),
+			reqEPC:     req.Get(resource.EPCPages),
+			reserved:   true,
+			bestEffort: p.Spec.WorkloadClass() == api.ClassBestEffort,
 		}, now)
 	})
 }
@@ -463,14 +478,15 @@ func (c *ClusterCache) addPodLocked(p *api.Pod, now time.Time, reserved bool) {
 	}
 	req := p.TotalRequests()
 	c.trackPodLocked(&cachedPod{
-		name:      p.Name,
-		node:      p.Spec.NodeName,
-		group:     p.Spec.PodGroup,
-		priority:  p.Spec.Priority,
-		reqMem:    req.Get(resource.Memory),
-		reqEPC:    req.Get(resource.EPCPages),
-		startedAt: p.Status.StartedAt,
-		reserved:  reserved,
+		name:       p.Name,
+		node:       p.Spec.NodeName,
+		group:      p.Spec.PodGroup,
+		priority:   p.Spec.Priority,
+		reqMem:     req.Get(resource.Memory),
+		reqEPC:     req.Get(resource.EPCPages),
+		startedAt:  p.Status.StartedAt,
+		reserved:   reserved,
+		bestEffort: p.Spec.WorkloadClass() == api.ClassBestEffort,
 	}, now)
 }
 
@@ -494,6 +510,9 @@ func (c *ClusterCache) trackPodLocked(cp *cachedPod, now time.Time) {
 		c.prios = append(c.prios, 0)
 		copy(c.prios[i+1:], c.prios[i:])
 		c.prios[i] = cp.priority
+	}
+	if cp.bestEffort {
+		c.beCount++
 	}
 	cn.reqEPC += cp.reqEPC
 	c.touchLocked(cp.node)
@@ -546,6 +565,9 @@ func (c *ClusterCache) removePodLocked(cp *cachedPod) {
 		delete(c.prioCount, cp.priority)
 		i := sort.Search(len(c.prios), func(i int) bool { return c.prios[i] >= cp.priority })
 		c.prios = append(c.prios[:i], c.prios[i+1:]...)
+	}
+	if cp.bestEffort {
+		c.beCount--
 	}
 }
 
@@ -628,12 +650,21 @@ type victimInfo struct {
 // scheduler reads it once per pass rather than per pod, so the pass pays
 // one lock, not one per unschedulable pod.
 func (c *ClusterCache) minPriority() (prio int32, ok bool) {
+	prio, ok, _ = c.preemptGate()
+	return prio, ok
+}
+
+// preemptGate is minPriority plus the best-effort dimension under the
+// same single lock: whether any live tracked pod declared the
+// best-effort class (always preemption-eligible regardless of tier).
+// One call per pass covers both gates.
+func (c *ClusterCache) preemptGate() (prio int32, anyBound, beBound bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.prios) == 0 {
-		return 0, false
+		return 0, false, false
 	}
-	return c.prios[0], true
+	return c.prios[0], true, c.beCount > 0
 }
 
 // victimsBelow appends node's eviction units with priority strictly below
@@ -642,12 +673,19 @@ func (c *ClusterCache) minPriority() (prio int32, ok bool) {
 // victims first, stable across runs. Solo pods are units of one; gang
 // members collapse into one unit per group (evict the whole gang or
 // none), eligible only when every member anywhere sits below prio.
-func (c *ClusterCache) victimsBelow(node string, prio int32, buf []victimInfo) []victimInfo {
+// includeBE additionally admits pods that declared the best-effort
+// workload class regardless of their tier (a gang unit needs every
+// member eligible on one ground or the other) — the one sanctioned
+// relaxation of the strictly-lower-priority invariant.
+func (c *ClusterCache) victimsBelow(node string, prio int32, includeBE bool, buf []victimInfo) []victimInfo {
 	c.mu.Lock()
 	cn, ok := c.nodes[node]
 	if !ok {
 		c.mu.Unlock()
 		return buf
+	}
+	eligible := func(cp *cachedPod) bool {
+		return cp.priority < prio || (includeBE && cp.bestEffort)
 	}
 	var nodeGroups map[string]bool
 	for _, cp := range cn.pods {
@@ -658,7 +696,7 @@ func (c *ClusterCache) victimsBelow(node string, prio int32, buf []victimInfo) [
 			nodeGroups[cp.group] = true
 			continue
 		}
-		if cp.priority < prio {
+		if eligible(cp) {
 			buf = append(buf, victimInfo{
 				name:     cp.name,
 				priority: cp.priority,
@@ -672,11 +710,11 @@ func (c *ClusterCache) victimsBelow(node string, prio int32, buf []victimInfo) [
 	for g := range nodeGroups {
 		members := c.groups[g]
 		unit := victimInfo{name: g, group: g, count: len(members)}
-		eligible := true
+		unitEligible := true
 		first := true
 		for _, m := range members {
-			if m.priority >= prio {
-				eligible = false
+			if !eligible(m) {
+				unitEligible = false
 				break
 			}
 			if first || m.priority > unit.priority {
@@ -689,7 +727,7 @@ func (c *ClusterCache) victimsBelow(node string, prio int32, buf []victimInfo) [
 				unit.reqEPC += m.reqEPC
 			}
 		}
-		if eligible {
+		if unitEligible {
 			buf = append(buf, unit)
 		}
 	}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+)
+
+// This file implements workload classes over the plugin framework: a
+// WorkloadClassifier assigns each pending pod a class (explicitly
+// declared via api.PodSpec.Class, or inferred from duration, priority,
+// gang and EPC signals), and a ClassRegistry resolves each class to its
+// own scheduling profile — plugins, score weights, candidate-sampling
+// bounds and preemption eligibility. The scheduling pass consults the
+// registry per pod (Config.Classes); unclassified pods fall through to
+// the scheduler's single configured pipeline, bit-identical to a
+// scheduler with no registry at all.
+
+// Class slots index the per-class tables (Stats.ByClass, the registry's
+// profile array). Slot 0 is the unclassified default.
+const (
+	classSlotDefault = iota
+	classSlotLatency
+	classSlotBatch
+	classSlotBestEffort
+	numClassSlots
+)
+
+// classSlot maps a class to its table slot; unknown strings fold into
+// the default slot.
+func classSlot(c api.WorkloadClass) int {
+	switch c {
+	case api.ClassLatencySensitive:
+		return classSlotLatency
+	case api.ClassBatch:
+		return classSlotBatch
+	case api.ClassBestEffort:
+		return classSlotBestEffort
+	}
+	return classSlotDefault
+}
+
+// classForSlot is the inverse of classSlot (slot 0 → ClassUnspecified).
+func classForSlot(slot int) api.WorkloadClass {
+	switch slot {
+	case classSlotLatency:
+		return api.ClassLatencySensitive
+	case classSlotBatch:
+		return api.ClassBatch
+	case classSlotBestEffort:
+		return api.ClassBestEffort
+	}
+	return api.ClassUnspecified
+}
+
+// Classifier inference defaults.
+const (
+	// DefaultLatencyPriority: pods at or above this priority tier are
+	// presumed latency-sensitive — operators reserve the high tiers for
+	// serving traffic, which is also why the preemption planner treats
+	// those tiers as the ones worth evicting for.
+	DefaultLatencyPriority = 100
+	// DefaultBatchDuration: a declared runtime at or beyond this marks a
+	// throughput job. The Borg-derived traces cap eval jobs at 300 s, so
+	// five minutes separates "runs to completion" from "serves".
+	DefaultBatchDuration = 5 * time.Minute
+	// DefaultLatencyMinFeasible is the raised sampling floor of the
+	// latency-sensitive class: its candidate search never stops below
+	// this many feasible nodes (5× the framework default), so a
+	// latency-sensitive pod is never placed from a thin sample of a
+	// large cluster.
+	DefaultLatencyMinFeasible = 5 * DefaultMinFeasibleNodesToFind
+)
+
+// ClassifierConfig parameterises a WorkloadClassifier.
+type ClassifierConfig struct {
+	// Infer enables signal-based classification for pods with no
+	// explicit class. Off (the default), unclassified pods stay
+	// unclassified and take the scheduler's default pipeline — the
+	// bit-identical-compatibility anchor.
+	Infer bool
+	// LatencyPriority is the priority tier at or above which an
+	// unclassified pod is inferred latency-sensitive
+	// (DefaultLatencyPriority when zero).
+	LatencyPriority int32
+	// BatchDuration is the declared workload runtime at or beyond which
+	// an unclassified pod is inferred batch (DefaultBatchDuration when
+	// zero).
+	BatchDuration time.Duration
+}
+
+// WorkloadClassifier assigns workload classes to pods. An explicitly
+// declared known class always wins; inference (when enabled) reads the
+// scheduling-relevant signals the spec already carries — gang
+// membership, priority tier, declared runtime, EPC demand — in that
+// order of confidence.
+type WorkloadClassifier struct {
+	cfg ClassifierConfig
+}
+
+// NewWorkloadClassifier builds a classifier with defaults applied.
+func NewWorkloadClassifier(cfg ClassifierConfig) *WorkloadClassifier {
+	if cfg.LatencyPriority == 0 {
+		cfg.LatencyPriority = DefaultLatencyPriority
+	}
+	if cfg.BatchDuration <= 0 {
+		cfg.BatchDuration = DefaultBatchDuration
+	}
+	return &WorkloadClassifier{cfg: cfg}
+}
+
+// Classify returns the pod's workload class. Pods declaring a known
+// class keep it. With inference off every other pod is unclassified;
+// with it on, gang members are batch (all-or-nothing placement is a
+// throughput shape), high-priority pods are latency-sensitive, negative
+// tiers are best-effort, long declared runtimes are batch, enclave (EPC)
+// jobs are latency-sensitive (scarce EPC makes their queue time the
+// expensive one), and everything else is best-effort filler.
+func (c *WorkloadClassifier) Classify(pod *api.Pod) api.WorkloadClass {
+	if pod.Spec.Classified() {
+		return pod.Spec.Class
+	}
+	if !c.cfg.Infer {
+		return api.ClassUnspecified
+	}
+	if pod.Spec.InGang() {
+		return api.ClassBatch
+	}
+	if pod.Spec.Priority >= c.cfg.LatencyPriority {
+		return api.ClassLatencySensitive
+	}
+	if pod.Spec.Priority < 0 {
+		return api.ClassBestEffort
+	}
+	if c.maxDuration(pod) >= c.cfg.BatchDuration {
+		return api.ClassBatch
+	}
+	if pod.IsSGX() {
+		return api.ClassLatencySensitive
+	}
+	return api.ClassBestEffort
+}
+
+// maxDuration returns the longest declared container runtime.
+func (c *WorkloadClassifier) maxDuration(pod *api.Pod) time.Duration {
+	var max time.Duration
+	for i := range pod.Spec.Containers {
+		if d := pod.Spec.Containers[i].Workload.Duration; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ClassProfile configures one class's scheduling behaviour in a
+// ClassRegistry.
+type ClassProfile struct {
+	// Class is the workload class this profile serves (must be a known
+	// class — the unspecified class always means the default pipeline).
+	Class api.WorkloadClass
+	// Policy supplies the plugin pipeline (resolved via the same
+	// Profiler mechanics as Config.Policy).
+	Policy Policy
+	// PercentageNodesToScore / MinFeasibleNodesToFind override the
+	// scheduler's sampling bounds for this class (0 inherits the
+	// scheduler Config; see Config.PercentageNodesToScore).
+	PercentageNodesToScore int
+	MinFeasibleNodesToFind int
+	// MayPreempt gates whether this class's pods ever evict others. A
+	// preempting class additionally gains access to best-effort victims
+	// regardless of priority tier (best-effort is always
+	// preemption-eligible) — unless it is best-effort itself.
+	MayPreempt bool
+}
+
+// classProfile is a resolved, scheduler-owned class pipeline. Profiles
+// carry narrowing scratch and are not safe for concurrent Select calls,
+// so every scheduler clones the registry's profiles for itself
+// (cloneFor) — mirroring how the default pipeline is owned per
+// scheduler.
+type classProfile struct {
+	class       api.WorkloadClass
+	profile     *Profile
+	pct         int
+	minFeasible int
+	mayPreempt  bool
+}
+
+// ClassRegistry routes pods to per-class scheduling profiles. Build one
+// with NewClassRegistry, optionally override classes with Set, and hand
+// it to Config.Classes; a sharded fleet passes the same registry to
+// every member (each member clones the pipelines it needs).
+type ClassRegistry struct {
+	classifier *WorkloadClassifier
+	profiles   [numClassSlots]*classProfile
+}
+
+// NewClassRegistry builds a registry with the default class profiles
+// over the given classifier (a nil classifier gets explicit-only
+// classification):
+//
+//   - latency-sensitive: usage-aware scoring (headroom + EPC pressure,
+//     SGX-last), may preempt, candidate search never sampled below
+//     DefaultLatencyMinFeasible feasible nodes;
+//   - batch: bin-packs (SGX-last first-fit), gang support rides along
+//     (the gang director's plugins attach to every class pipeline when
+//     the scheduler has one), never preempts;
+//   - best-effort: spreads by load stddev, never preempts — and its
+//     bound pods are always preemption-eligible, which the cache
+//     tracks from the declared spec class.
+func NewClassRegistry(classifier *WorkloadClassifier) *ClassRegistry {
+	if classifier == nil {
+		classifier = NewWorkloadClassifier(ClassifierConfig{})
+	}
+	r := &ClassRegistry{classifier: classifier}
+	r.Set(ClassProfile{
+		Class:                  api.ClassLatencySensitive,
+		Policy:                 UsageAware{},
+		MinFeasibleNodesToFind: DefaultLatencyMinFeasible,
+		MayPreempt:             true,
+	})
+	r.Set(ClassProfile{Class: api.ClassBatch, Policy: Binpack{}})
+	r.Set(ClassProfile{Class: api.ClassBestEffort, Policy: Spread{}})
+	return r
+}
+
+// Set installs (or replaces) one class's profile. Unknown classes and a
+// nil policy are ignored — the unspecified class cannot be overridden;
+// it is defined as the scheduler's own pipeline.
+func (r *ClassRegistry) Set(cp ClassProfile) {
+	slot := classSlot(cp.Class)
+	if slot == classSlotDefault || cp.Policy == nil {
+		return
+	}
+	r.profiles[slot] = &classProfile{
+		class:       cp.Class,
+		profile:     profileFor(cp.Policy),
+		pct:         cp.PercentageNodesToScore,
+		minFeasible: cp.MinFeasibleNodesToFind,
+		mayPreempt:  cp.MayPreempt,
+	}
+}
+
+// Classify exposes the registry's classifier.
+func (r *ClassRegistry) Classify(pod *api.Pod) api.WorkloadClass {
+	return r.classifier.Classify(pod)
+}
+
+// cloneFor resolves a scheduler-owned copy of the registry: every class
+// pipeline is cloned (profiles reuse narrowing scratch and must not be
+// shared across schedulers), and when the scheduler runs a gang
+// director its PreFilter/Permit plugins are appended to every class
+// pipeline — the director passes solo pods through, and a gang member
+// explicitly classed outside batch must still honour the permit
+// protocol.
+func (r *ClassRegistry) cloneFor(gang *GangDirector) *ClassRegistry {
+	c := &ClassRegistry{classifier: r.classifier}
+	for i, cp := range r.profiles {
+		if cp == nil {
+			continue
+		}
+		owned := *cp
+		owned.profile = cp.profile.clone()
+		if gang != nil {
+			owned.profile.preFilters = append(owned.profile.preFilters, gang)
+			owned.profile.permits = append(owned.profile.permits, gang)
+		}
+		c.profiles[i] = &owned
+	}
+	return c
+}
+
+// resolve classifies the pod and returns its slot plus the class
+// pipeline, or nil when the pod takes the scheduler's default pipeline
+// (unclassified, or a class with no registered profile).
+func (r *ClassRegistry) resolve(pod *api.Pod) (int, *classProfile) {
+	slot := classSlot(r.classifier.Classify(pod))
+	return slot, r.profiles[slot]
+}

@@ -17,7 +17,10 @@ import (
 //
 // Invariants:
 //   - only strictly lower-priority pods are ever evicted (equal tiers
-//     never preempt each other);
+//     never preempt each other) — with one declared exception: pods
+//     whose spec names the best-effort workload class are eligible
+//     victims for any preemption-capable class regardless of tier
+//     (takeBE below), which is the contract that class signs up for;
 //   - victims are returned to the pending queue (not failed) and
 //     reschedule later on their own merits;
 //   - a pod whose requests no victim set can satisfy preempts nothing and
@@ -28,15 +31,21 @@ import (
 //     permits roll back, bound members re-queue) — partial placements
 //     cannot be created by preemption any more than by placement.
 
-// preempt tries to make room for pod. On success it returns the chosen
-// node, having already evicted the victims through the API server (the
-// kubelet kills their workloads synchronously on the eviction event), and
-// the caller re-snapshots the cache and binds. Returns preempted=false
-// when no feasible victim set exists; nothing is evicted then.
-func (s *Scheduler) preempt(pod *PodInfo) (node string, victims int, preempted bool) {
-	// Re-check the priority gate against live state: the caller's
-	// per-pass gate may be stale after earlier evictions in this pass.
-	if minPrio, ok := s.cache.minPriority(); !ok || minPrio >= pod.Priority {
+// preempt tries to make room for pod, planning with the pipeline the pod
+// actually schedules through (prof — its class profile, or the default).
+// takeBE additionally admits declared best-effort pods as victims
+// regardless of priority tier (workload classes' one sanctioned
+// relaxation of the strictly-lower invariant; see victimsBelow). On
+// success it returns the chosen node, having already evicted the victims
+// through the API server (the kubelet kills their workloads
+// synchronously on the eviction event), and the caller re-snapshots the
+// cache and binds. Returns preempted=false when no feasible victim set
+// exists; nothing is evicted then.
+func (s *Scheduler) preempt(pod *PodInfo, prof *Profile, takeBE bool) (node string, victims int, preempted bool) {
+	// Re-check the gate against live state: the caller's per-pass gate
+	// may be stale after earlier evictions in this pass.
+	minPrio, anyBound, beBound := s.cache.preemptGate()
+	if !(anyBound && minPrio < pod.Priority) && !(takeBE && beBound) {
 		return "", 0, false
 	}
 	// Plan against a fresh snapshot: the pass view may predate metric or
@@ -54,7 +63,7 @@ func (s *Scheduler) preempt(pod *PodInfo) (node string, victims int, preempted b
 			if n.SGX != sgxNodes || !staticallyFeasible(pod, n) {
 				continue
 			}
-			s.victimBuf = s.cache.victimsBelow(n.Name, pod.Priority, s.victimBuf[:0])
+			s.victimBuf = s.cache.victimsBelow(n.Name, pod.Priority, takeBE, s.victimBuf[:0])
 			set, ok := minimalVictimSet(pod, n, s.victimBuf)
 			if !ok {
 				continue
@@ -66,7 +75,7 @@ func (s *Scheduler) preempt(pod *PodInfo) (node string, victims int, preempted b
 			// would reject every pass must never start (it would kill the
 			// victims without ever binding the pod — and again next
 			// pass).
-			if !s.pipelineAcceptsAfterEvictions(pod, n, set, view) {
+			if !s.pipelineAcceptsAfterEvictions(pod, prof, n, set, view) {
 				continue
 			}
 			if bestNode == "" || betterVictimSet(set, bestSet) {
@@ -123,7 +132,7 @@ func victimCount(set []victimInfo) int {
 // pipelineAcceptsAfterEvictions simulates the node with the victim set's
 // charges released and asks the profile — filters, preferences, scores,
 // or a legacy policy's Select — whether it would place the pod there.
-func (s *Scheduler) pipelineAcceptsAfterEvictions(pod *PodInfo, n *NodeView, set []victimInfo, view *ClusterView) bool {
+func (s *Scheduler) pipelineAcceptsAfterEvictions(pod *PodInfo, prof *Profile, n *NodeView, set []victimInfo, view *ClusterView) bool {
 	var freedMem, freedEPC, freedDev int64
 	for _, v := range set {
 		freedMem += v.memBytes
@@ -140,11 +149,11 @@ func (s *Scheduler) pipelineAcceptsAfterEvictions(pod *PodInfo, n *NodeView, set
 		},
 		FreeDevices: n.FreeDevices + freedDev,
 	}
-	if !s.profile.Feasible(pod, sim) {
+	if !prof.Feasible(pod, sim) {
 		return false
 	}
 	s.simBuf = append(s.simBuf[:0], sim)
-	name, ok := s.profile.selectInfo(pod, s.simBuf, view)
+	name, ok := prof.selectInfo(pod, s.simBuf, view)
 	return ok && name == n.Name
 }
 

@@ -94,6 +94,15 @@ type Config struct {
 	// instead of binding individually. A sharded fleet must pass the
 	// same director to every member — quorum is cluster-wide.
 	Gang *GangDirector
+	// Classes attaches a workload-class registry (classify.go): each
+	// pending pod is classified and routed through its class's own
+	// pipeline, sampling bounds and preemption gate; unclassified pods
+	// take the Policy pipeline above with this Config's bounds,
+	// bit-identical to a scheduler with Classes nil. The scheduler
+	// clones the registry's pipelines for itself (and threads Gang's
+	// plugins through all of them), so one registry value can safely
+	// serve a whole sharded fleet.
+	Classes *ClassRegistry
 }
 
 // Stats counts scheduler activity for tests and benchmarks.
@@ -120,6 +129,29 @@ type Stats struct {
 	// Held counts successful conditional reservations (gang permits)
 	// taken in place of immediate binds.
 	Held int
+	// ByClass breaks the pass outcomes down per workload class (indexed
+	// by class slot; slot 0 is the unclassified default). A fixed array,
+	// not a map, so Stats stays a plain value copy.
+	ByClass [numClassSlots]ClassStats
+}
+
+// ClassStats is the per-workload-class slice of Stats.
+type ClassStats struct {
+	Bound         int
+	Unschedulable int
+	// Preemptions/Victims count evictions *inflicted by* this class's
+	// pods (the preemptor side; victims are attributed to the class that
+	// displaced them).
+	Preemptions int
+	Victims     int
+	// Held counts this class's conditional gang reservations.
+	Held int
+}
+
+// Class returns the per-class counters for c (ClassUnspecified — and any
+// unknown string — reports the default-pipeline slice).
+func (s *Stats) Class(c api.WorkloadClass) ClassStats {
+	return s.ByClass[classSlot(c)]
 }
 
 // add folds other into s (for aggregating sharded scheduler stats).
@@ -133,6 +165,13 @@ func (s *Stats) add(other Stats) {
 	s.Sampled += other.Sampled
 	s.Gated += other.Gated
 	s.Held += other.Held
+	for i := range s.ByClass {
+		s.ByClass[i].Bound += other.ByClass[i].Bound
+		s.ByClass[i].Unschedulable += other.ByClass[i].Unschedulable
+		s.ByClass[i].Preemptions += other.ByClass[i].Preemptions
+		s.ByClass[i].Victims += other.ByClass[i].Victims
+		s.ByClass[i].Held += other.ByClass[i].Held
+	}
 }
 
 // Scheduler is one SGX-aware scheduler instance. It is "packaged as a
@@ -163,6 +202,10 @@ type Scheduler struct {
 	// the §IV feasibility filters plus the policy's preference and scoring
 	// plugins.
 	profile *Profile
+	// classes is the scheduler-owned clone of Config.Classes (nil when
+	// workload classes are off): per-class pipelines with the gang
+	// director's plugins threaded through, consulted per pending pod.
+	classes *ClassRegistry
 
 	// passMu serializes scheduling passes; the buffers below are reused
 	// across passes so a steady-state pass allocates next to nothing.
@@ -230,6 +273,12 @@ func newScheduler(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Confi
 		s.profile = s.profile.clone()
 		s.profile.preFilters = append(s.profile.preFilters, cfg.Gang)
 		s.profile.permits = append(s.profile.permits, cfg.Gang)
+	}
+	if cfg.Classes != nil {
+		// Own the class pipelines too: profiles carry narrowing scratch
+		// and must not be shared across schedulers, and gang plugins must
+		// ride every pipeline a gang member could resolve to.
+		s.classes = cfg.Classes.cloneFor(cfg.Gang)
 	}
 	s.epcQuery = perPodPeakQuery(monitor.MeasurementEPC, "epc", cfg.Window)
 	s.memQuery = perPodPeakQuery(monitor.MeasurementMemory, "mem", cfg.Window)
@@ -385,9 +434,12 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 	}
 	bound, unschedulable, preemptions, victims, conflicts, sampledPods := 0, 0, 0, 0, 0, 0
 	gated, held := 0, 0
+	var byClass [numClassSlots]ClassStats
 	// One-lock-per-pass preemption gate: no pod can preempt unless some
-	// live pod sits in a strictly lower tier. Refreshed after evictions.
-	minPrio, anyBound := s.cache.minPriority()
+	// live pod sits in a strictly lower tier — or, for classes allowed to
+	// take best-effort victims, some declared best-effort pod is bound
+	// anywhere. Refreshed after evictions.
+	minPrio, anyBound, beBound := s.cache.preemptGate()
 	candidates := s.candBuf[:0]
 	for i := range pending {
 		pod := &pending[i]
@@ -398,17 +450,42 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		info := &s.infoBuf
 		fillPodInfo(info, pod, req, s.pairBuf)
 		s.pairBuf = info.Pairs
+		// Workload-class resolution: the pod's class selects the pipeline
+		// and overrides the sampling bounds and preemption gates; pods
+		// without a resolved class profile take the scheduler's own
+		// pipeline and Config bounds — the exact pre-class pass.
+		prof := s.profile
+		pct, minFeasible := s.cfg.PercentageNodesToScore, s.cfg.MinFeasibleNodesToFind
+		mayPreempt, takeBE := true, false
+		slot := classSlotDefault
+		if s.classes != nil {
+			var cp *classProfile
+			slot, cp = s.classes.resolve(pod)
+			if cp != nil {
+				prof = cp.profile
+				if cp.pct != 0 {
+					pct = cp.pct
+				}
+				if cp.minFeasible != 0 {
+					minFeasible = cp.minFeasible
+				}
+				mayPreempt = cp.mayPreempt
+				// Preempting classes may displace declared best-effort
+				// pods across tiers — unless they are best-effort
+				// themselves (no cannibalising the filler tier).
+				takeBE = cp.mayPreempt && slot != classSlotBestEffort
+			}
+		}
 		// Pre-filter stage: per-pod early rejects (and pass-scoped
 		// mutations like the gang age boost) before any per-node work.
-		if !s.profile.runPreFilter(info, view) {
+		if !prof.runPreFilter(info, view) {
 			gated++
 			continue
 		}
 		candidates = candidates[:0]
 		sampled := false
 		if view.indexed() {
-			if target := numFeasibleNodesToFind(s.cfg.PercentageNodesToScore,
-				s.cfg.MinFeasibleNodesToFind, len(view.Nodes)); target < len(view.Nodes) {
+			if target := numFeasibleNodesToFind(pct, minFeasible, len(view.Nodes)); target < len(view.Nodes) {
 				// Sampled path: walk only the index buckets that can fit
 				// the pod, stop after enough feasible candidates. Candidate
 				// order differs from the name-sorted full scan (best-fit
@@ -416,7 +493,7 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 				// tie-breaks — acceptable by construction: sampling itself
 				// already trades exhaustive choice for pass cost.
 				var visited int
-				candidates, visited = view.sampleFeasible(info, s.profile, target, s.sampleOffset, candidates)
+				candidates, visited = view.sampleFeasible(info, prof, target, s.sampleOffset, candidates)
 				s.sampleOffset += visited
 				sampled = true
 				sampledPods++
@@ -424,29 +501,32 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		}
 		if !sampled {
 			for _, n := range view.Nodes {
-				if s.profile.Feasible(info, n) {
+				if prof.Feasible(info, n) {
 					candidates = append(candidates, n)
 				}
 			}
 		}
-		nodeName, ok := s.profile.selectInfo(info, candidates, view)
-		if !ok && anyBound && minPrio < info.Priority {
+		nodeName, ok := prof.selectInfo(info, candidates, view)
+		if !ok && mayPreempt && ((anyBound && minPrio < info.Priority) || (takeBE && beBound)) {
 			// No feasible node: try to make room by evicting strictly
-			// lower-priority pods (preemption.go). On success the pass
-			// continues from a fresh snapshot that reflects the
+			// lower-priority pods — plus declared best-effort pods when
+			// the class may take them (preemption.go). On success the
+			// pass continues from a fresh snapshot that reflects the
 			// evictions.
-			if target, evicted, preempted := s.preempt(info); preempted {
+			if target, evicted, preempted := s.preempt(info, prof, takeBE); preempted {
 				preemptions++
 				victims += evicted
+				byClass[slot].Preemptions++
+				byClass[slot].Victims += evicted
 				view = s.syncedViewLocked()
-				minPrio, anyBound = s.cache.minPriority()
+				minPrio, anyBound, beBound = s.cache.preemptGate()
 				// The planner already replayed the pipeline against the
 				// predicted post-eviction state, but re-run it against
 				// the actual snapshot so a racing mutation can never
 				// over-commit the node or bypass a policy veto.
-				if n := view.Node(target); n != nil && s.profile.Feasible(info, n) {
+				if n := view.Node(target); n != nil && prof.Feasible(info, n) {
 					candidates = append(candidates[:0], n)
-					if name, sok := s.profile.selectInfo(info, candidates, view); sok && name == target {
+					if name, sok := prof.selectInfo(info, candidates, view); sok && name == target {
 						nodeName, ok = target, true
 					}
 				}
@@ -457,13 +537,15 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 			// next pass, preserving its queue position without
 			// head-of-line blocking the rest of the queue.
 			unschedulable++
+			byClass[slot].Unschedulable++
 			continue
 		}
 		// Permit stage: a plugin may convert the bind into a conditional
 		// reservation (gang members wait for quorum) or deny it.
-		if dec := s.profile.runPermit(info, nodeName); dec != PermitAllow {
+		if dec := prof.runPermit(info, nodeName); dec != PermitAllow {
 			if dec == PermitDeny {
 				unschedulable++
+				byClass[slot].Unschedulable++
 				continue
 			}
 			// PermitWait: take a conditional reservation instead of a
@@ -481,12 +563,13 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 			// reserved headroom, exactly as a bind would.
 			view.Commit(nodeName, req)
 			held++
+			byClass[slot].Held++
 			// Notify observers (the gang director counts the permit
 			// toward quorum and may commit the whole gang). Outside the
 			// server critical sections; the pass view is unaffected —
 			// a commit emits PodBound events the cache absorbs for the
 			// *next* pass.
-			s.profile.notifyReserved(info, nodeName)
+			prof.notifyReserved(info, nodeName)
 			if s.cfg.MaxBindsPerPass > 0 && bound+held >= s.cfg.MaxBindsPerPass {
 				break // per-pass throughput budget spent
 			}
@@ -517,6 +600,7 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		// headroom.
 		view.Commit(nodeName, req)
 		bound++
+		byClass[slot].Bound++
 		if s.cfg.MaxBindsPerPass > 0 && bound+held >= s.cfg.MaxBindsPerPass {
 			break // per-pass throughput budget spent; the rest stays queued
 		}
@@ -531,6 +615,13 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 	s.stats.Sampled += sampledPods
 	s.stats.Gated += gated
 	s.stats.Held += held
+	for i := range byClass {
+		s.stats.ByClass[i].Bound += byClass[i].Bound
+		s.stats.ByClass[i].Unschedulable += byClass[i].Unschedulable
+		s.stats.ByClass[i].Preemptions += byClass[i].Preemptions
+		s.stats.ByClass[i].Victims += byClass[i].Victims
+		s.stats.ByClass[i].Held += byClass[i].Held
+	}
 	s.mu.Unlock()
 	return bound
 }

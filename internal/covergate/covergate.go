@@ -1,0 +1,118 @@
+// Package covergate turns a Go cover profile into a CI pass/fail
+// signal: it computes total statement coverage from the raw profile
+// (the same arithmetic as "go tool cover -func"'s total row) and
+// compares it against a floor checked into the repository. The floor
+// file is the ratchet: it only moves up, and a change that drops
+// coverage below it fails the gate instead of silently eroding the
+// test suite.
+package covergate
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrEmptyProfile is returned when the profile has a mode line but no
+// coverage blocks — what "go test -coverprofile" emits when no package
+// actually compiled any statements, a vacuous pass the gate refuses.
+var ErrEmptyProfile = errors.New("covergate: cover profile contains no coverage blocks")
+
+// block is one "file:start,end numStmts count" profile line.
+type block struct {
+	stmts   int64
+	covered bool
+}
+
+// Percent computes total statement coverage, in percent, from a cover
+// profile ("mode: set|count|atomic" header then one block per line).
+// Blocks repeated across lines (count mode merges) accumulate: a block
+// counts as covered if any of its occurrences has a non-zero count.
+func Percent(profile io.Reader) (float64, error) {
+	sc := bufio.NewScanner(profile)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sawMode := false
+	blocks := make(map[string]block)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "mode:") {
+			sawMode = true
+			continue
+		}
+		pos, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return 0, fmt.Errorf("covergate: malformed profile line %q", line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return 0, fmt.Errorf("covergate: malformed profile line %q", line)
+		}
+		stmts, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("covergate: bad statement count in %q: %w", line, err)
+		}
+		count, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("covergate: bad hit count in %q: %w", line, err)
+		}
+		b := blocks[pos]
+		b.stmts = stmts
+		b.covered = b.covered || count > 0
+		blocks[pos] = b
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !sawMode {
+		return 0, errors.New("covergate: not a cover profile (no mode line)")
+	}
+	var total, covered int64
+	for _, b := range blocks {
+		total += b.stmts
+		if b.covered {
+			covered += b.stmts
+		}
+	}
+	if total == 0 {
+		return 0, ErrEmptyProfile
+	}
+	return 100 * float64(covered) / float64(total), nil
+}
+
+// Floor parses the checked-in floor file: comment lines start with '#',
+// the first remaining line is the floor percentage.
+func Floor(r io.Reader) (float64, error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		floor, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return 0, fmt.Errorf("covergate: bad floor %q: %w", line, err)
+		}
+		if floor <= 0 || floor > 100 {
+			return 0, fmt.Errorf("covergate: floor %v%% out of range (0, 100]", floor)
+		}
+		return floor, nil
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, errors.New("covergate: floor file has no floor line")
+}
+
+// Check compares measured coverage against the floor.
+func Check(percent, floor float64) error {
+	if percent < floor {
+		return fmt.Errorf("covergate: statement coverage %.2f%% is below the checked-in floor %.2f%%", percent, floor)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package covergate
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPercentSetMode(t *testing.T) {
+	profile := `mode: set
+pkg/a.go:1.1,5.2 4 1
+pkg/a.go:7.1,9.2 2 0
+pkg/b.go:1.1,3.2 4 1
+`
+	// 8 of 10 statements covered.
+	got, err := Percent(strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-80) > 1e-9 {
+		t.Fatalf("Percent = %v, want 80", got)
+	}
+}
+
+// TestPercentMergesRepeatedBlocks: count/atomic profiles from several
+// test binaries repeat blocks; a block covered anywhere is covered.
+func TestPercentMergesRepeatedBlocks(t *testing.T) {
+	profile := `mode: atomic
+pkg/a.go:1.1,5.2 6 0
+pkg/a.go:1.1,5.2 6 17
+pkg/a.go:7.1,9.2 4 0
+pkg/a.go:7.1,9.2 4 0
+`
+	got, err := Percent(strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-60) > 1e-9 {
+		t.Fatalf("Percent = %v, want 60 (6 of 10 statements)", got)
+	}
+}
+
+func TestPercentRejectsJunk(t *testing.T) {
+	cases := map[string]string{
+		"no mode line":   "pkg/a.go:1.1,5.2 4 1\n",
+		"empty profile":  "mode: set\n",
+		"malformed line": "mode: set\npkg/a.go:1.1,5.2 4\n",
+		"bad stmt count": "mode: set\npkg/a.go:1.1,5.2 four 1\n",
+	}
+	for name, profile := range cases {
+		if _, err := Percent(strings.NewReader(profile)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	if _, err := Percent(strings.NewReader("mode: set\n")); !errors.Is(err, ErrEmptyProfile) {
+		t.Errorf("empty profile error = %v, want ErrEmptyProfile", err)
+	}
+}
+
+func TestFloor(t *testing.T) {
+	floor, err := Floor(strings.NewReader("# statement coverage floor, percent\n# ratchet: only move this up\n61.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != 61.5 {
+		t.Fatalf("Floor = %v, want 61.5", floor)
+	}
+	for name, body := range map[string]string{
+		"no floor line": "# only comments\n",
+		"non-numeric":   "sixty\n",
+		"out of range":  "104\n",
+		"zero":          "0\n",
+	} {
+		if _, err := Floor(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check(61.5, 61.5); err != nil {
+		t.Fatalf("coverage at the floor must pass: %v", err)
+	}
+	if err := Check(70, 61.5); err != nil {
+		t.Fatalf("coverage above the floor must pass: %v", err)
+	}
+	if err := Check(61.49, 61.5); err == nil {
+		t.Fatal("coverage below the floor must fail")
+	}
+}

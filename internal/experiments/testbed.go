@@ -66,6 +66,10 @@ type TestbedConfig struct {
 	// CostModel overrides the SGX startup cost model (paper defaults
 	// when zero).
 	CostModel sgx.CostModel
+	// Classes attaches a workload-class registry: classified pods
+	// resolve per-class scheduling profiles instead of the testbed's
+	// default pipeline. Nil keeps the classic single-profile scheduler.
+	Classes *core.ClassRegistry
 }
 
 func (c TestbedConfig) withDefaults() TestbedConfig {
@@ -153,6 +157,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		Interval:   cfg.SchedulerInterval,
 		Window:     cfg.SchedulerWindow,
 		UseMetrics: cfg.UseMetrics,
+		Classes:    cfg.Classes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building scheduler: %w", err)
