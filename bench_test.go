@@ -34,6 +34,7 @@ import (
 	"github.com/sgxorch/sgxorch/internal/resource"
 	"github.com/sgxorch/sgxorch/internal/sgx"
 	"github.com/sgxorch/sgxorch/internal/stats"
+	"github.com/sgxorch/sgxorch/internal/telemetry"
 	"github.com/sgxorch/sgxorch/internal/tsdb"
 )
 
@@ -342,6 +343,37 @@ func BenchmarkClassifiedPass(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Scheduler.ScheduleOnce()
+	}
+}
+
+// BenchmarkInstrumentedPass is BenchmarkSchedulerPass with the full
+// telemetry stack attached — metrics registry, pass-trace ring, default
+// detail sampling — so the pass pays every always-on instrumentation
+// cost (pass/stage spans, per-class counter folds, the ring's span
+// copy) and, on every 32nd pass, the detailed per-pod/per-plugin
+// timings. Gated against BenchmarkSchedulerPass in CI: the issue budget
+// allows at most 5% time/op on top of the uninstrumented pass.
+func BenchmarkInstrumentedPass(b *testing.B) {
+	tb, err := experiments.NewTestbed(experiments.TestbedConfig{
+		UseMetrics: true, Enforcement: true,
+		Telemetry: telemetry.New(),
+		Trace:     telemetry.NewTraceRing(0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	trace := borg.NewGenerator(borg.DefaultConfig(benchSeed)).EvalSlice()
+	for i, job := range trace.Jobs {
+		pod := benchPod(job, i%2 == 0)
+		if err := tb.Srv.CreatePod(pod); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tb.Scheduler.ScheduleOnce()

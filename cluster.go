@@ -3,18 +3,22 @@ package sgxorch
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/sgxorch/sgxorch/internal/api"
 	"github.com/sgxorch/sgxorch/internal/apiserver"
 	"github.com/sgxorch/sgxorch/internal/clock"
 	"github.com/sgxorch/sgxorch/internal/core"
+	"github.com/sgxorch/sgxorch/internal/influxql"
 	"github.com/sgxorch/sgxorch/internal/isgx"
 	"github.com/sgxorch/sgxorch/internal/kubelet"
+	"github.com/sgxorch/sgxorch/internal/lifecycle"
 	"github.com/sgxorch/sgxorch/internal/machine"
 	"github.com/sgxorch/sgxorch/internal/monitor"
 	"github.com/sgxorch/sgxorch/internal/resource"
 	"github.com/sgxorch/sgxorch/internal/sgx"
+	"github.com/sgxorch/sgxorch/internal/telemetry"
 	"github.com/sgxorch/sgxorch/internal/tsdb"
 )
 
@@ -119,6 +123,15 @@ type ClusterConfig struct {
 	// membership, EPC demand) instead of leaving them on the default
 	// pipeline. Declared classes are honoured either way.
 	InferClasses bool
+	// DisableTelemetry turns the cluster's observability plane off: no
+	// metrics registry, no pass-trace ring, no lifecycle tracker, no
+	// self-scrape into the TSDB. With telemetry disabled every
+	// instrumentation site in the scheduler and API server reduces to a
+	// nil check — zero allocations and zero clock reads added.
+	DisableTelemetry bool
+	// TraceRingSize overrides how many recent pass traces the scheduler
+	// retains (telemetry.DefaultTraceRingSize when 0).
+	TraceRingSize int
 }
 
 // PaperTestbedNodes returns the §VI-A cluster shape.
@@ -140,6 +153,11 @@ type Cluster struct {
 	db    *tsdb.DB
 	sched *core.Scheduler
 	gang  *core.GangDirector
+
+	reg        *telemetry.Registry
+	trace      *telemetry.TraceRing
+	tracker    *lifecycle.Tracker
+	stopScrape func()
 
 	kubelets []*kubelet.Kubelet
 	heapster *monitor.Heapster
@@ -169,11 +187,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	clk := clock.NewSim()
-	c := &Cluster{
-		clk: clk,
-		srv: apiserver.New(clk),
-		db:  tsdb.New(clk),
+	c := &Cluster{clk: clk}
+	var srvOpts []apiserver.Option
+	if !cfg.DisableTelemetry {
+		c.reg = telemetry.New()
+		c.trace = telemetry.NewTraceRing(cfg.TraceRingSize)
+		srvOpts = append(srvOpts, apiserver.WithTelemetry(c.reg))
 	}
+	c.srv = apiserver.New(clk, srvOpts...)
+	c.db = tsdb.New(clk)
 
 	seen := make(map[string]bool, len(nodes))
 	for _, spec := range nodes {
@@ -234,13 +256,122 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		UseMetrics: !cfg.DisableMetrics,
 		Gang:       c.gang,
 		Classes:    classes,
+		Telemetry:  c.reg,
+		Trace:      c.trace,
 	})
 	if err != nil {
 		return nil, err
 	}
 	c.sched = sched
+	if c.reg != nil {
+		// The lifecycle tracker consumes the same pod event stream as the
+		// kubelets and turns the server-stamped timestamps into per-class
+		// submit→bind/bind→run/submit→run histograms.
+		c.tracker = lifecycle.New(c.reg)
+		c.tracker.Track(c.srv)
+		c.registerFacadeCollectors()
+		// The registry scrapes itself into the TSDB on the monitoring
+		// cadence, so the orchestrator's own health is queryable through
+		// the identical InfluxQL path as container metrics.
+		c.stopScrape = telemetry.StartSelfScrape(clk, c.reg, c.db, cfg.ScrapeInterval)
+	}
 	sched.Start()
 	return c, nil
+}
+
+// registerFacadeCollectors folds the legacy snapshot accessors —
+// SchedulerStats, BindStats, WatchStats, GangStats, PendingByClass —
+// into registry gauges at collection time, so one scrape carries every
+// number the individual accessors expose.
+func (c *Cluster) registerFacadeCollectors() {
+	reg := c.reg
+	schedGauges := struct {
+		passes, bound, unschedulable, preemptions, victims *telemetry.Gauge
+	}{
+		reg.Gauge("cluster_scheduler_passes"),
+		reg.Gauge("cluster_scheduler_bound"),
+		reg.Gauge("cluster_scheduler_unschedulable"),
+		reg.Gauge("cluster_scheduler_preemptions"),
+		reg.Gauge("cluster_scheduler_victims"),
+	}
+	bindGauges := struct {
+		attempts, bound, rejPod, rejNode, rejCapacity *telemetry.Gauge
+	}{
+		reg.Gauge("cluster_bind_attempts"),
+		reg.Gauge("cluster_bind_bound"),
+		reg.Gauge("cluster_bind_rejected_pod_state"),
+		reg.Gauge("cluster_bind_rejected_node_state"),
+		reg.Gauge("cluster_bind_rejected_capacity"),
+	}
+	watchGauges := struct {
+		published, evicted, subscribers *telemetry.Gauge
+	}{
+		reg.Gauge("cluster_watch_published"),
+		reg.Gauge("cluster_watch_evicted"),
+		reg.Gauge("cluster_watch_subscribers"),
+	}
+	gangCommits := reg.Gauge("cluster_gang_commits")
+	gangTimeouts := reg.Gauge("cluster_gang_timeouts")
+	pendingDepth := reg.GaugeVec("cluster_pending_depth", "class")
+	pendingGauges := make(map[string]*telemetry.Gauge)
+	reg.RegisterCollector(func() {
+		ss := c.SchedulerStats()
+		schedGauges.passes.Set(float64(ss.Passes))
+		schedGauges.bound.Set(float64(ss.Bound))
+		schedGauges.unschedulable.Set(float64(ss.Unschedulable))
+		schedGauges.preemptions.Set(float64(ss.Preemptions))
+		schedGauges.victims.Set(float64(ss.Victims))
+
+		bs := c.srv.BindStats()
+		bindGauges.attempts.Set(float64(bs.Attempts))
+		bindGauges.bound.Set(float64(bs.Bound))
+		bindGauges.rejPod.Set(float64(bs.RejectedPodState))
+		bindGauges.rejNode.Set(float64(bs.RejectedNodeState))
+		bindGauges.rejCapacity.Set(float64(bs.RejectedCapacity))
+
+		ws := c.srv.WatchStats()
+		watchGauges.published.Set(float64(ws.Published))
+		watchGauges.evicted.Set(float64(ws.Evicted))
+		watchGauges.subscribers.Set(float64(ws.Subscribers))
+
+		gs := c.GangStats()
+		gangCommits.Set(float64(gs.Commits))
+		gangTimeouts.Set(float64(gs.Timeouts))
+
+		depth := c.PendingByClass()
+		for label, g := range pendingGauges {
+			if _, live := depth[labelToClass(label)]; !live {
+				g.Set(0)
+			}
+		}
+		for class, n := range depth {
+			label := classToLabel(class)
+			g, ok := pendingGauges[label]
+			if !ok {
+				g = pendingDepth.With(label)
+				pendingGauges[label] = g
+			}
+			g.Set(float64(n))
+		}
+	})
+}
+
+// classToLabel/labelToClass bridge the empty-string unclassified key of
+// the legacy map accessors and the explicit "unclassified" label value
+// telemetry uses (an empty label value would be unaddressable in
+// label-keyed queries).
+func classToLabel(class string) string {
+	if class == "" {
+		return "unclassified"
+	}
+	return class
+}
+
+func labelToClass(label string) string {
+	if label == "unclassified" {
+		return ""
+	}
+	return label
 }
 
 // Close stops every component. The cluster is unusable afterwards.
@@ -249,6 +380,10 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
+	if c.stopScrape != nil {
+		c.stopScrape()
+	}
+	c.tracker.Close()
 	c.sched.Close()
 	c.gang.Close()
 	c.heapster.Stop()
@@ -511,6 +646,11 @@ type ClassSchedulerStats struct {
 }
 
 // SchedulerStats returns the scheduler's counters.
+//
+// Deprecated: prefer Cluster.Telemetry, which carries these counters
+// (as cluster_scheduler_* gauges and the scheduler_*_total series) next
+// to every other metric in one export. This accessor remains supported
+// for programmatic checks.
 func (c *Cluster) SchedulerStats() SchedulerStats {
 	s := c.sched.Stats()
 	out := SchedulerStats{
@@ -543,6 +683,11 @@ func (c *Cluster) SchedulerStats() SchedulerStats {
 // PendingByClass returns the scheduler's queue depth per workload class
 // (empty key = unclassified jobs). Only classes with queued jobs have
 // entries.
+//
+// Deprecated: prefer Cluster.Telemetry, where the same depths appear as
+// the cluster_pending_depth{class=…} gauges (and the API server's
+// apiserver_pending_depth family adds per-priority breakdowns). This
+// accessor remains supported for programmatic checks.
 func (c *Cluster) PendingByClass() map[string]int {
 	out := make(map[string]int)
 	for class, n := range c.srv.PendingCountByClass(schedulerName) {
@@ -559,7 +704,62 @@ type GangStats struct {
 }
 
 // GangStats returns the gang director's counters.
+//
+// Deprecated: prefer Cluster.Telemetry, which exports the same counters
+// as the cluster_gang_commits/cluster_gang_timeouts gauges. This
+// accessor remains supported for programmatic checks.
 func (c *Cluster) GangStats() GangStats {
 	s := c.gang.Stats()
 	return GangStats{Commits: s.Commits, Timeouts: s.Timeouts}
+}
+
+// Telemetry returns the cluster's metrics registry — the one-stop
+// observability surface. Reading it (WritePrometheus, ScrapeInto, or
+// any registry export) first runs the registered collectors, which fold
+// the legacy snapshot accessors — SchedulerStats, the API server's
+// BindStats and WatchStats, GangStats and PendingByClass — into
+// cluster_* gauges, alongside the live counters and histograms the
+// scheduler, API server, watch broker and lifecycle tracker maintain
+// directly. The individual accessors remain for programmatic use, but
+// new monitoring integrations should consume this registry instead of
+// polling them one by one. Nil when ClusterConfig.DisableTelemetry is
+// set — and a nil registry is a safe no-op for every operation.
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.reg }
+
+// WritePrometheus writes every metric in Prometheus text exposition
+// format — the pull endpoint's body, minus the HTTP server. No-op on a
+// telemetry-disabled cluster.
+func (c *Cluster) WritePrometheus(w io.Writer) error {
+	return c.reg.WritePrometheus(w)
+}
+
+// PassTraces returns the scheduler's retained pass traces, oldest
+// first: per-pass wall time, outcome counts, and stage/plugin timing
+// spans (detailed per-plugin breakdowns on sampled passes — see
+// core.Config.TraceDetailEvery). Empty on a telemetry-disabled
+// cluster.
+func (c *Cluster) PassTraces() []telemetry.PassTrace {
+	return c.trace.Snapshot()
+}
+
+// LifecycleStats reports how many lifecycle samples the tracker has
+// consumed from the watch stream: Binds is the exact total count of the
+// lifecycle_queue_seconds histograms, Runs of the startup and
+// submit-to-run histograms. Zero-valued on a telemetry-disabled
+// cluster.
+func (c *Cluster) LifecycleStats() (binds, runs int64) {
+	return c.tracker.BindsObserved(), c.tracker.RunsObserved()
+}
+
+// Query runs an InfluxQL query against the cluster's TSDB — container
+// measurements ("sgx/epc", "memory/working_set") and, via the
+// self-scrape, the orchestrator's own metrics under "self/…". For
+// example, the per-class p99 submission-to-bind latency:
+//
+//	SELECT MAX(value) FROM "self/lifecycle_queue_seconds" WHERE quantile = '0.99' GROUP BY class
+//
+// Telemetry series lag the live registry by at most one ScrapeInterval;
+// Cluster.Telemetry reads are exact.
+func (c *Cluster) Query(query string) (influxql.Result, error) {
+	return influxql.Execute(c.db, query)
 }

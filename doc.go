@@ -247,4 +247,39 @@
 // nodes with a million bound pods and a 100k backlog through both arms;
 // the indexed, sampled pass is an order of magnitude faster than the
 // exhaustive scan at that scale.
+//
+// # Observability
+//
+// The cluster instruments itself by default. internal/telemetry is a
+// dependency-free metrics registry — atomic counters, gauges and
+// fixed-bucket histograms behind nil-safe handles, so a disabled
+// registry (ClusterConfig.DisableTelemetry) costs one branch per site
+// and zero allocations on the scheduling hot path. Instrumentation
+// spans every layer: the scheduler times its pass and pipeline stages
+// (snapshot-sync, prefilter, filter, score, permit, preemption-plan,
+// bind) and counts outcomes per workload class; the API server
+// histograms bind latency and counts rejections by class, and
+// publishes pending-queue depth by class and priority tier; the watch
+// broker exposes per-subscriber lag, resync and drop gauges; and the
+// lifecycle tracker (internal/lifecycle) consumes the watch event
+// stream to histogram submit→bind, bind→run and run durations per
+// class. Each instrumented scheduling pass also records a PassTrace —
+// stage spans plus, on sampled passes, per-plugin breakdowns — into a
+// fixed ring readable via Cluster.PassTraces; detail sampling
+// (Config.TraceDetailEvery) keeps the instrumented pass within a few
+// percent of the uninstrumented one, which CI gates.
+//
+// Metrics leave the process two ways. Cluster.WritePrometheus renders
+// the registry in Prometheus text exposition format. And on every
+// ScrapeInterval the registry self-scrapes into the embedded TSDB as
+// "self/"-prefixed measurements — histograms as estimated p50/p99
+// quantile series plus count and sum — so Cluster.Query answers
+// control-plane questions through the same InfluxQL path that serves
+// container metrics:
+//
+//	res, _ := cluster.Query(`SELECT MAX(value) FROM "self/lifecycle_queue_seconds" WHERE quantile = '0.99' GROUP BY class`)
+//
+// Cluster.Telemetry exposes the registry itself; the older
+// SchedulerStats/PendingByClass/GangStats accessors remain but fold
+// into registry gauges at collection time.
 package sgxorch

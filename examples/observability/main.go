@@ -1,0 +1,55 @@
+// Cluster telemetry, end to end: an instrumented §VI-A testbed drains a
+// mixed-class Borg workload while the metrics registry self-scrapes into
+// the same TSDB that stores container metrics. Afterwards the per-class
+// submit→bind latency quantiles are read back through InfluxQL — the
+// operator's view — and every telemetry invariant is audited against
+// ground truth independently re-derived from the watch event stream:
+// trace-ring sequence monotonicity, lifecycle histogram totals versus
+// counted bind/run events, and scrape completeness. Any violation exits
+// non-zero.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "github.com/sgxorch/sgxorch/internal/experiments"
+
+func main() {
+	fmt.Println("Instrumented mixed-class drain (48 best-effort fillers, then 12 latency-sensitive")
+	fmt.Println("+ 12 batch jobs on 2 std + 2 SGX nodes), self-scraped every 10s, queried back")
+	fmt.Println("via InfluxQL")
+	fmt.Println()
+
+	res, err := experiments.Observability(experiments.ObservabilityConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s %-6s %-7s %-14s %-14s\n",
+		"class", "jobs", "binds", "p50 sub→bind", "p99 sub→bind")
+	for _, class := range []string{"latency-sensitive", "batch", "best-effort"} {
+		o := res.PerClass[class]
+		fmt.Printf("%-18s %-6d %-7d %-14s %-14s\n",
+			class, o.Jobs, o.Binds,
+			fmt.Sprintf("%.1fs", o.P50Queue), fmt.Sprintf("%.1fs", o.P99Queue))
+	}
+	fmt.Println()
+	fmt.Printf("drained=%t in %s: %d passes, %d binds, %d runs observed\n",
+		res.Completed, res.DrainTime, res.Passes, res.BindsObserved, res.RunsObserved)
+	fmt.Printf("trace ring retained %d passes (%d with per-plugin spans), %d self-scrapes\n",
+		res.Traces, res.DetailedTraces, res.Scrapes)
+
+	if len(res.Violations) != 0 {
+		log.Fatalf("telemetry invariants broken:\n%v", res.Violations)
+	}
+	if !res.Completed {
+		log.Fatalf("workload did not drain within the horizon (%s)", res.DrainTime)
+	}
+	fmt.Println()
+	fmt.Println("Every audit passed: pass traces carry strictly increasing sequence numbers,")
+	fmt.Println("the lifecycle histograms total exactly the bind and run events replayed from")
+	fmt.Println("the watch stream, and each class's latency quantiles were answered from the")
+	fmt.Println("TSDB by the same InfluxQL path that serves container metrics.")
+}

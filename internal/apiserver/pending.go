@@ -75,6 +75,22 @@ func (q *pendingQueue) ClassCounts(out map[api.WorkloadClass]int) map[api.Worklo
 	return out
 }
 
+// PriorityCounts folds the queue's live depth per priority tier into out
+// (allocating it when nil). O(tiers): each bucket's live size is
+// len(byName) — the lazily-compacted names slice may be longer, but the
+// index is exact.
+func (q *pendingQueue) PriorityCounts(out map[int32]int) map[int32]int {
+	if out == nil {
+		out = make(map[int32]int, len(q.prios))
+	}
+	for _, prio := range q.prios {
+		if b := q.buckets[prio]; b != nil && len(b.byName) > 0 {
+			out[prio] += len(b.byName)
+		}
+	}
+	return out
+}
+
 // Push appends a pod at the tail of its priority tier. A non-empty
 // group registers the pod for gang coalescing within the tier; a known
 // class registers it in the per-class depth accounting.
@@ -316,6 +332,18 @@ func (ps *pendingSet) ClassCounts(sched string) map[api.WorkloadClass]int {
 		return q.ClassCounts(nil)
 	}
 	return map[api.WorkloadClass]int{}
+}
+
+// PriorityCounts returns the named scheduler's queued pods per priority
+// tier (the empty name reports the global queue).
+func (ps *pendingSet) PriorityCounts(sched string) map[int32]int {
+	if sched == "" {
+		return ps.all.PriorityCounts(nil)
+	}
+	if q, ok := ps.bySched[sched]; ok {
+		return q.PriorityCounts(nil)
+	}
+	return map[int32]int{}
 }
 
 // SchedLen returns the named scheduler's queued pod count.

@@ -305,6 +305,12 @@ type Server struct {
 	binds bindCounters
 	gangs gangCounters
 
+	// metrics is the optional registry instrumentation (WithTelemetry):
+	// bind commit latency and per-class rejection counters on the commit
+	// path, queue-depth and watch-lag gauges via pull-time collectors.
+	// Nil when telemetry is off — every hot-path site is a nil check.
+	metrics *srvMetrics
+
 	// resMu guards the gang reservation tables (reservations, groupHolds,
 	// groupBound). It is a leaf lock like eventLog.mu: acquired and
 	// released without ever taking another lock while held, so it may be
@@ -789,6 +795,16 @@ func (s *Server) PendingCountByClass(schedulerName string) map[api.WorkloadClass
 	return s.pending.ClassCounts(schedulerName)
 }
 
+// PendingCountByPriority returns the named scheduler's queue depth per
+// priority tier (the empty name reports the global queue). O(tiers)
+// under the pending lock; the telemetry collector publishes it as the
+// apiserver_pending_depth_priority gauge family.
+func (s *Server) PendingCountByPriority(schedulerName string) map[int32]int {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	return s.pending.PriorityCounts(schedulerName)
+}
+
 // Bind assigns a pending pod to a node (§IV step Í: "the scheduler
 // communicates the computed job-node assignments to the orchestrator").
 // It is a *conditional* bind: under the pod's and node's stripe locks it
@@ -805,12 +821,25 @@ func (s *Server) PendingCountByClass(schedulerName string) map[api.WorkloadClass
 // stripe (acquired in that order), so binds against different nodes run
 // in parallel; only binds racing for the same node serialize.
 func (s *Server) Bind(podName, nodeName string) error {
+	if s.metrics == nil {
+		return s.bindCommit(podName, nodeName)
+	}
+	t0 := time.Now()
+	err := s.bindCommit(podName, nodeName)
+	s.metrics.bindLatency.ObserveDuration(time.Since(t0))
+	return err
+}
+
+// bindCommit is the Bind transaction itself; Bind wraps it with the
+// commit-latency observation when telemetry is attached.
+func (s *Server) bindCommit(podName, nodeName string) error {
 	s.binds.attempts.Add(1)
 	psh := s.podShardFor(podName)
 	psh.mu.Lock()
 	p, ok := psh.pods[podName]
 	if !ok {
 		s.binds.rejectedPodState.Add(1)
+		s.metrics.rejectedUnknownPod()
 		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s", ErrNotFound, podName)
 	}
@@ -819,6 +848,7 @@ func (s *Server) Bind(podName, nodeName string) error {
 	n, ok := nsh.nodes[nodeName]
 	if !ok {
 		s.binds.rejectedNodeState.Add(1)
+		s.metrics.rejected(p.Spec.WorkloadClass())
 		s.rejectBind(podName, "node "+nodeName+" unknown")
 		nsh.mu.Unlock()
 		psh.mu.Unlock()
@@ -826,18 +856,21 @@ func (s *Server) Bind(podName, nodeName string) error {
 	}
 	if p.Spec.NodeName != "" {
 		s.binds.rejectedPodState.Add(1)
+		s.metrics.rejected(p.Spec.WorkloadClass())
 		nsh.mu.Unlock()
 		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s already bound to %s", ErrConflict, podName, p.Spec.NodeName)
 	}
 	if p.Status.Phase != api.PodPending {
 		s.binds.rejectedPodState.Add(1)
+		s.metrics.rejected(p.Spec.WorkloadClass())
 		nsh.mu.Unlock()
 		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s in phase %s", ErrConflict, podName, p.Status.Phase)
 	}
 	if node, held := s.reservedNode(podName); held {
 		s.binds.rejectedPodState.Add(1)
+		s.metrics.rejected(p.Spec.WorkloadClass())
 		nsh.mu.Unlock()
 		psh.mu.Unlock()
 		return fmt.Errorf("%w: pod %s holds a gang permit on %s (use CommitGroup)",
@@ -850,6 +883,7 @@ func (s *Server) Bind(podName, nodeName string) error {
 		} else {
 			s.binds.rejectedNodeState.Add(1)
 		}
+		s.metrics.rejected(p.Spec.WorkloadClass())
 		s.rejectBind(podName, err.Error())
 		nsh.mu.Unlock()
 		psh.mu.Unlock()

@@ -1,0 +1,154 @@
+package apiserver
+
+import (
+	"strconv"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/telemetry"
+)
+
+// bindLatencyBuckets cover the striped commit: ~1µs uncontended to
+// hundreds of µs when binds race for one node's stripe.
+var bindLatencyBuckets = []float64{
+	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+}
+
+// srvMetrics holds the server's pre-resolved registry handles. Nil when
+// telemetry is off; its methods are nil-receiver no-ops, so every
+// commit-path site costs one predictable branch.
+type srvMetrics struct {
+	bindLatency *telemetry.Histogram
+	rejections  *telemetry.CounterVec
+}
+
+// rejected counts one refused bind against the pod's workload class.
+func (m *srvMetrics) rejected(class api.WorkloadClass) {
+	if m == nil {
+		return
+	}
+	m.rejections.With(classTelemetryLabel(class)).Inc()
+}
+
+// rejectedUnknownPod counts a refused bind whose pod is unknown — there
+// is no spec to read a class from.
+func (m *srvMetrics) rejectedUnknownPod() {
+	if m == nil {
+		return
+	}
+	m.rejections.With("unknown").Inc()
+}
+
+// classTelemetryLabel is the label value for a workload class; the
+// unclassified default gets an explicit value so its series stays
+// addressable in label-keyed queries (mirrors the scheduler's label).
+func classTelemetryLabel(class api.WorkloadClass) string {
+	if class == api.ClassUnspecified {
+		return "unclassified"
+	}
+	return string(class)
+}
+
+// WithTelemetry instruments the server against the registry:
+//
+//   - apiserver_bind_latency_seconds — histogram over the Bind commit
+//     (admission, accounting, event publish, synchronous delivery);
+//   - apiserver_bind_rejections_total{class=} — refused binds by the
+//     pod's workload class ("unknown" when the pod no longer exists);
+//   - apiserver_pending_depth{class=} and
+//     apiserver_pending_depth_priority{priority=} — queue backlog
+//     gauges, refreshed by a pull-time collector;
+//   - watch_subscriber_{max_lag,resyncs,dropped}{subscriber=} — the
+//     broker's per-subscriber delivery health, same collector.
+//
+// Collectors run at export/scrape time only, so the commit path pays
+// one histogram observation per bind and one counter increment per
+// rejection — nothing else.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *Server) {
+		if reg == nil {
+			return
+		}
+		s.metrics = &srvMetrics{
+			bindLatency: reg.Histogram("apiserver_bind_latency_seconds", bindLatencyBuckets),
+			rejections:  reg.CounterVec("apiserver_bind_rejections_total", "class"),
+		}
+		s.registerCollectors(reg)
+	}
+}
+
+// telemetryClasses are the fixed class labels the depth collector
+// publishes — writing every class each collection (zero included) keeps
+// a drained class's gauge from sticking at its last backlog.
+var telemetryClasses = []api.WorkloadClass{
+	api.ClassUnspecified, api.ClassLatencySensitive, api.ClassBatch, api.ClassBestEffort,
+}
+
+// registerCollectors publishes the pull-model gauges. The collector
+// closure keeps per-priority and per-subscriber gauge handles across
+// runs so tiers that drain and subscribers that unsubscribe report zero
+// instead of their last live value; the registry serialises collector
+// runs, so the closure state needs no lock.
+func (s *Server) registerCollectors(reg *telemetry.Registry) {
+	depthByClass := reg.GaugeVec("apiserver_pending_depth", "class")
+	depthByPrio := reg.GaugeVec("apiserver_pending_depth_priority", "priority")
+	subLag := reg.GaugeVec("watch_subscriber_max_lag", "subscriber")
+	subResyncs := reg.GaugeVec("watch_subscriber_resyncs", "subscriber")
+	subDropped := reg.GaugeVec("watch_subscriber_dropped", "subscriber")
+
+	classGauges := make([]*telemetry.Gauge, len(telemetryClasses))
+	for i, c := range telemetryClasses {
+		classGauges[i] = depthByClass.With(classTelemetryLabel(c))
+	}
+	prioGauges := make(map[int32]*telemetry.Gauge)
+	type subGauges struct{ lag, resyncs, dropped *telemetry.Gauge }
+	subs := make(map[int64]subGauges)
+
+	reg.RegisterCollector(func() {
+		s.pendingMu.Lock()
+		classes := s.pending.ClassCounts("")
+		prios := s.pending.PriorityCounts("")
+		s.pendingMu.Unlock()
+		for i, c := range telemetryClasses {
+			classGauges[i].Set(float64(classes[c]))
+		}
+		for prio, g := range prioGauges {
+			if _, live := prios[prio]; !live {
+				g.Set(0)
+			}
+		}
+		for prio, n := range prios {
+			g, ok := prioGauges[prio]
+			if !ok {
+				g = depthByPrio.With(strconv.FormatInt(int64(prio), 10))
+				prioGauges[prio] = g
+			}
+			g.Set(float64(n))
+		}
+
+		live := make(map[int64]bool, len(subs))
+		for _, ss := range s.broker.Stats().PerSubscriber {
+			live[ss.ID] = true
+			g, ok := subs[ss.ID]
+			if !ok {
+				id := strconv.FormatInt(ss.ID, 10)
+				g = subGauges{
+					lag:     subLag.With(id),
+					resyncs: subResyncs.With(id),
+					dropped: subDropped.With(id),
+				}
+				subs[ss.ID] = g
+			}
+			g.lag.Set(float64(ss.MaxLag))
+			g.resyncs.Set(float64(ss.Resyncs))
+			g.dropped.Set(float64(ss.Dropped))
+		}
+		for id, g := range subs {
+			if !live[id] {
+				g.lag.Set(0)
+				g.resyncs.Set(0)
+				g.dropped.Set(0)
+			}
+		}
+	})
+}

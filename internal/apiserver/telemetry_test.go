@@ -1,0 +1,143 @@
+package apiserver
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/telemetry"
+)
+
+func telemetryNode(name string) *api.Node {
+	alloc := resource.List{resource.Memory: 16 * resource.GiB, resource.CPU: 8000}
+	return &api.Node{Name: name, Capacity: alloc.Clone(), Allocatable: alloc.Clone(), Ready: true}
+}
+
+func telemetryTestPod(name string, class api.WorkloadClass, prio int32, memBytes int64) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{
+			Class:    class,
+			Priority: prio,
+			Containers: []api.Container{{
+				Name:      "main",
+				Resources: api.Requirements{Requests: resource.List{resource.Memory: memBytes}},
+			}},
+		},
+	}
+}
+
+func TestServerTelemetryBindLatencyAndRejections(t *testing.T) {
+	reg := telemetry.New()
+	s := New(clock.NewSim(), WithTelemetry(reg))
+	defer s.Close()
+	if err := s.RegisterNode(telemetryNode("n1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreatePod(telemetryTestPod("ok", api.ClassBatch, 0, resource.GiB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("ok", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	lat := reg.Histogram("apiserver_bind_latency_seconds", nil)
+	if lat.Count() != 1 {
+		t.Fatalf("bind latency count = %d, want 1 (successful bind)", lat.Count())
+	}
+
+	// Rejection with a known pod: counted under its class.
+	if err := s.CreatePod(telemetryTestPod("nope", api.ClassBatch, 0, resource.GiB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("nope", "ghost-node"); err == nil {
+		t.Fatal("bind to unknown node must fail")
+	}
+	// Rejection without a pod: counted as unknown.
+	if err := s.Bind("ghost-pod", "n1"); err == nil {
+		t.Fatal("bind of unknown pod must fail")
+	}
+	rej := reg.CounterVec("apiserver_bind_rejections_total", "class")
+	if got := rej.With("batch").Value(); got != 1 {
+		t.Fatalf("rejections{batch} = %d, want 1", got)
+	}
+	if got := rej.With("unknown").Value(); got != 1 {
+		t.Fatalf("rejections{unknown} = %d, want 1", got)
+	}
+	// Every Bind outcome is a latency sample: success and both
+	// rejections.
+	if lat.Count() != 3 {
+		t.Fatalf("bind latency count = %d, want 3 (all attempts observed)", lat.Count())
+	}
+	if bs := s.BindStats(); bs.Attempts != 3 {
+		t.Fatalf("BindStats.Attempts = %d, want 3", bs.Attempts)
+	}
+}
+
+func TestServerTelemetryDepthAndWatchCollectors(t *testing.T) {
+	reg := telemetry.New()
+	s := New(clock.NewSim(), WithTelemetry(reg))
+	defer s.Close()
+	if err := s.RegisterNode(telemetryNode("n1")); err != nil {
+		t.Fatal(err)
+	}
+	unsub := s.SubscribePodEvents(func([]WatchEvent) {}, nil)
+	defer unsub()
+
+	// Queue: two latency-sensitive at prio 100, one batch at prio 10,
+	// one unclassified at prio 0.
+	for _, p := range []*api.Pod{
+		telemetryTestPod("ls-1", api.ClassLatencySensitive, 100, resource.GiB),
+		telemetryTestPod("ls-2", api.ClassLatencySensitive, 100, resource.GiB),
+		telemetryTestPod("b-1", api.ClassBatch, 10, resource.GiB),
+		telemetryTestPod("u-1", api.ClassUnspecified, 0, resource.GiB),
+	} {
+		if err := s.CreatePod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg.Collect()
+	depth := reg.GaugeVec("apiserver_pending_depth", "class")
+	if got := depth.With("latency-sensitive").Value(); got != 2 {
+		t.Fatalf("depth{latency-sensitive} = %v, want 2", got)
+	}
+	if got := depth.With("batch").Value(); got != 1 {
+		t.Fatalf("depth{batch} = %v, want 1", got)
+	}
+	if got := depth.With("unclassified").Value(); got != 1 {
+		t.Fatalf("depth{unclassified} = %v, want 1", got)
+	}
+	prio := reg.GaugeVec("apiserver_pending_depth_priority", "priority")
+	if got := prio.With("100").Value(); got != 2 {
+		t.Fatalf("depth{priority=100} = %v, want 2", got)
+	}
+	if got := prio.With("0").Value(); got != 1 {
+		t.Fatalf("depth{priority=0} = %v, want 1", got)
+	}
+
+	// Draining a tier zeroes its gauge instead of leaving it stale.
+	if err := s.Bind("ls-1", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("ls-2", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	reg.Collect()
+	if got := prio.With("100").Value(); got != 0 {
+		t.Fatalf("drained tier gauge = %v, want 0", got)
+	}
+	if got := depth.With("latency-sensitive").Value(); got != 0 {
+		t.Fatalf("drained class gauge = %v, want 0", got)
+	}
+
+	// The watch collector publishes per-subscriber series; binding above
+	// delivered events to our subscriber.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "watch_subscriber_max_lag{subscriber=") {
+		t.Fatalf("exposition missing per-subscriber watch gauges:\n%s", sb.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/sgxorch/sgxorch/internal/influxql"
 	"github.com/sgxorch/sgxorch/internal/monitor"
 	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/telemetry"
 	"github.com/sgxorch/sgxorch/internal/tsdb"
 )
 
@@ -103,6 +104,28 @@ type Config struct {
 	// plugins through all of them), so one registry value can safely
 	// serve a whole sharded fleet.
 	Classes *ClassRegistry
+	// Telemetry attaches a metrics registry (internal/telemetry): the
+	// scheduler records pass/stage duration histograms, per-class
+	// outcome counters and a per-pass trace. Nil disables telemetry at
+	// zero cost — no clock reads, no atomics, no allocations are added
+	// to the pass (pinned by the alloc guard in telemetry_core_test.go).
+	// Sharded fleet members sharing one registry aggregate into the
+	// same series.
+	Telemetry *telemetry.Registry
+	// Trace is the pass-trace ring the scheduler records into. Nil with
+	// Telemetry set creates a private DefaultTraceRingSize ring; a
+	// sharded fleet can pass one shared ring so its members' traces
+	// interleave chronologically (traces carry the scheduler name).
+	Trace *telemetry.TraceRing
+	// TraceDetailEvery samples detailed tracing: every Nth pass
+	// additionally times the per-pod prefilter/filter/score/permit
+	// stages and breaks prefilter/score/permit down per plugin
+	// (DefaultTraceDetailEvery when 0; negative disables detail).
+	// Undetailed passes still record pass-level spans (snapshot-sync,
+	// preemption-plan, bind) and every counter — detail sampling is
+	// what keeps the instrumented pass within a few percent of the
+	// uninstrumented one.
+	TraceDetailEvery int
 }
 
 // Stats counts scheduler activity for tests and benchmarks.
@@ -227,6 +250,15 @@ type Scheduler struct {
 	// function of the pass history, so sim-clock runs stay reproducible.
 	sampleOffset int
 
+	// metrics/trace are the telemetry handles (nil when disabled); rec
+	// is the reusable per-pass trace accumulator and passSeq numbers
+	// this scheduler's passes. All guarded by passMu like the buffers
+	// above.
+	metrics *schedMetrics
+	trace   *telemetry.TraceRing
+	rec     passRecorder
+	passSeq int64
+
 	mu    sync.Mutex
 	stop  func()
 	stats Stats
@@ -266,7 +298,17 @@ func newScheduler(clk clock.Clock, srv *apiserver.Server, db *tsdb.DB, cfg Confi
 		// two read paths must never be able to diverge.
 		return nil, fmt.Errorf("core: window %v exceeds metrics retention %v", cfg.Window, db.Retention())
 	}
+	if cfg.TraceDetailEvery == 0 {
+		cfg.TraceDetailEvery = DefaultTraceDetailEvery
+	}
 	s := &Scheduler{clk: clk, srv: srv, db: db, cfg: cfg, profile: profileFor(cfg.Policy)}
+	if cfg.Telemetry != nil {
+		s.metrics = newSchedMetrics(cfg.Telemetry)
+		s.trace = cfg.Trace
+		if s.trace == nil {
+			s.trace = telemetry.NewTraceRing(0)
+		}
+	}
 	if cfg.Gang != nil {
 		// Clone before appending: profileFor may have passed through a
 		// caller-owned or pooled *Profile shared with other schedulers.
@@ -313,6 +355,13 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// Traces returns the retained pass traces, oldest first (nil with
+// telemetry disabled). Passes with no pending pods record metrics but
+// no trace, so the ring holds passes that actually planned.
+func (s *Scheduler) Traces() []telemetry.PassTrace {
+	return s.trace.Snapshot()
 }
 
 // Start launches the periodic scheduling loop.
@@ -406,6 +455,13 @@ func (s *Scheduler) syncedViewLocked() *ClusterView {
 func (s *Scheduler) schedulePass(view *ClusterView) int {
 	s.passMu.Lock()
 	defer s.passMu.Unlock()
+	var rec *passRecorder
+	if s.metrics != nil {
+		s.passSeq++
+		rec = &s.rec
+		rec.begin(s.passSeq, s.cfg.TraceDetailEvery)
+	}
+	detail := rec != nil && rec.detail
 	s.mu.Lock()
 	s.stats.Passes++
 	s.mu.Unlock()
@@ -426,11 +482,17 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		// by a refresh, and idle is the steady state between job waves —
 		// an idle scheduler must not let them grow while metrics flow.
 		s.cache.Refresh()
+		if rec != nil {
+			var empty [numClassSlots]ClassStats
+			s.recordPass(rec, 0, &empty, 0, 0, 0, 0)
+		}
 		return 0
 	}
 
 	if view == nil {
+		tSync := rec.now()
 		view = s.syncedViewLocked()
+		rec.stageAdd(stageSync, rec.since(tSync), 1)
 	}
 	bound, unschedulable, preemptions, victims, conflicts, sampledPods := 0, 0, 0, 0, 0, 0
 	gated, held := 0, 0
@@ -478,11 +540,25 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		}
 		// Pre-filter stage: per-pod early rejects (and pass-scoped
 		// mutations like the gang age boost) before any per-node work.
-		if !prof.runPreFilter(info, view) {
+		// Detailed passes route through the timed pipeline variants;
+		// every other pass takes the exact uninstrumented path.
+		var tStage time.Time
+		if detail {
+			tStage = rec.now()
+			ok := prof.runPreFilterTimed(info, view, rec)
+			rec.stageAdd(stagePreFilter, rec.since(tStage), 1)
+			if !ok {
+				gated++
+				continue
+			}
+		} else if !prof.runPreFilter(info, view) {
 			gated++
 			continue
 		}
 		candidates = candidates[:0]
+		if detail {
+			tStage = rec.now()
+		}
 		sampled := false
 		if view.indexed() {
 			if target := numFeasibleNodesToFind(pct, minFeasible, len(view.Nodes)); target < len(view.Nodes) {
@@ -506,14 +582,35 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 				}
 			}
 		}
-		nodeName, ok := prof.selectInfo(info, candidates, view)
+		var nodeName string
+		var ok bool
+		if detail {
+			rec.stageAdd(stageFilter, rec.since(tStage), 1)
+			tStage = rec.now()
+			nodeName, ok = prof.selectInfoTimed(info, candidates, view, rec)
+			rec.stageAdd(stageScore, rec.since(tStage), 1)
+		} else {
+			nodeName, ok = prof.selectInfo(info, candidates, view)
+		}
 		if !ok && mayPreempt && ((anyBound && minPrio < info.Priority) || (takeBE && beBound)) {
 			// No feasible node: try to make room by evicting strictly
 			// lower-priority pods — plus declared best-effort pods when
 			// the class may take them (preemption.go). On success the
 			// pass continues from a fresh snapshot that reflects the
-			// evictions.
-			if target, evicted, preempted := s.preempt(info, prof, takeBE); preempted {
+			// evictions. Preemption planning runs for every pod that
+			// failed to place, so — like the per-pod stage timings — its
+			// span is only measured on detail-sampled passes: two clock
+			// reads per unschedulable pod on every pass would dominate
+			// the instrumentation budget on a congested queue.
+			var tPreempt time.Time
+			if detail {
+				tPreempt = rec.now()
+			}
+			target, evicted, preempted := s.preempt(info, prof, takeBE)
+			if detail {
+				rec.stageAdd(stagePreempt, rec.since(tPreempt), 1)
+			}
+			if preempted {
 				preemptions++
 				victims += evicted
 				byClass[slot].Preemptions++
@@ -542,7 +639,15 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		}
 		// Permit stage: a plugin may convert the bind into a conditional
 		// reservation (gang members wait for quorum) or deny it.
-		if dec := prof.runPermit(info, nodeName); dec != PermitAllow {
+		dec := PermitAllow
+		if detail {
+			tStage = rec.now()
+			dec = prof.runPermitTimed(info, nodeName, rec)
+			rec.stageAdd(stagePermit, rec.since(tStage), 1)
+		} else {
+			dec = prof.runPermit(info, nodeName)
+		}
+		if dec != PermitAllow {
 			if dec == PermitDeny {
 				unschedulable++
 				byClass[slot].Unschedulable++
@@ -550,7 +655,10 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 			}
 			// PermitWait: take a conditional reservation instead of a
 			// bind. The same conflict taxonomy as Bind applies.
-			if err := s.srv.Reserve(pod.Name, nodeName); err != nil {
+			tBind := rec.now()
+			err := s.srv.Reserve(pod.Name, nodeName)
+			rec.stageAdd(stageBind, rec.since(tBind), 1)
+			if err != nil {
 				if errors.Is(err, apiserver.ErrConflict) {
 					conflicts++
 					if errors.Is(err, apiserver.ErrOutdated) {
@@ -575,7 +683,10 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 			}
 			continue
 		}
-		if err := s.srv.Bind(pod.Name, nodeName); err != nil {
+		tBind := rec.now()
+		err := s.srv.Bind(pod.Name, nodeName)
+		rec.stageAdd(stageBind, rec.since(tBind), 1)
+		if err != nil {
 			if errors.Is(err, apiserver.ErrConflict) {
 				conflicts++
 				if errors.Is(err, apiserver.ErrOutdated) {
@@ -623,6 +734,9 @@ func (s *Scheduler) schedulePass(view *ClusterView) int {
 		s.stats.ByClass[i].Held += byClass[i].Held
 	}
 	s.mu.Unlock()
+	if rec != nil {
+		s.recordPass(rec, len(pending), &byClass, gated, conflicts, sampledPods, preemptions)
+	}
 	return bound
 }
 

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/telemetry"
+)
+
+// This file is the scheduler's instrumentation layer: pre-resolved
+// registry handles (schedMetrics), the reusable per-pass recorder
+// feeding the trace ring, and the timed variants of the framework
+// pipeline stages. Everything here is designed around two hard
+// budgets, pinned by BenchmarkInstrumentedPass and the alloc guards in
+// telemetry_core_test.go:
+//
+//   - telemetry disabled (Config.Telemetry nil): zero allocations and
+//     zero clock reads added to a pass — every site is behind a single
+//     nil check;
+//   - telemetry enabled: pass-level spans (snapshot-sync, preemption
+//     plan, bind commits, wall time) are timed on every pass — a
+//     handful of clock reads per pass — while per-pod stage timing and
+//     per-plugin breakdowns run only on every TraceDetailEvery-th pass,
+//     amortising their per-pod clock reads to a few percent.
+
+// DefaultTraceDetailEvery is how often a pass records detailed per-pod
+// stage timing and per-plugin breakdowns (1 in N passes; see
+// Config.TraceDetailEvery).
+const DefaultTraceDetailEvery = 32
+
+// Pass stage indexes (dense array form of the telemetry.Stage* names).
+const (
+	stageSync = iota
+	stagePreFilter
+	stageFilter
+	stageScore
+	stagePermit
+	stagePreempt
+	stageBind
+	numStages
+)
+
+// stageNames maps stage indexes to their exported span names.
+var stageNames = [numStages]string{
+	telemetry.StageSnapshotSync,
+	telemetry.StagePreFilter,
+	telemetry.StageFilter,
+	telemetry.StageScore,
+	telemetry.StagePermit,
+	telemetry.StagePreempt,
+	telemetry.StageBind,
+}
+
+// passBuckets are wall-time buckets for pass and stage durations:
+// exponential 10µs … 2.5s — a pass at paper scale runs tens of
+// microseconds, a million-pod pass ~10ms.
+var passBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// classLabel is the telemetry label value for a class slot
+// (slot 0, the unclassified default pipeline, gets an explicit value
+// so its series stays addressable in label-keyed queries).
+func classLabel(slot int) string {
+	if c := classForSlot(slot); c != api.ClassUnspecified {
+		return string(c)
+	}
+	return "unclassified"
+}
+
+// schedMetrics holds the scheduler's registry handles, resolved once at
+// construction so pass-time updates are single atomic operations.
+// Handles are shared across a sharded fleet: the registry returns the
+// same series for the same name, so member counters aggregate.
+type schedMetrics struct {
+	passes   *telemetry.Counter
+	passDur  *telemetry.Histogram
+	stageDur [numStages]*telemetry.Histogram
+
+	conflicts *telemetry.Counter
+	sampled   *telemetry.Counter
+	gated     *telemetry.Counter
+
+	bound         [numClassSlots]*telemetry.Counter
+	unschedulable [numClassSlots]*telemetry.Counter
+	preemptions   [numClassSlots]*telemetry.Counter
+	victims       [numClassSlots]*telemetry.Counter
+	held          [numClassSlots]*telemetry.Counter
+}
+
+func newSchedMetrics(reg *telemetry.Registry) *schedMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &schedMetrics{
+		passes:    reg.Counter("scheduler_passes_total"),
+		passDur:   reg.Histogram("scheduler_pass_duration_seconds", passBuckets),
+		conflicts: reg.Counter("scheduler_conflicts_total"),
+		sampled:   reg.Counter("scheduler_sampled_pods_total"),
+		gated:     reg.Counter("scheduler_gated_total"),
+	}
+	stages := reg.HistogramVec("scheduler_stage_duration_seconds", "stage", passBuckets)
+	for i := range m.stageDur {
+		m.stageDur[i] = stages.With(stageNames[i])
+	}
+	bound := reg.CounterVec("scheduler_bound_total", "class")
+	unsched := reg.CounterVec("scheduler_unschedulable_total", "class")
+	preempt := reg.CounterVec("scheduler_preemptions_total", "class")
+	victims := reg.CounterVec("scheduler_victims_total", "class")
+	held := reg.CounterVec("scheduler_held_total", "class")
+	for i := 0; i < numClassSlots; i++ {
+		l := classLabel(i)
+		m.bound[i] = bound.With(l)
+		m.unschedulable[i] = unsched.With(l)
+		m.preemptions[i] = preempt.With(l)
+		m.victims[i] = victims.With(l)
+		m.held[i] = held.With(l)
+	}
+	return m
+}
+
+// pluginKey identifies one plugin's share of one stage within a pass.
+type pluginKey struct {
+	stage int
+	name  string
+}
+
+// pluginAgg accumulates one plugin's time and call count over a pass.
+type pluginAgg struct {
+	stage int
+	name  string
+	ns    int64
+	n     int
+}
+
+// passRecorder is the reusable per-pass trace accumulator. One lives in
+// each Scheduler, guarded by passMu like the other pass buffers; its
+// maps, slices and span buffer are recycled so a steady-state
+// instrumented pass allocates only the ring's retained copy. All
+// methods are nil-receiver-safe: a nil recorder (telemetry disabled)
+// never reads the clock.
+type passRecorder struct {
+	start   time.Time
+	seq     int64
+	detail  bool
+	stageNS [numStages]int64
+	stageN  [numStages]int
+
+	plugins   []pluginAgg
+	pluginIdx map[pluginKey]int
+	scoreBuf  []float64
+	spans     []telemetry.Span
+}
+
+// begin resets the recorder for one pass. Detailed passes (1 in
+// detailEvery) carry per-pod stage timing and per-plugin breakdowns.
+func (r *passRecorder) begin(seq int64, detailEvery int) {
+	r.start = time.Now()
+	r.seq = seq
+	r.detail = detailEvery > 0 && seq%int64(detailEvery) == 0
+	r.stageNS = [numStages]int64{}
+	r.stageN = [numStages]int{}
+	r.plugins = r.plugins[:0]
+	clear(r.pluginIdx)
+}
+
+// now reads the wall clock — the zero time on a nil recorder, so
+// disabled schedulers never pay for a clock read.
+func (r *passRecorder) now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// since is time.Since guarded the same way.
+func (r *passRecorder) since(t0 time.Time) time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(t0)
+}
+
+// stageAdd folds one timed slice into a stage accumulator.
+func (r *passRecorder) stageAdd(stage int, d time.Duration, n int) {
+	if r == nil {
+		return
+	}
+	r.stageNS[stage] += int64(d)
+	r.stageN[stage] += n
+}
+
+// addPlugin folds one plugin call into its per-pass aggregate.
+func (r *passRecorder) addPlugin(stage int, name string, d time.Duration) {
+	if r.pluginIdx == nil {
+		r.pluginIdx = make(map[pluginKey]int)
+	}
+	k := pluginKey{stage: stage, name: name}
+	i, ok := r.pluginIdx[k]
+	if !ok {
+		i = len(r.plugins)
+		r.plugins = append(r.plugins, pluginAgg{stage: stage, name: name})
+		r.pluginIdx[k] = i
+	}
+	r.plugins[i].ns += int64(d)
+	r.plugins[i].n++
+}
+
+// trace assembles the pass's spans (stage spans first, plugin
+// breakdowns after) into a PassTrace over the recorder's reused span
+// buffer; the ring copies on record.
+func (r *passRecorder) trace(scheduler string, wall time.Duration, pending int, byClass *[numClassSlots]ClassStats, gated, conflicts, preemptions int) telemetry.PassTrace {
+	r.spans = r.spans[:0]
+	for i := 0; i < numStages; i++ {
+		if r.stageN[i] == 0 && r.stageNS[i] == 0 {
+			continue
+		}
+		r.spans = append(r.spans, telemetry.Span{
+			Stage: stageNames[i],
+			Dur:   time.Duration(r.stageNS[i]),
+			Count: r.stageN[i],
+		})
+	}
+	for _, p := range r.plugins {
+		r.spans = append(r.spans, telemetry.Span{
+			Stage:  stageNames[p.stage],
+			Plugin: p.name,
+			Dur:    time.Duration(p.ns),
+			Count:  p.n,
+		})
+	}
+	var bound, unsched, held int
+	for i := range byClass {
+		bound += byClass[i].Bound
+		unsched += byClass[i].Unschedulable
+		held += byClass[i].Held
+	}
+	return telemetry.PassTrace{
+		Scheduler:     scheduler,
+		Seq:           r.seq,
+		Start:         r.start,
+		Wall:          wall,
+		Detailed:      r.detail,
+		Pending:       pending,
+		Bound:         bound,
+		Unschedulable: unsched,
+		Gated:         gated,
+		Conflicts:     conflicts,
+		Held:          held,
+		Preemptions:   preemptions,
+		Spans:         r.spans,
+	}
+}
+
+// recordPass closes out one instrumented pass: observes the duration
+// histograms, bumps the registry counters, and pushes the trace onto
+// the ring. Called once per pass with passMu held.
+func (s *Scheduler) recordPass(rec *passRecorder, pending int, byClass *[numClassSlots]ClassStats, gated, conflicts, sampledPods, preemptions int) {
+	wall := time.Since(rec.start)
+	m := s.metrics
+	m.passes.Inc()
+	m.passDur.ObserveDuration(wall)
+	for i := 0; i < numStages; i++ {
+		if rec.stageN[i] == 0 && rec.stageNS[i] == 0 {
+			continue
+		}
+		m.stageDur[i].Observe(time.Duration(rec.stageNS[i]).Seconds())
+	}
+	m.conflicts.Add(int64(conflicts))
+	m.sampled.Add(int64(sampledPods))
+	m.gated.Add(int64(gated))
+	for i := range byClass {
+		m.bound[i].Add(int64(byClass[i].Bound))
+		m.unschedulable[i].Add(int64(byClass[i].Unschedulable))
+		m.preemptions[i].Add(int64(byClass[i].Preemptions))
+		m.victims[i].Add(int64(byClass[i].Victims))
+		m.held[i].Add(int64(byClass[i].Held))
+	}
+	if pending > 0 {
+		s.trace.Record(rec.trace(s.cfg.Name, wall, pending, byClass, gated, conflicts, preemptions))
+	}
+}
+
+// --- Timed pipeline variants (detailed passes only) ---
+//
+// These mirror their untimed counterparts exactly — same plugin order,
+// same early exits, same floating-point accumulation order — adding
+// only per-plugin clock reads. schedulePass routes through them when
+// the pass recorder is in detail mode.
+
+// runPreFilterTimed is runPreFilter with per-plugin timing.
+func (p *Profile) runPreFilterTimed(pod *PodInfo, view *ClusterView, rec *passRecorder) bool {
+	for _, pf := range p.preFilters {
+		t0 := time.Now()
+		ok := pf.PreFilter(pod, view)
+		rec.addPlugin(stagePreFilter, pf.Name(), time.Since(t0))
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// runPermitTimed is runPermit with per-plugin timing.
+func (p *Profile) runPermitTimed(pod *PodInfo, nodeName string, rec *passRecorder) PermitDecision {
+	for _, pp := range p.permits {
+		t0 := time.Now()
+		d := pp.Permit(pod, nodeName)
+		rec.addPlugin(stagePermit, pp.Name(), time.Since(t0))
+		if d != PermitAllow {
+			return d
+		}
+	}
+	return PermitAllow
+}
+
+// selectInfoTimed is selectInfo with per-plugin timing. Scoring runs
+// plugin-outer over a reused per-candidate accumulator instead of
+// candidate-outer, which times each score plugin across the whole
+// candidate set in one clock-read pair; per-candidate sums accumulate
+// in the same plugin order as the inline loop, so the selection —
+// including floating-point rounding and first-best tie-breaks — is
+// bit-identical.
+func (p *Profile) selectInfoTimed(pod *PodInfo, candidates []*NodeView, view *ClusterView, rec *passRecorder) (string, bool) {
+	if p.legacy != nil {
+		t0 := time.Now()
+		name, ok := p.legacy.Select(pod.Pod, candidates, view)
+		rec.addPlugin(stageScore, "legacy:"+p.legacy.Name(), time.Since(t0))
+		return name, ok
+	}
+	for _, ps := range p.preScore {
+		t0 := time.Now()
+		narrowed := ps.PreScore(pod, candidates)
+		rec.addPlugin(stageScore, ps.Name(), time.Since(t0))
+		if narrowed != nil {
+			candidates = narrowed
+		}
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	scores := rec.scoreBuf[:0]
+	for range candidates {
+		scores = append(scores, 0)
+	}
+	rec.scoreBuf = scores
+	for _, ws := range p.scores {
+		t0 := time.Now()
+		for i, cand := range candidates {
+			scores[i] += ws.Weight * ws.Plugin.Score(pod, cand, view)
+		}
+		rec.addPlugin(stageScore, ws.Plugin.Name(), time.Since(t0))
+	}
+	best := ""
+	bestScore := p.minScore
+	for i, cand := range candidates {
+		if scores[i] > bestScore {
+			best = cand.Name
+			bestScore = scores[i]
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return best, true
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/resource"
+	"github.com/sgxorch/sgxorch/internal/telemetry"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// newBareScheduler builds a scheduler over directly registered nodes —
+// no kubelets, no monitoring — so telemetry tests control exactly what
+// a pass does.
+func newBareScheduler(t *testing.T, nodes int, cfg Config) (*clock.Sim, *apiserver.Server, *Scheduler) {
+	t.Helper()
+	clk := clock.NewSim()
+	srv := apiserver.New(clk)
+	db := tsdb.New(clk)
+	t.Cleanup(db.Close)
+	alloc := resource.List{resource.Memory: 64 * resource.GiB, resource.CPU: 8000}
+	for i := 0; i < nodes; i++ {
+		if err := srv.RegisterNode(&api.Node{
+			Name:        fmt.Sprintf("node-%02d", i),
+			Capacity:    alloc.Clone(),
+			Allocatable: alloc.Clone(),
+			Ready:       true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cfg.Name == "" {
+		cfg.Name = "telemetry-test"
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = Binpack{}
+	}
+	sched, err := New(clk, srv, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sched.Close)
+	return clk, srv, sched
+}
+
+func telemetryPod(name, sched string, memBytes int64) *api.Pod {
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{
+			SchedulerName: sched,
+			Containers: []api.Container{{
+				Name:      "main",
+				Resources: api.Requirements{Requests: resource.List{resource.Memory: memBytes}},
+			}},
+		},
+	}
+}
+
+// TestDisabledTelemetryPassAllocFree holds the hard budget of the
+// instrumentation: with Config.Telemetry nil, a steady-state scheduling
+// pass — including pending pods that exercise prefilter, the filter
+// walk, scoring and the unschedulable path — allocates nothing. Every
+// instrumentation site must stay behind a nil check for this to hold.
+func TestDisabledTelemetryPassAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless")
+	}
+	_, srv, sched := newBareScheduler(t, 8, Config{})
+	// Pods too large for any node: each pass runs the full pipeline and
+	// leaves them queued, mutating nothing.
+	for i := 0; i < 4; i++ {
+		pod := telemetryPod(fmt.Sprintf("huge-%d", i), "telemetry-test", 1<<50)
+		if err := srv.CreatePod(pod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.ScheduleOnce() // warm the pass buffers
+	allocs := testing.AllocsPerRun(50, func() { sched.ScheduleOnce() })
+	if allocs != 0 {
+		t.Fatalf("disabled-telemetry pass allocated %v/op, want 0", allocs)
+	}
+}
+
+// TestEnabledTelemetryUndetailedPassAllocs bounds the enabled overhead:
+// a non-detailed instrumented pass performs only atomic counter/
+// histogram updates plus the ring's single span-copy, so it must stay
+// within one small allocation per pass.
+func TestEnabledTelemetryUndetailedPassAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless")
+	}
+	reg := telemetry.New()
+	// detailEvery beyond the run length: every measured pass takes the
+	// undetailed path.
+	_, srv, sched := newBareScheduler(t, 8, Config{Telemetry: reg, TraceDetailEvery: 1 << 30})
+	for i := 0; i < 4; i++ {
+		pod := telemetryPod(fmt.Sprintf("huge-%d", i), "telemetry-test", 1<<50)
+		if err := srv.CreatePod(pod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.ScheduleOnce()
+	allocs := testing.AllocsPerRun(50, func() { sched.ScheduleOnce() })
+	if allocs > 1 {
+		t.Fatalf("undetailed instrumented pass allocated %v/op, want <= 1 (the trace-ring span copy)", allocs)
+	}
+}
+
+// TestDetailedPassMatchesPlain is the bit-identical equivalence check:
+// a scheduler tracing every pass in full detail (timed pipeline
+// variants, plugin-outer scoring) must make exactly the placements of
+// an uninstrumented scheduler over the same cluster and workload.
+func TestDetailedPassMatchesPlain(t *testing.T) {
+	place := func(cfg Config) map[string]string {
+		_, srv, sched := newBareScheduler(t, 6, cfg)
+		for i := 0; i < 40; i++ {
+			// Varied sizes so scoring order and tie-breaks matter.
+			mem := int64(i%7+1) * 4 * resource.GiB
+			pod := telemetryPod(fmt.Sprintf("pod-%02d", i), cfg.Name, mem)
+			pod.Spec.Priority = int32(i % 3)
+			if err := srv.CreatePod(pod); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for pass := 0; pass < 10; pass++ {
+			sched.ScheduleOnce()
+		}
+		got := make(map[string]string)
+		srv.VisitPods(func(p *api.Pod) bool {
+			got[p.Name] = p.Spec.NodeName
+			return true
+		})
+		return got
+	}
+	plain := place(Config{Name: "plain"})
+	detailed := place(Config{
+		Name:             "detailed",
+		Telemetry:        telemetry.New(),
+		Trace:            telemetry.NewTraceRing(8),
+		TraceDetailEvery: 1, // every pass takes the timed variants
+	})
+	if len(plain) != len(detailed) {
+		t.Fatalf("pod counts differ: %d vs %d", len(plain), len(detailed))
+	}
+	for name, node := range plain {
+		if detailed[name] != node {
+			t.Fatalf("pod %s: plain→%q detailed→%q — instrumentation changed a placement", name, node, detailed[name])
+		}
+	}
+}
+
+// TestPassMetricsAndTraceRing checks the metric/trace bookkeeping of
+// instrumented passes: pass counters match ScheduleOnce calls, the
+// histogram totals match the counters, traces carry strictly increasing
+// Seq with stage spans, and detailed traces add per-plugin spans.
+func TestPassMetricsAndTraceRing(t *testing.T) {
+	reg := telemetry.New()
+	ring := telemetry.NewTraceRing(16)
+	_, srv, sched := newBareScheduler(t, 4, Config{
+		Telemetry:        reg,
+		Trace:            ring,
+		TraceDetailEvery: 2,
+	})
+	// Feed pods before every pass so the detailed passes (even Seq) have
+	// pending work and enter the ring too.
+	const passes = 4
+	for i := 0; i < passes; i++ {
+		for j := 0; j < 2; j++ {
+			pod := telemetryPod(fmt.Sprintf("pod-%d-%d", i, j), "telemetry-test", resource.GiB)
+			if err := srv.CreatePod(pod); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sched.ScheduleOnce()
+	}
+
+	if got := reg.Counter("scheduler_passes_total").Value(); got != passes {
+		t.Fatalf("scheduler_passes_total = %d, want %d", got, passes)
+	}
+	if got := reg.Histogram("scheduler_pass_duration_seconds", nil).Count(); got != passes {
+		t.Fatalf("pass duration histogram count = %d, want %d", got, passes)
+	}
+	if got := reg.CounterVec("scheduler_bound_total", "class").With("unclassified").Value(); got != 8 {
+		t.Fatalf("scheduler_bound_total{unclassified} = %d, want 8", got)
+	}
+
+	traces := sched.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no pass traces recorded")
+	}
+	lastSeq := int64(0)
+	sawDetailedPlugins := false
+	for _, tr := range traces {
+		if tr.Seq <= lastSeq {
+			t.Fatalf("trace Seq not strictly increasing: %d after %d", tr.Seq, lastSeq)
+		}
+		lastSeq = tr.Seq
+		if tr.Scheduler != "telemetry-test" {
+			t.Fatalf("trace scheduler = %q", tr.Scheduler)
+		}
+		if tr.Pending == 0 {
+			t.Fatal("empty passes must not enter the ring")
+		}
+		if len(tr.Spans) == 0 {
+			t.Fatalf("trace seq=%d has no spans", tr.Seq)
+		}
+		for _, sp := range tr.Spans {
+			if sp.Plugin != "" {
+				if !tr.Detailed {
+					t.Fatalf("undetailed trace seq=%d carries plugin span %q", tr.Seq, sp.Plugin)
+				}
+				sawDetailedPlugins = true
+			}
+		}
+	}
+	if !sawDetailedPlugins {
+		t.Fatal("no detailed trace with plugin spans (TraceDetailEvery=2 over 4 passes must sample at least one)")
+	}
+
+	// The bound totals recorded in the ring agree with the scheduler's
+	// own stats.
+	bound := 0
+	for _, tr := range traces {
+		bound += tr.Bound
+	}
+	if stats := sched.Stats(); bound != stats.Bound {
+		t.Fatalf("ring bound sum = %d, stats.Bound = %d", bound, stats.Bound)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/sgxorch/sgxorch/internal/monitor"
 	"github.com/sgxorch/sgxorch/internal/resource"
 	"github.com/sgxorch/sgxorch/internal/sgx"
+	"github.com/sgxorch/sgxorch/internal/telemetry"
 	"github.com/sgxorch/sgxorch/internal/tsdb"
 )
 
@@ -70,6 +71,16 @@ type TestbedConfig struct {
 	// resolve per-class scheduling profiles instead of the testbed's
 	// default pipeline. Nil keeps the classic single-profile scheduler.
 	Classes *core.ClassRegistry
+	// Telemetry instruments the API server and scheduler against the
+	// registry (bind latency, pass/stage histograms, pass traces into
+	// Trace). Nil keeps the stack uninstrumented.
+	Telemetry *telemetry.Registry
+	// Trace overrides the scheduler's pass-trace ring (a fresh default
+	// ring when nil and Telemetry is set).
+	Trace *telemetry.TraceRing
+	// TraceDetailEvery samples detailed (per-pod, per-plugin) tracing on
+	// every Nth instrumented pass (scheduler default when 0).
+	TraceDetailEvery int
 }
 
 func (c TestbedConfig) withDefaults() TestbedConfig {
@@ -111,7 +122,11 @@ type Testbed struct {
 func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	cfg = cfg.withDefaults()
 	clk := clock.NewSim()
-	srv := apiserver.New(clk)
+	var srvOpts []apiserver.Option
+	if cfg.Telemetry != nil {
+		srvOpts = append(srvOpts, apiserver.WithTelemetry(cfg.Telemetry))
+	}
+	srv := apiserver.New(clk, srvOpts...)
 	db := tsdb.New(clk)
 
 	tb := &Testbed{Cfg: cfg, Clk: clk, Srv: srv, DB: db}
@@ -152,12 +167,15 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	tb.probes = monitor.DeployProbes(clk, db, tb.Kubelets, cfg.ScrapeInterval)
 
 	sched, err := core.New(clk, srv, db, core.Config{
-		Name:       SchedulerName,
-		Policy:     cfg.Policy,
-		Interval:   cfg.SchedulerInterval,
-		Window:     cfg.SchedulerWindow,
-		UseMetrics: cfg.UseMetrics,
-		Classes:    cfg.Classes,
+		Name:             SchedulerName,
+		Policy:           cfg.Policy,
+		Interval:         cfg.SchedulerInterval,
+		Window:           cfg.SchedulerWindow,
+		UseMetrics:       cfg.UseMetrics,
+		Classes:          cfg.Classes,
+		Telemetry:        cfg.Telemetry,
+		Trace:            cfg.Trace,
+		TraceDetailEvery: cfg.TraceDetailEvery,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building scheduler: %w", err)

@@ -1,0 +1,130 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/api"
+	"github.com/sgxorch/sgxorch/internal/apiserver"
+	"github.com/sgxorch/sgxorch/internal/telemetry"
+)
+
+func event(typ apiserver.WatchEventType, pod *api.Pod) apiserver.WatchEvent {
+	return apiserver.WatchEvent{Type: typ, Pod: pod}
+}
+
+// lifecyclePod builds a pod clone the way the server publishes them: all
+// lifecycle timestamps stamped relative to an epoch.
+func lifecyclePod(name string, class api.WorkloadClass, phase api.PodPhase, submitted, scheduled, started, finished time.Duration) *api.Pod {
+	epoch := time.Unix(0, 0).UTC()
+	stamp := func(d time.Duration) time.Time {
+		if d < 0 {
+			return time.Time{}
+		}
+		return epoch.Add(d)
+	}
+	return &api.Pod{
+		Name: name,
+		Spec: api.PodSpec{Class: class},
+		Status: api.PodStatus{
+			Phase:       phase,
+			SubmittedAt: stamp(submitted),
+			ScheduledAt: stamp(scheduled),
+			StartedAt:   stamp(started),
+			FinishedAt:  stamp(finished),
+		},
+	}
+}
+
+// TestTrackerLifecycleSamples drives a synthetic event stream through
+// every branch of Consume and checks the histogram samples: one queue
+// sample per bind, one startup/total sample per first run, duplicate
+// Running updates ignored, preemption requeues starting a fresh cycle,
+// and a run-duration sample on terminal transitions.
+func TestTrackerLifecycleSamples(t *testing.T) {
+	reg := telemetry.New()
+	tr := New(reg)
+
+	// Bind at 10s (submitted at 0), run at 12s, duplicate Running update,
+	// finish at 72s.
+	tr.Consume([]apiserver.WatchEvent{
+		event(apiserver.PodBound, lifecyclePod("a", api.ClassBatch, api.PodPending, 0, 10*time.Second, -1, -1)),
+		event(apiserver.PodUpdated, lifecyclePod("a", api.ClassBatch, api.PodRunning, 0, 10*time.Second, 12*time.Second, -1)),
+		event(apiserver.PodUpdated, lifecyclePod("a", api.ClassBatch, api.PodRunning, 0, 10*time.Second, 12*time.Second, -1)),
+		event(apiserver.PodUpdated, lifecyclePod("a", api.ClassBatch, api.PodSucceeded, 0, 10*time.Second, 12*time.Second, 72*time.Second)),
+	})
+	queue := reg.HistogramVec("lifecycle_queue_seconds", "class", nil).With("batch")
+	startup := reg.HistogramVec("lifecycle_startup_seconds", "class", nil).With("batch")
+	run := reg.HistogramVec("lifecycle_run_seconds", "class", nil).With("batch")
+	if queue.Count() != 1 || queue.Sum() != 10 {
+		t.Fatalf("queue histogram = (%d, %v), want (1, 10)", queue.Count(), queue.Sum())
+	}
+	if startup.Count() != 1 || startup.Sum() != 2 {
+		t.Fatalf("startup histogram = (%d, %v), want (1, 2) — duplicate Running must not double-count", startup.Count(), startup.Sum())
+	}
+	if run.Count() != 1 || run.Sum() != 60 {
+		t.Fatalf("run histogram = (%d, %v), want (1, 60)", run.Count(), run.Sum())
+	}
+
+	// A preempted pod: bind, run, requeue to Pending, bind and run again —
+	// two full cycles, each sampled.
+	tr.Consume([]apiserver.WatchEvent{
+		event(apiserver.PodBound, lifecyclePod("b", api.ClassBestEffort, api.PodPending, 0, 5*time.Second, -1, -1)),
+		event(apiserver.PodUpdated, lifecyclePod("b", api.ClassBestEffort, api.PodRunning, 0, 5*time.Second, 6*time.Second, -1)),
+		event(apiserver.PodUpdated, lifecyclePod("b", api.ClassBestEffort, api.PodPending, 0, 5*time.Second, -1, -1)),
+		event(apiserver.PodBound, lifecyclePod("b", api.ClassBestEffort, api.PodPending, 0, 30*time.Second, -1, -1)),
+		event(apiserver.PodUpdated, lifecyclePod("b", api.ClassBestEffort, api.PodRunning, 0, 30*time.Second, 33*time.Second, -1)),
+	})
+	beQueue := reg.HistogramVec("lifecycle_queue_seconds", "class", nil).With("best-effort")
+	beStartup := reg.HistogramVec("lifecycle_startup_seconds", "class", nil).With("best-effort")
+	if beQueue.Count() != 2 {
+		t.Fatalf("preempted pod queue samples = %d, want 2 (one per bind)", beQueue.Count())
+	}
+	if beStartup.Count() != 2 {
+		t.Fatalf("preempted pod startup samples = %d, want 2 (requeue resets the cycle)", beStartup.Count())
+	}
+	if tr.BindsObserved() != 3 || tr.RunsObserved() != 3 {
+		t.Fatalf("observed = (%d, %d), want (3, 3)", tr.BindsObserved(), tr.RunsObserved())
+	}
+
+	// Running updates without a StartedAt stamp are not yet runs; events
+	// without pods are skipped.
+	tr.Consume([]apiserver.WatchEvent{
+		event(apiserver.PodUpdated, lifecyclePod("c", api.ClassBatch, api.PodRunning, 0, 5*time.Second, -1, -1)),
+		{Type: apiserver.PodUpdated},
+	})
+	if tr.RunsObserved() != 3 {
+		t.Fatalf("unstarted Running counted as a run: %d", tr.RunsObserved())
+	}
+}
+
+// TestTrackerNilSafety: a nil registry yields a nil tracker whose whole
+// surface is a no-op — the telemetry-off wiring path.
+func TestTrackerNilSafety(t *testing.T) {
+	tr := New(nil)
+	if tr != nil {
+		t.Fatal("New(nil) must return a nil tracker")
+	}
+	tr.Track(nil)
+	tr.Consume([]apiserver.WatchEvent{{Type: apiserver.PodBound}})
+	tr.Close()
+	if tr.BindsObserved() != 0 || tr.RunsObserved() != 0 {
+		t.Fatal("nil tracker reported observations")
+	}
+}
+
+// TestTrackerUnclassifiedLabel: pods without a class land under the
+// "unclassified" label, never an empty label value.
+func TestTrackerUnclassifiedLabel(t *testing.T) {
+	reg := telemetry.New()
+	tr := New(reg)
+	tr.Consume([]apiserver.WatchEvent{
+		event(apiserver.PodBound, lifecyclePod("u", api.ClassUnspecified, api.PodPending, 0, time.Second, -1, -1)),
+	})
+	if got := reg.HistogramVec("lifecycle_queue_seconds", "class", nil).With("unclassified").Count(); got != 1 {
+		t.Fatalf("unclassified queue samples = %d, want 1", got)
+	}
+	if got := reg.HistogramVec("lifecycle_queue_seconds", "class", nil).With("").Count(); got != 0 {
+		t.Fatalf("empty-label series has %d samples, want 0", got)
+	}
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"time"
+
+	"github.com/sgxorch/sgxorch/internal/clock"
+	"github.com/sgxorch/sgxorch/internal/tsdb"
+)
+
+// SelfScrapeMeasurementPrefix namespaces the registry's series in the
+// TSDB, keeping the orchestrator's own health apart from container
+// measurements like "sgx/epc" while riding the identical storage and
+// InfluxQL query path.
+const SelfScrapeMeasurementPrefix = "self/"
+
+// Tag keys used by the self-scrape.
+const (
+	// TagQuantile distinguishes a histogram's estimated quantile series
+	// ("0.5", "0.99") from each other.
+	TagQuantile = "quantile"
+	// TagStat distinguishes a histogram's count and sum series.
+	TagStat = "stat"
+)
+
+// scrapeQuantiles are the per-histogram quantile series the self-scrape
+// materialises; raw bucket counts stay in the registry (Prometheus
+// export) — the TSDB gets the estimates experiments actually query.
+var scrapeQuantiles = []struct {
+	q   float64
+	tag string
+}{{0.5, "0.5"}, {0.99, "0.99"}}
+
+// ScrapeInto writes the registry's current state into the database as
+// ordinary measurements at the database's current time: counters and
+// gauges as "self/<name>" (label pair carried as a tag), histograms as
+// quantile series tagged quantile="0.5"/"0.99" plus count and sum
+// series tagged stat="count"/"sum". Registered collectors run first.
+// No-op on a nil registry.
+func (r *Registry) ScrapeInto(db *tsdb.DB) {
+	if r == nil || db == nil {
+		return
+	}
+	r.Collect()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	tags := func(k metricKey, extraKey, extraVal string) tsdb.Tags {
+		t := tsdb.Tags{}
+		if k.labelKey != "" {
+			t[k.labelKey] = k.labelValue
+		}
+		if extraKey != "" {
+			t[extraKey] = extraVal
+		}
+		return t
+	}
+	for _, k := range sortedKeys(r.counters) {
+		db.WriteNow(SelfScrapeMeasurementPrefix+k.name, tags(k, "", ""), float64(r.counters[k].Value()))
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		db.WriteNow(SelfScrapeMeasurementPrefix+k.name, tags(k, "", ""), r.gauges[k].Value())
+	}
+	for _, k := range sortedKeys(r.histograms) {
+		h := r.histograms[k]
+		if h.Count() == 0 {
+			continue // no estimate to publish yet
+		}
+		for _, sq := range scrapeQuantiles {
+			db.WriteNow(SelfScrapeMeasurementPrefix+k.name, tags(k, TagQuantile, sq.tag), h.Quantile(sq.q))
+		}
+		db.WriteNow(SelfScrapeMeasurementPrefix+k.name, tags(k, TagStat, "count"), float64(h.Count()))
+		db.WriteNow(SelfScrapeMeasurementPrefix+k.name, tags(k, TagStat, "sum"), h.Sum())
+	}
+}
+
+// StartSelfScrape runs ScrapeInto on every interval tick of the clock —
+// the same clock.Periodic cadence Heapster uses for container metrics —
+// and returns a stop function. Returns a no-op stop on a nil registry.
+func StartSelfScrape(clk clock.Clock, r *Registry, db *tsdb.DB, interval time.Duration) (stop func()) {
+	if r == nil || db == nil {
+		return func() {}
+	}
+	return clock.Periodic(clk, interval, func() { r.ScrapeInto(db) })
+}

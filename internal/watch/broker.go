@@ -142,6 +142,10 @@ type Options struct {
 
 // SubscriberStats is the per-subscriber back-pressure accounting.
 type SubscriberStats struct {
+	// ID is the broker-assigned subscriber identity, stable for the
+	// subscription's lifetime — the label telemetry keys per-subscriber
+	// lag/resync gauges by.
+	ID int64
 	// Delivered counts events handed to the callback; Batches the
 	// callback invocations (Delivered/Batches is the mean batch size).
 	Delivered int64
@@ -545,7 +549,9 @@ func (b *Broker[T]) Stats() Stats {
 		st.PerTopic = append(st.PerTopic, TopicStats{Published: r.published, Evicted: r.evicted})
 	}
 	for _, id := range b.order {
-		st.PerSubscriber = append(st.PerSubscriber, b.subs[id].stats.snapshot())
+		ss := b.subs[id].stats.snapshot()
+		ss.ID = id
+		st.PerSubscriber = append(st.PerSubscriber, ss)
 	}
 	return st
 }
